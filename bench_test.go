@@ -1,0 +1,384 @@
+// Benchmarks regenerating the paper's tables and figures (run with
+// `go test -bench=. -benchmem`). Each BenchmarkFigure*/BenchmarkPlanChoice
+// target drives the same harness as cmd/benchrunner; the remaining
+// benchmarks measure the core mechanisms the paper's design choices trade
+// off (statistics lookup under each summarization, cache service paths,
+// plan enumeration, evaluation).
+package hermes_test
+
+import (
+	"testing"
+	"time"
+
+	"hermes/internal/cim"
+	"hermes/internal/core"
+	"hermes/internal/dcsm"
+	"hermes/internal/domain"
+	"hermes/internal/domain/domaintest"
+	"hermes/internal/engine"
+	"hermes/internal/experiments"
+	"hermes/internal/lang"
+	"hermes/internal/rewrite"
+	"hermes/internal/term"
+	"hermes/internal/vclock"
+	"hermes/internal/workload"
+)
+
+// --- Figures -------------------------------------------------------------
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanChoice(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PlanChoice(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2Tables(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Figure2()
+	}
+}
+
+func BenchmarkFigure3Summarize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4Analysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations -------------------------------------------------------------
+
+func BenchmarkAblationSummarization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationSummarization(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationRecency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationRecency(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationCachePolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationCachePolicy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationParallelPartial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationParallelPartial(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- DCSM estimation latency: detail vs summaries -------------------------
+
+// trainDB loads n records for a 3-argument call.
+func trainDB(b *testing.B, n int, raw bool) *dcsm.DB {
+	b.Helper()
+	db := dcsm.New(dcsm.Config{AllowRawAggregation: raw}, nil)
+	for i := 0; i < n; i++ {
+		db.Observe(domain.Measurement{
+			Call: domain.Call{Domain: "d", Function: "f", Args: []term.Value{
+				term.Str("rope"), term.Int(int64(i % 40)), term.Int(int64(i%40 + 30)),
+			}},
+			Cost:     domain.CostVector{TFirst: time.Millisecond, TAll: 2 * time.Millisecond, Card: 5},
+			Complete: true,
+		})
+	}
+	return db
+}
+
+var benchPattern = domain.Pattern{Domain: "d", Function: "f", Args: []domain.PatternArg{
+	domain.Const(term.Str("rope")), domain.Const(term.Int(7)), domain.Bound,
+}}
+
+// BenchmarkDCSMLookupRaw measures estimation that must aggregate the raw
+// cost vector database (the "expensive aggregation" of §6.2).
+func BenchmarkDCSMLookupRaw(b *testing.B) {
+	db := trainDB(b, 2000, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Cost(benchPattern); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDCSMLookupLossless measures estimation from lossless summary
+// tables.
+func BenchmarkDCSMLookupLossless(b *testing.B) {
+	db := trainDB(b, 2000, false)
+	if _, err := db.SummarizeLossless("d", "f", 3); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Summarize("d", "f", 3, []int{0, 1}); err != nil {
+		b.Fatal(err)
+	}
+	db.DropDetail("d", "f", 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Cost(benchPattern); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDCSMLookupLossy measures estimation from the single-row fully
+// lossy table.
+func BenchmarkDCSMLookupLossy(b *testing.B) {
+	db := trainDB(b, 2000, false)
+	if _, err := db.SummarizeFullyLossy("d", "f", 3); err != nil {
+		b.Fatal(err)
+	}
+	db.DropDetail("d", "f", 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Cost(benchPattern); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSummarize measures building a lossless summary from 2000
+// records.
+func BenchmarkSummarize(b *testing.B) {
+	db := trainDB(b, 2000, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.SummarizeLossless("d", "f", 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- CIM service paths -----------------------------------------------------
+
+func benchCIM(b *testing.B) (*cim.Manager, *domaintest.Domain) {
+	b.Helper()
+	d := domaintest.New("d")
+	d.Define("f", domaintest.Func{Arity: 1,
+		Fn: func(args []term.Value) ([]term.Value, error) {
+			out := make([]term.Value, 16)
+			for i := range out {
+				out[i] = term.Int(int64(i))
+			}
+			return out, nil
+		}})
+	reg := domain.NewRegistry()
+	reg.Register(d)
+	m := cim.New(reg, cim.Config{ParallelActual: true})
+	inv, err := lang.ParseInvariant("V1 <= V2 => d:f(V2) >= d:f(V1).")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.AddInvariant(inv)
+	return m, d
+}
+
+func BenchmarkCIMExactHit(b *testing.B) {
+	m, _ := benchCIM(b)
+	ctx := domain.NewCtx(vclock.NewVirtual(0))
+	resp, err := m.CallThrough(ctx, domain.Call{Domain: "d", Function: "f", Args: []term.Value{term.Int(5)}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	domain.Collect(resp.Stream)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := m.CallThrough(ctx, domain.Call{Domain: "d", Function: "f", Args: []term.Value{term.Int(5)}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := domain.Collect(resp.Stream); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCIMPartialHit(b *testing.B) {
+	m, _ := benchCIM(b)
+	ctx := domain.NewCtx(vclock.NewVirtual(0))
+	seed := domain.Call{Domain: "d", Function: "f", Args: []term.Value{term.Int(1)}}
+	prefix := []term.Value{term.Int(0), term.Int(1)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Re-seed so every iteration takes the partial path (a completed
+		// iteration stores the full answer set, which would turn the next
+		// call into an exact hit).
+		b.StopTimer()
+		m.Clear()
+		m.Store(seed, prefix, true, domain.CostVector{})
+		b.StartTimer()
+		resp, err := m.CallThrough(ctx, domain.Call{Domain: "d", Function: "f", Args: []term.Value{term.Int(9)}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := domain.Collect(resp.Stream); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCIMPartialLookupLargeCache measures invariant matching against
+// a cache holding many entries of the same function — the linear scan the
+// relevance dispatch cannot avoid, and the reason scan cost matters.
+func BenchmarkCIMPartialLookupLargeCache(b *testing.B) {
+	m, _ := benchCIM(b)
+	for i := 0; i < 500; i++ {
+		m.Store(domain.Call{Domain: "d", Function: "f", Args: []term.Value{term.Int(int64(i))}},
+			[]term.Value{term.Int(int64(i))}, true, domain.CostVector{})
+	}
+	ctx := domain.NewCtx(vclock.NewVirtual(0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := m.CallThrough(ctx, domain.Call{Domain: "d", Function: "f", Args: []term.Value{term.Int(10_000)}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Stream.Close()
+	}
+}
+
+func BenchmarkCIMProbe(b *testing.B) {
+	m, _ := benchCIM(b)
+	ctx := domain.NewCtx(vclock.NewVirtual(0))
+	resp, _ := m.CallThrough(ctx, domain.Call{Domain: "d", Function: "f", Args: []term.Value{term.Int(1)}})
+	domain.Collect(resp.Stream)
+	call := domain.Call{Domain: "d", Function: "f", Args: []term.Value{term.Int(9)}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Probe(call)
+	}
+}
+
+// --- rewriter + engine ------------------------------------------------------
+
+const benchM1 = `
+	access_equivalent('p', 2).
+	access_equivalent('q', 2).
+	m(A, C) :- p(A, B), q(B, C).
+	p(A, B) :- in($ans, d1:p_ff()), =($ans.1, A), =($ans.2, B).
+	p(A, B) :- in(B, d1:p_bf(A)).
+	p(A, B) :- in($x, d1:p_bb(A, B)).
+	q(B, C) :- in($ans, d2:q_ff()), =($ans.1, B), =($ans.2, C).
+	q(B, C) :- in(C, d2:q_bf(B)).
+`
+
+func BenchmarkRewriterPlans(b *testing.B) {
+	prog, err := lang.ParseProgram(benchM1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := lang.ParseQuery("?- m('a', C).")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rw := rewrite.New(prog, rewrite.Config{}, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rw.Plans(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseProgram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := lang.ParseProgram(benchM1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFederationQuery runs an optimized mixed query over a randomized
+// federation through the entire stack (rewriter, estimator, CIM, engine).
+func BenchmarkFederationQuery(b *testing.B) {
+	store, rel := workload.Federation(workload.DefaultFederation())
+	sys := core.NewSystem(core.Options{})
+	sys.Register(store)
+	sys.Register(rel)
+	if err := sys.LoadProgram(`
+		objs(V, F, L, O) :- in(O, avis:frames_to_objects(V, F, L)).
+		row(T, K, V) :- in(P, rel:all(T)), =(P.k, K), =(P.v, V).
+	`); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sys.QueryAll("?- objs('video01', 10, 90, O) & row('table01', K, V) & V > 500."); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineJoin(b *testing.B) {
+	d := domaintest.New("d")
+	d.Define("gen", domaintest.Func{Arity: 0,
+		Fn: func([]term.Value) ([]term.Value, error) {
+			out := make([]term.Value, 64)
+			for i := range out {
+				out[i] = term.Int(int64(i))
+			}
+			return out, nil
+		}})
+	d.Define("next", domaintest.Func{Arity: 1,
+		Fn: func(args []term.Value) ([]term.Value, error) {
+			return []term.Value{term.Int(int64(args[0].(term.Int)) + 1)}, nil
+		}})
+	reg := domain.NewRegistry()
+	reg.Register(d)
+	eng := engine.New(reg, nil, engine.Config{MaxDepth: 8}, nil)
+	prog, _ := lang.ParseProgram(`v(X, Y) :- in(X, d:gen()), in(Y, d:next(X)).`)
+	q, _ := lang.ParseQuery("?- v(X, Y).")
+	rw := rewrite.New(prog, rewrite.Config{}, reg)
+	plans, err := rw.Plans(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur, err := eng.ExecutePlan(domain.NewCtx(vclock.NewVirtual(0)), plans[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := engine.CollectAll(cur); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

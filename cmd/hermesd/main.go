@@ -1,0 +1,124 @@
+// Command hermesd hosts source domains over TCP for genuinely distributed
+// operation: the mediator (cmd/hermes or any program using internal/remote)
+// connects with remote.NewClient and sees each hosted domain as a local
+// one.
+//
+// The served federation is the experiment testbed's dataset: the AVIS
+// video store (with "The Rope"), the INGRES-style relational database
+// (cast, crew, inventory), a spatial point store, the terrain path
+// planner, a face gallery, and a flat-file store.
+//
+// Usage:
+//
+//	hermesd -addr :7117
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hermes/internal/domain"
+	"hermes/internal/domains/avis"
+	"hermes/internal/domains/face"
+	"hermes/internal/domains/flatfile"
+	"hermes/internal/domains/relation"
+	"hermes/internal/domains/spatial"
+	"hermes/internal/domains/terrain"
+	"hermes/internal/remote"
+	"hermes/internal/term"
+)
+
+func main() {
+	addr := flag.String("addr", ":7117", "listen address")
+	flag.Parse()
+
+	reg := domain.NewRegistry()
+	for _, d := range BuildDomains() {
+		reg.Register(d)
+		log.Printf("hermesd: serving domain %q (%d functions)", d.Name(), len(d.Functions()))
+	}
+	srv := remote.NewServer(reg)
+	log.Printf("hermesd: listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe(*addr))
+}
+
+// BuildDomains assembles the full demonstration federation.
+func BuildDomains() []domain.Domain {
+	store := avis.New("avis")
+	avis.LoadRope(store)
+	avis.Generate(store, "newsreel", 1200, 60, 1944)
+
+	rel := relation.New("ingres")
+	cast := rel.MustCreateTable(relation.Schema{Name: "cast", Cols: []relation.Column{
+		{Name: "name", Type: relation.TString},
+		{Name: "role", Type: relation.TString},
+	}})
+	for _, c := range avis.RopeCast {
+		cast.MustInsert(term.Str(c.Actor), term.Str(c.Role))
+	}
+	inv := rel.MustCreateTable(relation.Schema{Name: "inventory", Cols: []relation.Column{
+		{Name: "item", Type: relation.TString},
+		{Name: "loc", Type: relation.TString},
+		{Name: "qty", Type: relation.TInt},
+	}})
+	for _, r := range [][3]any{
+		{"h-22 fuel", "depot1", 40},
+		{"h-22 fuel", "depot3", 15},
+		{"rations", "depot1", 500},
+		{"rations", "depot2", 220},
+		{"ammo", "depot3", 90},
+	} {
+		inv.MustInsert(term.Str(r[0].(string)), term.Str(r[1].(string)), term.Int(int64(r[2].(int))))
+	}
+
+	spat := spatial.New("spatial")
+	var pts []spatial.Point
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			pts = append(pts, spatial.Point{
+				ID: fmt.Sprintf("p%02d%02d", i, j),
+				X:  float64(i * 11), Y: float64(j * 11),
+			})
+		}
+	}
+	spat.MustAddFile("points", pts)
+
+	grid, err := terrain.NewGrid([]string{
+		"..........",
+		".####.####",
+		".#........",
+		".#.######.",
+		"...#....#.",
+		"####.##.#.",
+		"....#...#.",
+		".##...#.#.",
+		".#..###.#.",
+		"..........",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for name, at := range map[string][2]int{
+		"place1": {0, 0}, "depot1": {9, 9}, "depot2": {9, 0}, "depot3": {2, 2},
+	} {
+		if err := grid.AddLocation(name, at[0], at[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	planner := terrain.New("terraindb", grid)
+
+	gallery := face.New("faces")
+	gallery.Populate(500, 11)
+
+	files := flatfile.New("files")
+	files.RegisterContent("news", []string{
+		"date|source|headline",
+		"1995-03-01|usa today|market rallies on rate cut hopes",
+		"1995-03-02|usa today|floods hit the midwest",
+		"1995-03-02|ap|senate passes budget bill",
+		"1995-03-03|usa today|local team wins championship",
+	})
+
+	return []domain.Domain{store, rel, spat, planner, gallery, files}
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"hermes/internal/domain"
+	"hermes/internal/remote"
+	"hermes/internal/term"
+	"hermes/internal/vclock"
+)
+
+func TestBuildDomains(t *testing.T) {
+	doms := BuildDomains()
+	if len(doms) != 6 {
+		t.Fatalf("domains = %d, want 6", len(doms))
+	}
+	names := map[string]bool{}
+	for _, d := range doms {
+		names[d.Name()] = true
+		if len(d.Functions()) == 0 {
+			t.Errorf("domain %s exports no functions", d.Name())
+		}
+	}
+	for _, want := range []string{"avis", "ingres", "spatial", "terraindb", "faces", "files"} {
+		if !names[want] {
+			t.Errorf("domain %s missing", want)
+		}
+	}
+}
+
+// TestServeEndToEnd starts the server on an ephemeral port and runs a call
+// through the remote client, covering the full hermesd wiring.
+func TestServeEndToEnd(t *testing.T) {
+	reg := domain.NewRegistry()
+	for _, d := range BuildDomains() {
+		reg.Register(d)
+	}
+	srv := remote.NewServer(reg)
+	srv.Logf = func(string, ...any) {}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	names, err := remote.DiscoverDomains(l.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 6 {
+		t.Fatalf("discovered %v", names)
+	}
+	c := remote.NewClient(l.Addr().String(), "avis")
+	s, err := c.Call(domain.NewCtx(vclock.NewVirtual(0)), "actors", []term.Value{term.Str("rope")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := domain.Collect(s)
+	if err != nil || len(vals) != 9 {
+		t.Errorf("actors over TCP = %v, %v", vals, err)
+	}
+}

@@ -1,0 +1,11 @@
+// Package hermes is a reproduction of "Query Caching and Optimization in
+// Distributed Mediator Systems" (Adali, Candan, Papakonstantinou,
+// Subrahmanian; SIGMOD 1996): a mediator system whose optimizer estimates
+// plan costs from a statistics cache of past source calls (the DCSM) and
+// whose execution reuses cached query results through semantic invariants
+// (the CIM).
+//
+// The public surface lives in internal/core (the System facade); see
+// README.md for a tour, DESIGN.md for the architecture and experiment
+// index, and EXPERIMENTS.md for the paper-vs-measured results.
+package hermes

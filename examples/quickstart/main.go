@@ -1,0 +1,79 @@
+// Quickstart: build a mediator over one relational source, load rules, and
+// let the optimizer pick a plan. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hermes/internal/core"
+	"hermes/internal/domains/relation"
+	"hermes/internal/term"
+)
+
+func main() {
+	// 1. A source domain: a small relational database called "db".
+	db := relation.New("db")
+	emp := db.MustCreateTable(relation.Schema{Name: "employees", Cols: []relation.Column{
+		{Name: "name", Type: relation.TString},
+		{Name: "dept", Type: relation.TString},
+		{Name: "salary", Type: relation.TInt},
+	}})
+	for _, r := range []struct {
+		name, dept string
+		salary     int64
+	}{
+		{"ada", "engineering", 120},
+		{"grace", "engineering", 130},
+		{"alan", "research", 110},
+		{"edsger", "research", 125},
+		{"barbara", "engineering", 140},
+	} {
+		emp.MustInsert(term.Str(r.name), term.Str(r.dept), term.Int(r.salary))
+	}
+
+	// 2. The mediator system: rewriter + cost estimator + cache + engine.
+	sys := core.NewSystem(core.Options{})
+	sys.Register(db)
+
+	// 3. Mediator rules. The selection P.dept = Dept is pushed into the
+	// source when Dept is a constant (db exports equal/3).
+	if err := sys.LoadProgram(`
+		works_in(Name, Dept) :-
+		    in(P, db:all('employees')), =(P.name, Name), =(P.dept, Dept).
+		well_paid(Name) :-
+		    in(P, db:select_gt('employees', 'salary', 120)), =(P.name, Name).
+	`); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Queries. Optimize enumerates candidate plans (subgoal orders,
+	// source selections, cache routing) and picks the cheapest.
+	for _, q := range []string{
+		"?- works_in(N, 'engineering').",
+		"?- well_paid(N).",
+		"?- works_in(N, D) & well_paid(N).",
+	} {
+		plan, cost, err := sys.Optimize(q, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query: %s\n  estimated cost %s\n", q, cost)
+		answers, metrics, err := sys.QueryAll(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, a := range answers {
+			fmt.Println("   ", a)
+		}
+		fmt.Printf("  %d answers in %dms (plan: %d rule groups)\n\n",
+			metrics.Answers, metrics.TAll.Milliseconds(), len(plan.Rules))
+	}
+
+	// 5. The second execution of the same call hits the result cache.
+	stats := sys.CIM.Stats()
+	fmt.Printf("cache after 3 queries: %d exact hits, %d misses, %d entries\n",
+		stats.ExactHits, stats.Misses, sys.CIM.Len())
+}

@@ -1,0 +1,3 @@
+module hermes
+
+go 1.22

@@ -1,0 +1,521 @@
+// Package cim implements the Cache and Invariant Manager of the paper
+// (§4): a result cache of ground domain calls and their answer sets, plus
+// invariant-driven reuse. At run time the CIM behaves like any other
+// domain: the rewriter redirects selected calls to it, and the CIM serves
+// them from cache (exact match), from a different cached call that an
+// equality invariant proves equivalent, or as a fast partial answer from a
+// cached subset call — optionally overlapping the actual source call in
+// parallel and deduplicating its answers against those already served.
+//
+// The CIM also realizes the paper's availability story: when the source is
+// temporarily unreachable, cached (possibly partial) results are served
+// instead of failing the query.
+package cim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hermes/internal/domain"
+	"hermes/internal/lang"
+	"hermes/internal/term"
+)
+
+// Source says where a CIM response came from.
+type Source int
+
+// Response sources.
+const (
+	SourceActual Source = iota
+	SourceCacheExact
+	SourceCacheEquality
+	SourceCachePartial
+)
+
+func (s Source) String() string {
+	switch s {
+	case SourceActual:
+		return "actual"
+	case SourceCacheExact:
+		return "cache-exact"
+	case SourceCacheEquality:
+		return "cache-equality"
+	case SourceCachePartial:
+		return "cache-partial"
+	}
+	return "?"
+}
+
+// EvictionPolicy selects which entries are evicted when the cache exceeds
+// its budget.
+type EvictionPolicy int
+
+// Eviction policies: least-recently-used, or least observed source-call
+// cost (keep what is most expensive to recompute).
+const (
+	EvictLRU EvictionPolicy = iota
+	EvictCostWeighted
+)
+
+// Config tunes the CIM. Time parameters model the real costs the paper
+// observed for cache operation (Figure 5's cache-only rows are not free:
+// ≈300 ms to first answer including query initialization and display).
+type Config struct {
+	// LookupCost is charged per cache probe.
+	LookupCost time.Duration
+	// PerAnswer is charged per answer served from cache.
+	PerAnswer time.Duration
+	// InvariantMatch is charged per invariant tried against a call.
+	InvariantMatch time.Duration
+	// ScanPerEntry is charged per cache entry examined when an invariant
+	// match requires scanning the cache (non-ground other side).
+	ScanPerEntry time.Duration
+	// DedupProbe is charged per actual-call answer compared against the
+	// already-served partial answers ("CIM must keep the answers from the
+	// cache in memory and compare them with the answers from the actual
+	// call").
+	DedupProbe time.Duration
+	// ParallelActual launches the actual source call concurrently with
+	// serving cached partial answers (the paper's recommended strategy);
+	// when false the actual call starts only after the cache is drained.
+	ParallelActual bool
+	// FallbackOnUnavailable serves whatever the cache has (even partial)
+	// when the actual source reports domain.ErrUnavailable.
+	FallbackOnUnavailable bool
+	// MaxEntries bounds the number of cached calls (0 = unlimited).
+	MaxEntries int
+	// MaxBytes bounds the total cached answer bytes (0 = unlimited).
+	MaxBytes int
+	// Policy selects the eviction policy.
+	Policy EvictionPolicy
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		LookupCost:            1200 * time.Microsecond,
+		PerAnswer:             800 * time.Microsecond,
+		InvariantMatch:        900 * time.Microsecond,
+		ScanPerEntry:          350 * time.Microsecond,
+		DedupProbe:            500 * time.Microsecond,
+		ParallelActual:        true,
+		FallbackOnUnavailable: true,
+	}
+}
+
+// Stats count CIM activity.
+type Stats struct {
+	ExactHits            int
+	EqualityHits         int
+	PartialHits          int
+	Misses               int
+	UnavailableFallbacks int
+	Evictions            int
+	StoredEntries        int
+	ServedFromCache      int // answers served out of the cache
+}
+
+// Entry is one cached call with its answer set.
+type Entry struct {
+	Call    domain.Call
+	Answers []term.Value
+	// Complete is false when the answers are a known-sound but possibly
+	// partial set (e.g. stored from a stream closed early). Incomplete
+	// entries still serve as partial answers.
+	Complete bool
+	// Cost is the observed cost of the source call that produced the
+	// answers; the cost-weighted eviction policy keeps expensive entries.
+	Cost  domain.CostVector
+	Bytes int
+
+	lastUsed int64
+}
+
+// Caller executes actual source calls; satisfied by *domain.Registry.
+type Caller interface {
+	Call(ctx *domain.Ctx, c domain.Call) (domain.Stream, error)
+}
+
+// Manager is the cache and invariant manager.
+type Manager struct {
+	caller Caller
+	cfg    Config
+
+	mu         sync.Mutex
+	entries    map[string]*Entry
+	invariants []*lang.Invariant
+	counter    int64
+	totalBytes int
+	stats      Stats
+	// onMeasure observes completed actual calls (wired to the DCSM).
+	onMeasure func(domain.Measurement)
+}
+
+// New creates a manager that issues actual calls through caller.
+func New(caller Caller, cfg Config) *Manager {
+	return &Manager{caller: caller, cfg: cfg, entries: make(map[string]*Entry)}
+}
+
+// SetMeasurementObserver installs a hook that receives the measurement of
+// every actual source call the CIM issues; the mediator wires this to the
+// DCSM statistics cache.
+func (m *Manager) SetMeasurementObserver(fn func(domain.Measurement)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onMeasure = fn
+}
+
+// AddInvariant validates and registers an invariant. Ill-formed invariants
+// (free condition variables) are rejected: applying one could never be
+// proven sound.
+func (m *Manager) AddInvariant(inv *lang.Invariant) error {
+	if err := inv.Validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.invariants = append(m.invariants, inv)
+	return nil
+}
+
+// Invariants returns the registered invariants.
+func (m *Manager) Invariants() []*lang.Invariant {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*lang.Invariant(nil), m.invariants...)
+}
+
+// Stats returns a snapshot of the activity counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Len returns the number of cached entries.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// Bytes returns the total cached answer bytes.
+func (m *Manager) Bytes() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.totalBytes
+}
+
+// Clear drops all cached entries (invariants are kept).
+func (m *Manager) Clear() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries = make(map[string]*Entry)
+	m.totalBytes = 0
+}
+
+// Lookup returns the cached entry for a call, if any, without charging any
+// clock cost (introspection for tests and tools).
+func (m *Manager) Lookup(c domain.Call) (*Entry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[c.Key()]
+	return e, ok
+}
+
+// Store inserts (or replaces) a cache entry for a call.
+func (m *Manager) Store(c domain.Call, answers []term.Value, complete bool, cost domain.CostVector) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.storeLocked(c, answers, complete, cost)
+}
+
+func (m *Manager) storeLocked(c domain.Call, answers []term.Value, complete bool, cost domain.CostVector) {
+	key := c.Key()
+	if old, ok := m.entries[key]; ok {
+		m.totalBytes -= old.Bytes
+	}
+	bytes := 0
+	for _, v := range answers {
+		bytes += term.SizeBytes(v)
+	}
+	m.counter++
+	e := &Entry{Call: c, Answers: answers, Complete: complete, Cost: cost, Bytes: bytes, lastUsed: m.counter}
+	m.entries[key] = e
+	m.totalBytes += bytes
+	m.stats.StoredEntries++
+	m.evictLocked()
+}
+
+// evictLocked enforces the entry/byte budgets.
+func (m *Manager) evictLocked() {
+	over := func() bool {
+		if m.cfg.MaxEntries > 0 && len(m.entries) > m.cfg.MaxEntries {
+			return true
+		}
+		if m.cfg.MaxBytes > 0 && m.totalBytes > m.cfg.MaxBytes {
+			return true
+		}
+		return false
+	}
+	for over() && len(m.entries) > 0 {
+		var victim string
+		var victimEntry *Entry
+		for k, e := range m.entries {
+			if victimEntry == nil || m.evictBefore(e, victimEntry) {
+				victim, victimEntry = k, e
+			}
+		}
+		m.totalBytes -= victimEntry.Bytes
+		delete(m.entries, victim)
+		m.stats.Evictions++
+	}
+}
+
+// evictBefore reports whether a should be evicted before b under the
+// configured policy.
+func (m *Manager) evictBefore(a, b *Entry) bool {
+	switch m.cfg.Policy {
+	case EvictCostWeighted:
+		if a.Cost.TAll != b.Cost.TAll {
+			return a.Cost.TAll < b.Cost.TAll
+		}
+		return a.lastUsed < b.lastUsed
+	default: // EvictLRU
+		return a.lastUsed < b.lastUsed
+	}
+}
+
+func (m *Manager) touchLocked(e *Entry) {
+	m.counter++
+	e.lastUsed = m.counter
+}
+
+// Response is the result of routing a call through the CIM.
+type Response struct {
+	Stream domain.Stream
+	Source Source
+	// CachedAnswers is how many answers the cache contributed (all of them
+	// for exact/equality hits; the partial prefix for subset hits).
+	CachedAnswers int
+	// ServingCall is the cached call whose answers were used (differs from
+	// the requested call on invariant hits).
+	ServingCall domain.Call
+}
+
+// cacheStream serves a materialized answer slice, charging PerAnswer per
+// value.
+func (m *Manager) cacheStream(ctx *domain.Ctx, answers []term.Value) domain.Stream {
+	return domain.NewTimedSliceStream(answers, ctx.Clock, func(term.Value) time.Duration {
+		return m.cfg.PerAnswer
+	})
+}
+
+// actualStream issues the real source call, measured; the measurement is
+// stored in the cache and forwarded to the observer.
+func (m *Manager) actualStream(ctx *domain.Ctx, call domain.Call) (domain.Stream, error) {
+	start := ctx.Clock.Now()
+	inner, err := m.caller.Call(ctx, call)
+	if err != nil {
+		return nil, err
+	}
+	var collected []term.Value
+	tap := domain.NewFuncStream(func() (term.Value, bool, error) {
+		v, ok, err := inner.Next()
+		if ok {
+			collected = append(collected, v)
+		}
+		return v, ok, err
+	}, inner.Close)
+	return domain.NewMeasuredStreamAt(tap, ctx.Clock, call, start, func(meas domain.Measurement) {
+		m.mu.Lock()
+		m.storeLocked(call, collected, meas.Complete, meas.Cost)
+		obs := m.onMeasure
+		m.mu.Unlock()
+		if obs != nil {
+			obs(meas)
+		}
+	}), nil
+}
+
+// CallThrough routes a ground call through the cache. The returned stream
+// is lazy: for partial hits the actual source call starts only if the
+// consumer drains past the cached answers, so interactive queries that stop
+// early never pay for it (§4.1).
+func (m *Manager) CallThrough(ctx *domain.Ctx, call domain.Call) (*Response, error) {
+	m.mu.Lock()
+	ctx.Clock.Sleep(m.cfg.LookupCost)
+
+	// 1. Exact hit on a complete entry.
+	if e, ok := m.entries[call.Key()]; ok && e.Complete {
+		m.touchLocked(e)
+		m.stats.ExactHits++
+		m.stats.ServedFromCache += len(e.Answers)
+		answers := e.Answers
+		m.mu.Unlock()
+		return &Response{
+			Stream:        m.cacheStream(ctx, answers),
+			Source:        SourceCacheExact,
+			CachedAnswers: len(answers),
+			ServingCall:   call,
+		}, nil
+	}
+
+	// 2. Equality invariants: a different cached call with a provably
+	// identical answer set.
+	if e := m.findEqualityLocked(ctx, call); e != nil {
+		m.touchLocked(e)
+		m.stats.EqualityHits++
+		m.stats.ServedFromCache += len(e.Answers)
+		answers := e.Answers
+		serving := e.Call
+		m.mu.Unlock()
+		return &Response{
+			Stream:        m.cacheStream(ctx, answers),
+			Source:        SourceCacheEquality,
+			CachedAnswers: len(answers),
+			ServingCall:   serving,
+		}, nil
+	}
+
+	// 3. Subset invariants (or an incomplete exact entry): a cached call
+	// whose answers are a sound partial answer for ours.
+	if e := m.findPartialLocked(ctx, call); e != nil {
+		m.touchLocked(e)
+		m.stats.PartialHits++
+		m.stats.ServedFromCache += len(e.Answers)
+		resp := m.servePartialThenActual(ctx, call, e)
+		m.mu.Unlock()
+		return resp, nil
+	}
+
+	// 4. Miss: actual call.
+	m.stats.Misses++
+	m.mu.Unlock()
+	stream, err := m.actualStream(ctx, call)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{Stream: stream, Source: SourceActual, ServingCall: call}, nil
+}
+
+// servePartialThenActual builds the two-phase stream: cached answers first
+// (fast first answers), then the actual call's remaining answers
+// deduplicated against them. With ParallelActual the actual call is
+// accounted on a clock forked at request time, so its latency overlaps the
+// cached phase.
+func (m *Manager) servePartialThenActual(ctx *domain.Ctx, call domain.Call, e *Entry) *Response {
+	cached := e.Answers
+	seed := make(map[string]struct{}, len(cached))
+	var fork *domain.Ctx
+	if m.cfg.ParallelActual {
+		fork = ctx.Fork() // forked now == "launched in parallel at request time"
+	}
+	idx := 0
+	var actual domain.Stream
+	var actualErr error
+	started := false
+	unavailableOK := m.cfg.FallbackOnUnavailable
+
+	next := func() (term.Value, bool, error) {
+		if idx < len(cached) {
+			v := cached[idx]
+			idx++
+			ctx.Clock.Sleep(m.cfg.PerAnswer)
+			seed[v.Key()] = struct{}{}
+			return v, true, nil
+		}
+		if !started {
+			started = true
+			actx := ctx
+			if fork != nil {
+				actx = fork
+			}
+			var s domain.Stream
+			s, actualErr = m.actualStream(actx, call)
+			if actualErr == nil {
+				s = domain.NewDedupStream(s, seed).WithProbeCost(ctx.Clock, m.cfg.DedupProbe)
+				actual = s
+			}
+		}
+		if actualErr != nil {
+			if unavailableOK && isUnavailable(actualErr) {
+				m.mu.Lock()
+				m.stats.UnavailableFallbacks++
+				m.mu.Unlock()
+				return nil, false, nil // partial answers are the best we can do
+			}
+			return nil, false, actualErr
+		}
+		v, ok, err := actual.Next()
+		if fork != nil {
+			ctx.Clock.Join(fork.Clock) // wait for the parallel call to catch up
+		}
+		return v, ok, err
+	}
+	closer := func() error {
+		if actual != nil {
+			return actual.Close()
+		}
+		return nil
+	}
+	return &Response{
+		Stream:        domain.NewFuncStream(next, closer),
+		Source:        SourceCachePartial,
+		CachedAnswers: len(cached),
+		ServingCall:   e.Call,
+	}
+}
+
+func isUnavailable(err error) bool {
+	for e := err; e != nil; {
+		if e == domain.ErrUnavailable {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+// Call implements domain.Domain using the paper's decoding scheme: a call
+// to CIM of the form cim:domain&function(args) is translated into a call to
+// function in domain, routed through the cache. The separator is '&'
+// written as "__" in function names since '&' is not an identifier
+// character ("cim:avis__frames_to_objects(...)").
+func (m *Manager) Call(ctx *domain.Ctx, fn string, args []term.Value) (domain.Stream, error) {
+	call, err := DecodeFunction(fn, args)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := m.CallThrough(ctx, call)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Stream, nil
+}
+
+// Name implements domain.Domain.
+func (m *Manager) Name() string { return "cim" }
+
+// Functions implements domain.Domain. The CIM accepts any encoded
+// domain&function name, so it advertises no fixed specs.
+func (m *Manager) Functions() []domain.FuncSpec { return nil }
+
+// EncodeFunction builds the CIM-routed function name for a domain call.
+func EncodeFunction(dom, fn string) string { return dom + "__" + fn }
+
+// DecodeFunction splits a CIM-routed function name back into the original
+// call.
+func DecodeFunction(fn string, args []term.Value) (domain.Call, error) {
+	for i := 0; i+1 < len(fn); i++ {
+		if fn[i] == '_' && fn[i+1] == '_' {
+			return domain.Call{Domain: fn[:i], Function: fn[i+2:], Args: args}, nil
+		}
+	}
+	return domain.Call{}, fmt.Errorf("cim: function %q is not of the form domain__function", fn)
+}

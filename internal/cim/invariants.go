@@ -1,0 +1,164 @@
+package cim
+
+import (
+	"hermes/internal/domain"
+	"hermes/internal/lang"
+	"hermes/internal/term"
+)
+
+// unifyTemplate matches a call template against a ground call, extending
+// the substitution. It fails unless domain, function and arity match and
+// every argument unifies.
+func unifyTemplate(s term.Subst, t *lang.CallTemplate, c domain.Call) (term.Subst, bool) {
+	if t.Domain != c.Domain || t.Function != c.Function || len(t.Args) != len(c.Args) {
+		return nil, false
+	}
+	return s.UnifyAll(t.Args, c.Args)
+}
+
+// groundTemplate instantiates a call template under a substitution,
+// reporting ok=false if any argument remains unbound.
+func groundTemplate(t *lang.CallTemplate, s term.Subst) (domain.Call, bool) {
+	args := make([]term.Value, len(t.Args))
+	for i, a := range t.Args {
+		v, err := s.Eval(a)
+		if err != nil {
+			return domain.Call{}, false
+		}
+		args[i] = v
+	}
+	return domain.Call{Domain: t.Domain, Function: t.Function, Args: args}, true
+}
+
+// condHolds evaluates an invariant condition under a substitution. A
+// condition that cannot be evaluated (unbound variable, incomparable
+// values) does not hold: invariants are only applied when their
+// applicability is certain, keeping reuse sound.
+func condHolds(cond []lang.Comparison, s term.Subst) bool {
+	for i := range cond {
+		ok, err := cond[i].Holds(s)
+		if err != nil || !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// findCandidatesLocked finds cache entries that `other` (under θ extending
+// the unification of our call with `mine`) matches, with the condition
+// holding. If `other` is ground under θ this is a direct probe; otherwise
+// the cache is scanned (charged per entry examined). requireComplete
+// restricts to complete entries.
+func (m *Manager) findCandidatesLocked(ctx *domain.Ctx, theta term.Subst, cond []lang.Comparison, other *lang.CallTemplate, requireComplete bool) []*Entry {
+	// Fast path: other side fully determined by our call's bindings.
+	if oc, ok := groundTemplate(other, theta); ok {
+		if !condHolds(cond, theta) {
+			return nil
+		}
+		ctx.Clock.Sleep(m.cfg.LookupCost)
+		if e, found := m.entries[oc.Key()]; found && (e.Complete || !requireComplete) {
+			return []*Entry{e}
+		}
+		return nil
+	}
+	// Slow path: scan cached calls to the other side's domain:function.
+	var out []*Entry
+	for _, e := range m.entries {
+		if e.Call.Domain != other.Domain || e.Call.Function != other.Function {
+			continue
+		}
+		ctx.Clock.Sleep(m.cfg.ScanPerEntry)
+		theta2, ok := unifyTemplate(theta, other, e.Call)
+		if !ok || !condHolds(cond, theta2) {
+			continue
+		}
+		if requireComplete && !e.Complete {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// relevant reports whether a template could match the call at all (same
+// domain, function and arity). Irrelevant invariants are skipped by a
+// cheap dispatch check, which is why the paper found the overhead of
+// checking the cache and invariants without success to be negligible.
+func relevant(t *lang.CallTemplate, c domain.Call) bool {
+	return t.Domain == c.Domain && t.Function == c.Function && len(t.Args) == len(c.Args)
+}
+
+// findEqualityLocked looks for a cached call that an equality invariant
+// proves has the identical answer set (§4.1, case 2). Equality is
+// symmetric, so both orientations are tried.
+func (m *Manager) findEqualityLocked(ctx *domain.Ctx, call domain.Call) *Entry {
+	for _, inv := range m.invariants {
+		if inv.Rel != lang.RelEqual {
+			continue
+		}
+		if !relevant(&inv.Left, call) && !relevant(&inv.Right, call) {
+			continue
+		}
+		ctx.Clock.Sleep(m.cfg.InvariantMatch)
+		sides := [2][2]*lang.CallTemplate{
+			{&inv.Left, &inv.Right},
+			{&inv.Right, &inv.Left},
+		}
+		for _, pair := range sides {
+			mine, other := pair[0], pair[1]
+			theta, ok := unifyTemplate(term.Subst{}, mine, call)
+			if !ok {
+				continue
+			}
+			// An equality hit requires a complete cached answer set.
+			if cands := m.findCandidatesLocked(ctx, theta, inv.Cond, other, true); len(cands) > 0 {
+				best := cands[0]
+				for _, c := range cands[1:] {
+					if c.lastUsed > best.lastUsed {
+						best = c
+					}
+				}
+				return best
+			}
+		}
+	}
+	return nil
+}
+
+// findPartialLocked looks for the best sound partial answer for a call
+// (§4.1, case 3): a cached call C such that some superset invariant proves
+// answers(call) ⊇ answers(C), or an incomplete exact entry for the call
+// itself. "Best" is the candidate with the most cached answers.
+func (m *Manager) findPartialLocked(ctx *domain.Ctx, call domain.Call) *Entry {
+	var best *Entry
+	consider := func(e *Entry) {
+		if best == nil || len(e.Answers) > len(best.Answers) {
+			best = e
+		}
+	}
+	// An incomplete exact entry is itself a sound partial answer.
+	if e, ok := m.entries[call.Key()]; ok && !e.Complete {
+		consider(e)
+	}
+	for _, inv := range m.invariants {
+		if inv.Rel != lang.RelSuperset {
+			continue
+		}
+		if !relevant(&inv.Left, call) {
+			continue
+		}
+		ctx.Clock.Sleep(m.cfg.InvariantMatch)
+		// Our call must be the superset (Left) side; cached entries
+		// matching Right provide subsets of our answers.
+		theta, ok := unifyTemplate(term.Subst{}, &inv.Left, call)
+		if !ok {
+			continue
+		}
+		for _, e := range m.findCandidatesLocked(ctx, theta, inv.Cond, &inv.Right, false) {
+			if len(e.Answers) > 0 {
+				consider(e)
+			}
+		}
+	}
+	return best
+}

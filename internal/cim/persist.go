@@ -1,0 +1,109 @@
+package cim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"hermes/internal/domain"
+	"hermes/internal/term"
+)
+
+// Cache persistence lets a restarted mediator keep answering from prior
+// results — including through source outages, which is the availability
+// story of §1. Invariants are program text and are not persisted here;
+// reload them with the program.
+
+const cacheSnapshotVersion = 1
+
+type cacheEntrySnapshot struct {
+	Domain   string           `json:"domain"`
+	Function string           `json:"function"`
+	Args     []term.JSONValue `json:"args"`
+	Answers  []term.JSONValue `json:"answers"`
+	Complete bool             `json:"complete"`
+	TfNs     int64            `json:"tf"`
+	TaNs     int64            `json:"ta"`
+	Card     float64          `json:"card"`
+	LastUsed int64            `json:"lastUsed"`
+}
+
+type cacheSnapshot struct {
+	Version int                  `json:"version"`
+	Counter int64                `json:"counter"`
+	Entries []cacheEntrySnapshot `json:"entries"`
+}
+
+// Save writes the cache contents as JSON.
+func (m *Manager) Save(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := cacheSnapshot{Version: cacheSnapshotVersion, Counter: m.counter}
+	for _, e := range m.entries {
+		args, err := term.EncodeJSONs(e.Call.Args)
+		if err != nil {
+			return fmt.Errorf("cim: save: %w", err)
+		}
+		answers, err := term.EncodeJSONs(e.Answers)
+		if err != nil {
+			return fmt.Errorf("cim: save: %w", err)
+		}
+		snap.Entries = append(snap.Entries, cacheEntrySnapshot{
+			Domain: e.Call.Domain, Function: e.Call.Function, Args: args,
+			Answers: answers, Complete: e.Complete,
+			TfNs: int64(e.Cost.TFirst), TaNs: int64(e.Cost.TAll), Card: e.Cost.Card,
+			LastUsed: e.lastUsed,
+		})
+	}
+	return json.NewEncoder(w).Encode(&snap)
+}
+
+// Load replaces the cache contents with a snapshot previously written by
+// Save. Budgets are enforced after loading.
+func (m *Manager) Load(r io.Reader) error {
+	var snap cacheSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("cim: load: %w", err)
+	}
+	if snap.Version != cacheSnapshotVersion {
+		return fmt.Errorf("cim: load: unsupported snapshot version %d", snap.Version)
+	}
+	entries := make(map[string]*Entry, len(snap.Entries))
+	totalBytes := 0
+	for _, es := range snap.Entries {
+		args, err := term.DecodeJSONs(es.Args)
+		if err != nil {
+			return fmt.Errorf("cim: load: %w", err)
+		}
+		answers, err := term.DecodeJSONs(es.Answers)
+		if err != nil {
+			return fmt.Errorf("cim: load: %w", err)
+		}
+		bytes := 0
+		for _, v := range answers {
+			bytes += term.SizeBytes(v)
+		}
+		e := &Entry{
+			Call:     domain.Call{Domain: es.Domain, Function: es.Function, Args: args},
+			Answers:  answers,
+			Complete: es.Complete,
+			Cost: domain.CostVector{
+				TFirst: time.Duration(es.TfNs), TAll: time.Duration(es.TaNs), Card: es.Card,
+			},
+			Bytes:    bytes,
+			lastUsed: es.LastUsed,
+		}
+		entries[e.Call.Key()] = e
+		totalBytes += bytes
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries = entries
+	m.totalBytes = totalBytes
+	if snap.Counter > m.counter {
+		m.counter = snap.Counter
+	}
+	m.evictLocked()
+	return nil
+}

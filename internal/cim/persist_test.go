@@ -1,0 +1,112 @@
+package cim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"hermes/internal/domain"
+	"hermes/internal/domain/domaintest"
+	"hermes/internal/term"
+)
+
+func TestCacheSaveLoadRoundTrip(t *testing.T) {
+	d := domaintest.New("d")
+	d.Define("f", domaintest.Func{Arity: 1, PerCall: 50 * time.Millisecond,
+		Fn: func(args []term.Value) ([]term.Value, error) {
+			return strs("x", "y", "z"), nil
+		}})
+	reg := domain.NewRegistry()
+	reg.Register(d)
+	m := New(reg, testCfg())
+	for i := 0; i < 3; i++ {
+		resp, err := m.CallThrough(newCtx(), call("d", "f", term.Int(int64(i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		drain(t, resp)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh manager, possibly in a fresh process, loads the snapshot.
+	m2 := New(reg, testCfg())
+	if err := m2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Len() != 3 || m2.Bytes() != m.Bytes() {
+		t.Fatalf("after load: len=%d bytes=%d (want %d/%d)", m2.Len(), m2.Bytes(), m.Len(), m.Bytes())
+	}
+	// Served entirely from the reloaded cache: no source call.
+	before := d.CallCount("f")
+	resp, err := m2.CallThrough(newCtx(), call("d", "f", term.Int(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Source != SourceCacheExact {
+		t.Errorf("source = %v", resp.Source)
+	}
+	if got := drain(t, resp); len(got) != 3 {
+		t.Errorf("answers = %v", got)
+	}
+	if d.CallCount("f") != before {
+		t.Error("reloaded cache still called the source")
+	}
+	// The preserved cost vector supports cost-weighted eviction decisions.
+	e, ok := m2.Lookup(call("d", "f", term.Int(0)))
+	if !ok || e.Cost.TAll < 50*time.Millisecond {
+		t.Errorf("entry cost lost: %+v", e)
+	}
+}
+
+func TestCacheLoadEnforcesBudgets(t *testing.T) {
+	reg := domain.NewRegistry()
+	m := New(reg, testCfg())
+	for i := 0; i < 5; i++ {
+		m.Store(call("d", "f", term.Int(int64(i))), strs("0123456789"), true, domain.CostVector{})
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg()
+	cfg.MaxEntries = 2
+	m2 := New(reg, cfg)
+	if err := m2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Len() != 2 {
+		t.Errorf("budget not enforced on load: %d entries", m2.Len())
+	}
+}
+
+func TestCacheLoadRejectsBadInput(t *testing.T) {
+	m := New(domain.NewRegistry(), testCfg())
+	if err := m.Load(strings.NewReader("nope")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if err := m.Load(strings.NewReader(`{"version": 9}`)); err == nil {
+		t.Error("unknown version should fail")
+	}
+}
+
+func TestCacheSaveLoadIncompleteEntries(t *testing.T) {
+	reg := domain.NewRegistry()
+	m := New(reg, testCfg())
+	m.Store(call("d", "f", term.Int(1)), strs("partial"), false, domain.CostVector{})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(reg, testCfg())
+	if err := m2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := m2.Lookup(call("d", "f", term.Int(1)))
+	if !ok || e.Complete {
+		t.Errorf("incomplete flag lost: %+v ok=%v", e, ok)
+	}
+}

@@ -1,0 +1,132 @@
+package cim
+
+import (
+	"testing"
+
+	"hermes/internal/domain"
+	"hermes/internal/domains/avis"
+	"hermes/internal/lang"
+	"hermes/internal/term"
+	"hermes/internal/workload"
+)
+
+// TestSoundnessOverRandomStream is the central safety property of the CIM:
+// for any call sequence, whatever mixture of exact hits, equality-invariant
+// hits and partial-invariant completions serves a call, the drained answer
+// set must equal the set the source itself returns. (Invariants are "sound,
+// but not necessarily complete rewrite rules" — §4; the CIM must never
+// trade soundness for reuse.)
+func TestSoundnessOverRandomStream(t *testing.T) {
+	store := avis.New("avis")
+	avis.LoadRope(store)
+	reg := domain.NewRegistry()
+	reg.Register(store)
+
+	m := New(reg, testCfg())
+	for _, src := range []string{
+		"true => avis:frames_to_objects(V, F, L) = avis:objects_in_range(V, F, L).",
+		"F1 <= G1 & G2 <= F2 => avis:frames_to_objects(V, F1, F2) >= avis:frames_to_objects(V, G1, G2).",
+		"true => avis:objects(V) >= avis:frames_to_objects(V, G1, G2).",
+	} {
+		inv, err := lang.ParseInvariant(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.AddInvariant(inv); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stream := workload.FrameRanges(workload.DefaultFrameRanges(250))
+	// Mix in alias calls so equality invariants fire in both directions.
+	for i := range stream {
+		if i%5 == 3 {
+			stream[i].Function = "objects_in_range"
+		}
+	}
+
+	asSet := func(vals []term.Value) map[string]bool {
+		out := make(map[string]bool, len(vals))
+		for _, v := range vals {
+			out[v.Key()] = true
+		}
+		return out
+	}
+	hadHit := false
+	for i, c := range stream {
+		// Ground truth straight from the source.
+		ds, err := reg.Call(newCtx(), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := domain.Collect(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Through the CIM.
+		resp, err := m.CallThrough(newCtx(), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := domain.Collect(resp.Stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Source != SourceActual {
+			hadHit = true
+		}
+		want := asSet(direct)
+		have := asSet(got)
+		if len(want) != len(have) {
+			t.Fatalf("call %d (%s, served by %v): %d answers, source gives %d",
+				i, c, resp.Source, len(have), len(want))
+		}
+		for k := range want {
+			if !have[k] {
+				t.Fatalf("call %d (%s, served by %v): missing answer %s", i, c, resp.Source, k)
+			}
+		}
+	}
+	if !hadHit {
+		t.Fatal("stream produced no cache hits; property vacuous")
+	}
+	st := m.Stats()
+	if st.PartialHits == 0 || st.ExactHits == 0 || st.EqualityHits == 0 {
+		t.Errorf("want all hit kinds exercised: %+v", st)
+	}
+}
+
+// TestNoDuplicatesOverRandomStream: merged partial+actual answers never
+// contain duplicates (the dedup guarantee of §4.1's completion phase).
+func TestNoDuplicatesOverRandomStream(t *testing.T) {
+	store := avis.New("avis")
+	avis.LoadRope(store)
+	reg := domain.NewRegistry()
+	reg.Register(store)
+	m := New(reg, testCfg())
+	inv, err := lang.ParseInvariant(
+		"F1 <= G1 & G2 <= F2 => avis:frames_to_objects(V, F1, F2) >= avis:frames_to_objects(V, G1, G2).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddInvariant(inv); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range workload.FrameRanges(workload.DefaultFrameRanges(150)) {
+		resp, err := m.CallThrough(newCtx(), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := domain.Collect(resp.Stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		for _, v := range got {
+			if seen[v.Key()] {
+				t.Fatalf("call %d (%s, served by %v): duplicate answer %s", i, c, resp.Source, v)
+			}
+			seen[v.Key()] = true
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"hermes/internal/domain"
+	"hermes/internal/domain/domaintest"
+	"hermes/internal/netsim"
+	"hermes/internal/term"
+)
+
+// TestConcurrentQueries runs many queries against one System from parallel
+// goroutines (run under -race in CI): the CIM, DCSM and registry must be
+// safe for concurrent use and every query must see correct answers.
+func TestConcurrentQueries(t *testing.T) {
+	d := domaintest.New("d")
+	d.Define("f", domaintest.Func{Arity: 1, PerCall: time.Millisecond,
+		Fn: func(args []term.Value) ([]term.Value, error) {
+			n := int64(args[0].(term.Int))
+			out := make([]term.Value, n%5+1)
+			for i := range out {
+				out[i] = term.Int(int64(i))
+			}
+			return out, nil
+		}})
+	sys := NewSystem(Options{})
+	sys.Register(d)
+	if err := sys.LoadProgram(`v(N, X) :- in(X, d:f(N)).`); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 128)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				n := (g + i) % 7
+				q := fmt.Sprintf("?- v(%d, X).", n)
+				answers, _, err := sys.QueryAll(q)
+				if err != nil {
+					errs <- fmt.Errorf("%s: %w", q, err)
+					return
+				}
+				if len(answers) != n%5+1 {
+					errs <- fmt.Errorf("%s: %d answers, want %d", q, len(answers), n%5+1)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if st := sys.CIM.Stats(); st.ExactHits == 0 {
+		t.Errorf("concurrent run never hit the cache: %+v", st)
+	}
+}
+
+// TestNetsimWrappedEstimatorRegistered: Register must find a native cost
+// estimator even when the domain sits behind a netsim host.
+func TestNetsimWrappedEstimatorRegistered(t *testing.T) {
+	est := &fakeEstimator{}
+	host := netsim.Wrap(est, netsim.Local)
+	sys := NewSystem(Options{})
+	sys.Register(host)
+	cv, err := sys.DCSM.Cost(domain.Pattern{Domain: "fake", Function: "f"})
+	if err != nil {
+		t.Fatalf("native estimator not wired through netsim: %v", err)
+	}
+	if cv.Card != 77 {
+		t.Errorf("cv = %v", cv)
+	}
+}
+
+type fakeEstimator struct{}
+
+func (f *fakeEstimator) Name() string                 { return "fake" }
+func (f *fakeEstimator) Functions() []domain.FuncSpec { return []domain.FuncSpec{{Name: "f"}} }
+func (f *fakeEstimator) Call(ctx *domain.Ctx, fn string, args []term.Value) (domain.Stream, error) {
+	return domain.NewSliceStream(nil), nil
+}
+func (f *fakeEstimator) EstimateCost(p domain.Pattern) (domain.CostVector, []string, bool) {
+	return domain.CostVector{Card: 77}, nil, true
+}

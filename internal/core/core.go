@@ -1,0 +1,294 @@
+// Package core assembles the mediator system of the paper: the rule
+// program, the source domains, the cache and invariant manager (CIM), the
+// domain cost and statistics module (DCSM), the rule rewriter, the rule
+// cost estimator, and the execution engine — wired together exactly as in
+// the paper's Figure 1. It is the public API of this library: construct a
+// System, register domains, load a mediator program (rules + invariants),
+// and run queries; the optimizer rewrites each query into candidate plans,
+// prices them against cached statistics, and executes the cheapest.
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hermes/internal/cim"
+	"hermes/internal/dcsm"
+	"hermes/internal/domain"
+	"hermes/internal/engine"
+	"hermes/internal/estimate"
+	"hermes/internal/lang"
+	"hermes/internal/rewrite"
+	"hermes/internal/vclock"
+)
+
+// Options configure a System. The zero value gives a virtual clock, an
+// enabled CIM with default costs, a statistics-cache DCSM, and
+// paper-faithful rewriter/estimator/engine settings.
+type Options struct {
+	// Clock is the execution clock (nil: fresh virtual clock).
+	Clock vclock.Clock
+	// DisableCIM removes the cache and invariant manager entirely (the
+	// paper's "no cache, no invariants" configuration).
+	DisableCIM bool
+	// CIM configures the cache and invariant manager.
+	CIM *cim.Config
+	// DCSM configures the statistics module.
+	DCSM *dcsm.Config
+	// Engine configures the run-time query processor.
+	Engine *engine.Config
+	// Rewrite configures plan enumeration. CIMDomains defaults to routing
+	// every registered domain through the CIM when the CIM is enabled and
+	// the field is nil.
+	Rewrite *rewrite.Config
+	// Estimate configures the rule cost estimator.
+	Estimate *estimate.Config
+}
+
+// System is a mediator instance.
+type System struct {
+	Registry *domain.Registry
+	Program  *lang.Program
+	CIM      *cim.Manager // nil when disabled
+	DCSM     *dcsm.DB
+	Clock    vclock.Clock
+
+	engine     *engine.Engine
+	rewriteCfg rewrite.Config
+	estimator  *estimate.Estimator
+	cimAll     bool // route all domains through the CIM unless configured
+}
+
+// NewSystem builds a system from options.
+func NewSystem(opts Options) *System {
+	clk := opts.Clock
+	if clk == nil {
+		clk = vclock.NewVirtual(0)
+	}
+	s := &System{
+		Registry: domain.NewRegistry(),
+		Program:  &lang.Program{},
+		Clock:    clk,
+	}
+	dcfg := dcsm.DefaultConfig()
+	if opts.DCSM != nil {
+		dcfg = *opts.DCSM
+	}
+	s.DCSM = dcsm.New(dcfg, clk.Now)
+
+	if !opts.DisableCIM {
+		ccfg := cim.DefaultConfig()
+		if opts.CIM != nil {
+			ccfg = *opts.CIM
+		}
+		s.CIM = cim.New(s.Registry, ccfg)
+		s.CIM.SetMeasurementObserver(s.DCSM.Observe)
+	}
+
+	ecfg := engine.DefaultConfig()
+	if opts.Engine != nil {
+		ecfg = *opts.Engine
+	}
+	s.engine = engine.New(s.Registry, s.CIM, ecfg, s.DCSM.Observe)
+
+	s.rewriteCfg = rewrite.Config{PushSelections: true}
+	if opts.Rewrite != nil {
+		s.rewriteCfg = *opts.Rewrite
+	}
+	if s.rewriteCfg.CIMDomains == nil {
+		s.rewriteCfg.CIMDomains = map[string]bool{}
+		s.cimAll = s.CIM != nil && opts.Rewrite == nil
+	}
+
+	escfg := estimate.DefaultConfig()
+	if opts.Estimate != nil {
+		escfg = *opts.Estimate
+	}
+	var cacheModel estimate.CacheModel
+	if s.CIM != nil {
+		cacheModel = s.CIM
+	}
+	s.estimator = estimate.New(s.DCSM, cacheModel, escfg)
+	return s
+}
+
+// Register adds a source domain to the federation. If the domain ships a
+// native cost estimator it is connected to the DCSM. When the system was
+// built without an explicit rewrite configuration and the CIM is enabled,
+// the domain's calls are routed through the CIM.
+func (s *System) Register(d domain.Domain) {
+	s.Registry.Register(d)
+	if est, ok := d.(domain.Estimator); ok {
+		s.DCSM.RegisterEstimator(d.Name(), est)
+	}
+	if s.cimAll {
+		s.rewriteCfg.CIMDomains[d.Name()] = true
+	}
+	// Domains behind a netsim host may wrap an estimator.
+	type unwrapper interface{ Inner() domain.Domain }
+	if u, ok := d.(unwrapper); ok {
+		if est, ok := u.Inner().(domain.Estimator); ok {
+			s.DCSM.RegisterEstimator(d.Name(), est)
+		}
+	}
+}
+
+// RouteThroughCIM sets whether a domain's calls go through the CIM.
+func (s *System) RouteThroughCIM(dom string, via bool) {
+	if s.rewriteCfg.CIMDomains == nil {
+		s.rewriteCfg.CIMDomains = map[string]bool{}
+	}
+	s.rewriteCfg.CIMDomains[dom] = via
+}
+
+// LoadProgram parses mediator source and adds its rules and invariants.
+func (s *System) LoadProgram(src string) error {
+	prog, err := lang.ParseProgram(src)
+	if err != nil {
+		return fmt.Errorf("core: parse program: %w", err)
+	}
+	s.Program.Rules = append(s.Program.Rules, prog.Rules...)
+	for _, inv := range prog.Invariants {
+		s.Program.Invariants = append(s.Program.Invariants, inv)
+		if s.CIM != nil {
+			if err := s.CIM.AddInvariant(inv); err != nil {
+				return fmt.Errorf("core: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Ctx returns a fresh execution context over the system clock.
+func (s *System) Ctx() *domain.Ctx { return domain.NewCtx(s.Clock) }
+
+// Plans parses a query and returns the rewriter's candidate plans.
+func (s *System) Plans(query string) ([]*rewrite.Plan, error) {
+	q, err := lang.ParseQuery(query)
+	if err != nil {
+		return nil, fmt.Errorf("core: parse query: %w", err)
+	}
+	return s.PlansFor(q)
+}
+
+// PlansFor returns the candidate plans of a parsed query.
+func (s *System) PlansFor(q *lang.Query) ([]*rewrite.Plan, error) {
+	rw := rewrite.New(s.Program, s.rewriteCfg, s.Registry)
+	return rw.Plans(q)
+}
+
+// PlanCost prices a plan with the rule cost estimator.
+func (s *System) PlanCost(p *rewrite.Plan) (domain.CostVector, error) {
+	cv, _, err := s.estimator.PlanCost(p)
+	return cv, err
+}
+
+// Optimize rewrites the query and returns the cheapest plan by estimated
+// all-answers time (or first-answer time when interactive).
+func (s *System) Optimize(query string, interactive bool) (*rewrite.Plan, domain.CostVector, error) {
+	plans, err := s.Plans(query)
+	if err != nil {
+		return nil, domain.CostVector{}, err
+	}
+	return s.estimator.Best(plans, interactive)
+}
+
+// Execute runs a plan, returning a cursor over the answers.
+func (s *System) Execute(p *rewrite.Plan) (*engine.Cursor, error) {
+	return s.engine.ExecutePlan(s.Ctx(), p)
+}
+
+// Query optimizes and executes in one step (all-answers ranking).
+func (s *System) Query(query string) (*engine.Cursor, error) {
+	plan, _, err := s.Optimize(query, false)
+	if err != nil {
+		return nil, err
+	}
+	return s.Execute(plan)
+}
+
+// QueryAll optimizes, executes and drains a query.
+func (s *System) QueryAll(query string) ([]engine.Answer, engine.Metrics, error) {
+	cur, err := s.Query(query)
+	if err != nil {
+		return nil, engine.Metrics{}, err
+	}
+	return engine.CollectAll(cur)
+}
+
+// WarmStatistics trains the DCSM by running a set of ground calls directly
+// against the sources (outside any query), the way the paper's cost vector
+// database accumulated ~20 instantiations per call before the Figure 6
+// experiment.
+func (s *System) WarmStatistics(calls []domain.Call) error {
+	for _, c := range calls {
+		ctx := s.Ctx()
+		start := ctx.Clock.Now()
+		inner, err := s.Registry.Call(ctx, c)
+		if err != nil {
+			return fmt.Errorf("core: warm %s: %w", c, err)
+		}
+		ms := domain.NewMeasuredStreamAt(inner, ctx.Clock, c, start, s.DCSM.Observe)
+		if _, err := domain.Collect(ms); err != nil {
+			return fmt.Errorf("core: warm %s: %w", c, err)
+		}
+	}
+	return nil
+}
+
+// PrimeCache runs ground calls through the CIM so their results are
+// cached, the way the paper primed its caches before the timed Figure 5
+// runs. It is an error if the CIM is disabled.
+func (s *System) PrimeCache(calls []domain.Call) error {
+	if s.CIM == nil {
+		return fmt.Errorf("core: PrimeCache: CIM is disabled")
+	}
+	for _, c := range calls {
+		resp, err := s.CIM.CallThrough(s.Ctx(), c)
+		if err != nil {
+			return fmt.Errorf("core: prime %s: %w", c, err)
+		}
+		if _, err := domain.Collect(resp.Stream); err != nil {
+			return fmt.Errorf("core: prime %s: %w", c, err)
+		}
+	}
+	return nil
+}
+
+// Elapsed returns the current clock reading; convenient for reporting.
+func (s *System) Elapsed() time.Duration { return s.Clock.Now() }
+
+// SaveState persists the result cache and the statistics cache.
+func (s *System) SaveState(cache, stats io.Writer) error {
+	if s.CIM != nil && cache != nil {
+		if err := s.CIM.Save(cache); err != nil {
+			return err
+		}
+	}
+	if stats != nil {
+		return s.DCSM.Save(stats)
+	}
+	return nil
+}
+
+// LoadState restores the result cache and the statistics cache. Nil
+// readers are skipped.
+func (s *System) LoadState(cache, stats io.Reader) error {
+	if s.CIM != nil && cache != nil {
+		if err := s.CIM.Load(cache); err != nil {
+			return err
+		}
+	}
+	if stats != nil {
+		return s.DCSM.Load(stats)
+	}
+	return nil
+}
+
+// AutoTuneStatistics applies the DCSM's access-pattern policy (§6.2.2):
+// materialize summary tables for lookup shapes that repeatedly needed raw
+// aggregation, drop tables that went unused.
+func (s *System) AutoTuneStatistics(createThreshold, keepThreshold int) (created, dropped []string, err error) {
+	return s.DCSM.AutoTune(createThreshold, keepThreshold)
+}

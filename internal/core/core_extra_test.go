@@ -1,0 +1,286 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"hermes/internal/cim"
+	"hermes/internal/domain"
+	"hermes/internal/domain/domaintest"
+	"hermes/internal/domains/spatial"
+	"hermes/internal/engine"
+	"hermes/internal/netsim"
+	"hermes/internal/rewrite"
+	"hermes/internal/term"
+	"hermes/internal/workload"
+)
+
+// answerSet canonicalizes a result list for cross-plan comparison.
+func answerSet(answers []engine.Answer) []string {
+	out := make([]string, len(answers))
+	for i, a := range answers {
+		out[i] = a.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestPlanEquivalenceOverRandomData: every plan the rewriter emits for a
+// join query over a randomized federation computes the same answer bag.
+func TestPlanEquivalenceOverRandomData(t *testing.T) {
+	cfg := workload.DefaultFederation()
+	cfg.RowsMax = 40
+	_, rel := workload.Federation(cfg)
+	sys := NewSystem(Options{})
+	sys.Register(rel)
+	if err := sys.LoadProgram(`
+		entry(K, V) :- in(P, rel:all('table00')), =(P.k, K), =(P.v, V).
+		pair(K, V1, V2) :- entry(K, V1), entry(K, V2), V1 < V2.
+	`); err != nil {
+		t.Fatal(err)
+	}
+	plans, err := sys.Plans("?- pair(K, A, B).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) < 2 {
+		t.Fatalf("want multiple plans, got %d", len(plans))
+	}
+	var want []string
+	for i, p := range plans {
+		sys.CIM.Clear()
+		cur, err := sys.Execute(p)
+		if err != nil {
+			t.Fatalf("plan %d: %v", i, err)
+		}
+		answers, _, err := engine.CollectAll(cur)
+		if err != nil {
+			t.Fatalf("plan %d: %v", i, err)
+		}
+		got := answerSet(answers)
+		if i == 0 {
+			want = got
+			if len(want) == 0 {
+				t.Fatal("query returned nothing; test data degenerate")
+			}
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("plan %d: %d answers, plan 0 had %d\n%s", i, len(got), len(want), p)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("plan %d answer %d: %s != %s", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestOptimizerChoosesCIMRoutingWhenCached: with routing enumeration on,
+// the estimator should route a cached expensive call through the CIM, and
+// the same call through the source while the cache is cold.
+func TestOptimizerChoosesCIMRoutingWhenCached(t *testing.T) {
+	d := domaintest.New("slow")
+	d.Define("f", domaintest.Func{Arity: 1, PerCall: 8 * time.Second,
+		Fn: func([]term.Value) ([]term.Value, error) {
+			return []term.Value{term.Str("x"), term.Str("y")}, nil
+		}})
+	sys := NewSystem(Options{
+		Rewrite: &rewrite.Config{EnumerateRouting: true, CIMDomains: map[string]bool{}},
+	})
+	sys.Register(d)
+	if err := sys.LoadProgram(`v(X) :- in(X, slow:f(1)).`); err != nil {
+		t.Fatal(err)
+	}
+	// Warm statistics so the direct plan has a realistic (expensive) cost.
+	if err := sys.WarmStatistics([]domain.Call{
+		{Domain: "slow", Function: "f", Args: []term.Value{term.Int(1)}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	routeOf := func(p *rewrite.Plan) rewrite.Route {
+		rules := p.Rules[rewrite.PredKey{Pred: "v", Adorn: "f"}]
+		return rules[0].RouteInOrder(0)
+	}
+	// Cold cache: either route costs the actual call; after priming the
+	// cache, the CIM route must win.
+	if err := sys.PrimeCache([]domain.Call{
+		{Domain: "slow", Function: "f", Args: []term.Value{term.Int(1)}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	plan, cv, err := sys.Optimize("?- v(X).", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routeOf(plan) != rewrite.RouteCIM {
+		t.Errorf("optimizer did not route the cached call via CIM:\n%s (cost %v)", plan, cv)
+	}
+	if cv.TAll > time.Second {
+		t.Errorf("CIM-routed estimate = %v, want cache-serve cost", cv.TAll)
+	}
+}
+
+// TestSpatialInvariantEndToEnd drives the paper's §4 spatial example
+// through the whole system: program + invariant text, optimizer, engine,
+// CIM.
+func TestSpatialInvariantEndToEnd(t *testing.T) {
+	s := spatial.New("spatial")
+	var pts []spatial.Point
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			pts = append(pts, spatial.Point{ID: fmt.Sprintf("p%02d%02d", i, j),
+				X: float64(i * 11), Y: float64(j * 11)})
+		}
+	}
+	s.MustAddFile("points", pts)
+	sys := NewSystem(Options{})
+	sys.Register(netsim.Wrap(s, netsim.USAEast))
+	if err := sys.LoadProgram(`
+		near(X, Y, D, P) :- in(P, spatial:range('points', X, Y, D)).
+		% All points lie in a 100x100 square: any query wider than the
+		% diagonal equals the clamped query.
+		D > 142 => spatial:range('points', X, Y, D) = spatial:range('points', X, Y, 142).
+	`); err != nil {
+		t.Fatal(err)
+	}
+	// Prime with the clamped query.
+	prime, _, err := sys.QueryAll("?- near(50, 50, 142, P).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prime) != 100 {
+		t.Fatalf("clamped query = %d answers", len(prime))
+	}
+	// A query with a huge radius is answered from cache via the invariant.
+	answers, metrics, err := sys.QueryAll("?- near(50, 50, 9000, P).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 100 {
+		t.Fatalf("wide query = %d answers", len(answers))
+	}
+	if st := sys.CIM.Stats(); st.EqualityHits != 1 {
+		t.Errorf("equality hits = %d, want 1 (%+v)", st.EqualityHits, st)
+	}
+	if metrics.TAll > 2*time.Second {
+		t.Errorf("cache-served query took %v", metrics.TAll)
+	}
+}
+
+// TestSystemPersistenceRoundTrip: save the cache and statistics, rebuild
+// the system, load, and keep answering without source calls.
+func TestSystemPersistenceRoundTrip(t *testing.T) {
+	build := func() (*System, *domaintest.Domain) {
+		d := domaintest.New("d")
+		d.Define("f", domaintest.Func{Arity: 1, PerCall: time.Second,
+			Fn: func(args []term.Value) ([]term.Value, error) {
+				return []term.Value{args[0], term.Str("extra")}, nil
+			}})
+		sys := NewSystem(Options{})
+		sys.Register(d)
+		if err := sys.LoadProgram(`v(X, Y) :- in(Y, d:f(X)).`); err != nil {
+			t.Fatal(err)
+		}
+		return sys, d
+	}
+	sys1, _ := build()
+	if _, _, err := sys1.QueryAll("?- v(7, Y)."); err != nil {
+		t.Fatal(err)
+	}
+	var cacheBuf, statsBuf bytes.Buffer
+	if err := sys1.CIM.Save(&cacheBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys1.DCSM.Save(&statsBuf); err != nil {
+		t.Fatal(err)
+	}
+
+	sys2, d2 := build()
+	if err := sys2.CIM.Load(&cacheBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys2.DCSM.Load(&statsBuf); err != nil {
+		t.Fatal(err)
+	}
+	answers, _, err := sys2.QueryAll("?- v(7, Y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 2 {
+		t.Fatalf("answers = %v", answers)
+	}
+	if n := d2.CallCount("f"); n != 0 {
+		t.Errorf("reloaded system called the source %d times", n)
+	}
+	// Statistics survived too: the estimator knows the call's cost.
+	cv, err := sys2.DCSM.Cost(domain.Pattern{Domain: "d", Function: "f",
+		Args: []domain.PatternArg{domain.Const(term.Int(7))}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.TAll < time.Second {
+		t.Errorf("reloaded stats Ta = %v, want ≥1s", cv.TAll)
+	}
+}
+
+// TestInvalidInvariantRejected: LoadProgram must reject ill-formed
+// invariants (free condition variables).
+func TestInvalidInvariantRejected(t *testing.T) {
+	sys := NewSystem(Options{})
+	err := sys.LoadProgram("Z > 3 => d:f(X) = d:g(X).")
+	if err == nil {
+		t.Error("free condition variable should be rejected")
+	}
+}
+
+// TestCIMConfigThroughOptions: a custom CIM config takes effect.
+func TestCIMConfigThroughOptions(t *testing.T) {
+	ccfg := cim.DefaultConfig()
+	ccfg.MaxEntries = 1
+	d := domaintest.New("d")
+	d.Define("f", domaintest.Func{Arity: 1,
+		Fn: func(args []term.Value) ([]term.Value, error) {
+			return []term.Value{args[0]}, nil
+		}})
+	sys := NewSystem(Options{CIM: &ccfg})
+	sys.Register(d)
+	if err := sys.PrimeCache([]domain.Call{
+		{Domain: "d", Function: "f", Args: []term.Value{term.Int(1)}},
+		{Domain: "d", Function: "f", Args: []term.Value{term.Int(2)}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sys.CIM.Len() != 1 {
+		t.Errorf("MaxEntries ignored: %d entries", sys.CIM.Len())
+	}
+}
+
+// TestDisableCIM: with the CIM off, repeated queries always call the
+// source.
+func TestDisableCIM(t *testing.T) {
+	d := domaintest.New("d")
+	d.Define("f", domaintest.Func{Arity: 0,
+		Fn: func([]term.Value) ([]term.Value, error) {
+			return []term.Value{term.Int(1)}, nil
+		}})
+	sys := NewSystem(Options{DisableCIM: true})
+	sys.Register(d)
+	if err := sys.LoadProgram(`v(X) :- in(X, d:f()).`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := sys.QueryAll("?- v(X)."); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := d.CallCount("f"); n != 3 {
+		t.Errorf("source called %d times, want 3", n)
+	}
+	if sys.CIM != nil {
+		t.Error("CIM should be nil when disabled")
+	}
+}

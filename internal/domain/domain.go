@@ -1,0 +1,237 @@
+// Package domain defines the abstraction the mediator uses to talk to
+// external software packages and databases ("domains" in HERMES
+// terminology): ground calls, call patterns with unknown-but-bound ($b)
+// arguments, streaming answer sets, cost vectors, the Domain interface, and
+// a registry that routes calls.
+package domain
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"hermes/internal/term"
+	"hermes/internal/vclock"
+)
+
+// Errors reported by domain routing and execution.
+var (
+	// ErrUnknownDomain reports a call to an unregistered domain.
+	ErrUnknownDomain = errors.New("unknown domain")
+	// ErrUnknownFunction reports a call to a function the domain does not
+	// export.
+	ErrUnknownFunction = errors.New("unknown function")
+	// ErrUnavailable reports that a (remote) source is temporarily
+	// unreachable. The CIM may still serve such calls from cache.
+	ErrUnavailable = errors.New("source temporarily unavailable")
+)
+
+// Call is a ground domain call: domain:function(arg1, ..., argN). Per the
+// paper all domain calls are ground when executed.
+type Call struct {
+	Domain   string
+	Function string
+	Args     []term.Value
+}
+
+// Key returns a canonical encoding of the call, used as the unique index of
+// cache entries and statistics records.
+func (c Call) Key() string {
+	var b strings.Builder
+	b.WriteString(c.Domain)
+	b.WriteByte(':')
+	b.WriteString(c.Function)
+	b.WriteByte('(')
+	for i, a := range c.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(a.Key())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// String renders the call in source syntax.
+func (c Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return c.Domain + ":" + c.Function + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// PatternArg is one argument of a call pattern: either a known constant or
+// the special symbol $b ("bound, but value not known yet").
+type PatternArg struct {
+	Known bool
+	Val   term.Value
+}
+
+// Const builds a known-constant pattern argument.
+func Const(v term.Value) PatternArg { return PatternArg{Known: true, Val: v} }
+
+// Bound is the $b pattern argument.
+var Bound = PatternArg{}
+
+// String renders the argument ("$b" when unknown).
+func (a PatternArg) String() string {
+	if !a.Known {
+		return "$b"
+	}
+	return a.Val.String()
+}
+
+// Pattern is a domain call pattern: the argument of DCSM:cost. A pattern
+// with all arguments known describes a concrete call; $b arguments stand
+// for values that will be bound at run time but are unknown at planning
+// time.
+type Pattern struct {
+	Domain   string
+	Function string
+	Args     []PatternArg
+}
+
+// PatternOf returns the fully-known pattern describing a ground call.
+func PatternOf(c Call) Pattern {
+	args := make([]PatternArg, len(c.Args))
+	for i, v := range c.Args {
+		args[i] = Const(v)
+	}
+	return Pattern{Domain: c.Domain, Function: c.Function, Args: args}
+}
+
+// Key returns a canonical encoding of the pattern.
+func (p Pattern) Key() string {
+	var b strings.Builder
+	b.WriteString(p.Domain)
+	b.WriteByte(':')
+	b.WriteString(p.Function)
+	b.WriteByte('(')
+	for i, a := range p.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if a.Known {
+			b.WriteString(a.Val.Key())
+		} else {
+			b.WriteString("$b")
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// String renders the pattern in DCSM syntax, e.g. "d:f(5, $b)".
+func (p Pattern) String() string {
+	parts := make([]string, len(p.Args))
+	for i, a := range p.Args {
+		parts[i] = a.String()
+	}
+	return p.Domain + ":" + p.Function + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Mask returns the bitmask of known argument positions (bit i set when
+// argument i is a known constant).
+func (p Pattern) Mask() uint64 {
+	var m uint64
+	for i, a := range p.Args {
+		if a.Known {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+// KnownCount returns how many arguments are known constants.
+func (p Pattern) KnownCount() int {
+	n := 0
+	for _, a := range p.Args {
+		if a.Known {
+			n++
+		}
+	}
+	return n
+}
+
+// Relax returns a copy of the pattern with argument position i generalized
+// to $b.
+func (p Pattern) Relax(i int) Pattern {
+	args := make([]PatternArg, len(p.Args))
+	copy(args, p.Args)
+	args[i] = Bound
+	return Pattern{Domain: p.Domain, Function: p.Function, Args: args}
+}
+
+// CostVector is the paper's [Tf, Ta, Card] cost estimate: estimated time to
+// first answer, time to all answers, and answer-set cardinality.
+type CostVector struct {
+	TFirst time.Duration
+	TAll   time.Duration
+	Card   float64
+}
+
+// String renders the vector the way the experiments report it.
+func (cv CostVector) String() string {
+	return fmt.Sprintf("[Tf=%s Ta=%s Card=%.2f]",
+		vclock.Millis(cv.TFirst)+"ms", vclock.Millis(cv.TAll)+"ms", cv.Card)
+}
+
+// FuncSpec describes one function exported by a domain.
+type FuncSpec struct {
+	Name  string
+	Arity int
+	Doc   string
+}
+
+// Ctx carries per-execution state into domain calls: the clock against
+// which simulated latencies and measurements accrue.
+type Ctx struct {
+	Clock vclock.Clock
+}
+
+// NewCtx returns a context over the given clock. A nil clock gets a fresh
+// virtual clock.
+func NewCtx(c vclock.Clock) *Ctx {
+	if c == nil {
+		c = vclock.NewVirtual(0)
+	}
+	return &Ctx{Clock: c}
+}
+
+// Fork returns a context on a forked clock, for modelling concurrent
+// activity.
+func (c *Ctx) Fork() *Ctx { return &Ctx{Clock: c.Clock.Fork()} }
+
+// Stream is a pull-based answer stream. Next returns the next answer, or
+// ok=false at end of stream. Close releases resources; it is safe to call
+// Close before exhaustion (interactive mode stops running source calls).
+type Stream interface {
+	Next() (v term.Value, ok bool, err error)
+	Close() error
+}
+
+// Domain is an external package or database integrated by the mediator.
+type Domain interface {
+	// Name returns the domain identifier used in rules (e.g. "avis").
+	Name() string
+	// Functions lists the functions the domain exports.
+	Functions() []FuncSpec
+	// Call executes a function on ground arguments, returning a stream of
+	// answers. Implementations advance ctx.Clock by their compute and
+	// transfer costs.
+	Call(ctx *Ctx, fn string, args []term.Value) (Stream, error)
+}
+
+// Estimator is an optional interface for domains that ship a native cost
+// model (e.g. a relational source with catalog statistics). The DCSM uses
+// it in preference to cached statistics, filling in any missing components
+// from the statistics cache (§6).
+type Estimator interface {
+	// EstimateCost returns a cost estimate for a call pattern. ok=false
+	// means the domain has no estimate for this pattern. missing reports
+	// vector components the domain could not estimate (any of "tf", "ta",
+	// "card").
+	EstimateCost(p Pattern) (cv CostVector, missing []string, ok bool)
+}

@@ -1,0 +1,104 @@
+// Package domaintest provides a scriptable in-memory domain for tests and
+// examples: each function is a Go closure over ground arguments, with
+// configurable per-call and per-answer costs charged to the execution
+// clock.
+package domaintest
+
+import (
+	"fmt"
+	"time"
+
+	"hermes/internal/domain"
+	"hermes/internal/term"
+)
+
+// Func is one scriptable source function.
+type Func struct {
+	Arity int
+	// Fn computes the answer set. A nil error and nil slice is an empty
+	// answer set.
+	Fn func(args []term.Value) ([]term.Value, error)
+	// PerCall is charged when the function is invoked.
+	PerCall time.Duration
+	// PerAnswer is charged as each answer is streamed.
+	PerAnswer time.Duration
+}
+
+// Domain is a scriptable domain.
+type Domain struct {
+	name  string
+	funcs map[string]Func
+	// Calls records every invocation, in order.
+	Calls []domain.Call
+}
+
+// New creates an empty scriptable domain.
+func New(name string) *Domain {
+	return &Domain{name: name, funcs: make(map[string]Func)}
+}
+
+// Define registers a function.
+func (d *Domain) Define(name string, f Func) *Domain {
+	d.funcs[name] = f
+	return d
+}
+
+// DefineTable registers a zero-cost function returning fixed answers for
+// specific argument lists, keyed by the ground call. Unknown argument
+// lists return empty answer sets.
+func (d *Domain) DefineTable(name string, arity int, table map[string][]term.Value) *Domain {
+	return d.Define(name, Func{
+		Arity: arity,
+		Fn: func(args []term.Value) ([]term.Value, error) {
+			c := domain.Call{Domain: d.name, Function: name, Args: args}
+			return table[c.Key()], nil
+		},
+	})
+}
+
+// Key builds the lookup key DefineTable uses for an argument list.
+func (d *Domain) Key(fn string, args ...term.Value) string {
+	return domain.Call{Domain: d.name, Function: fn, Args: args}.Key()
+}
+
+// CallCount returns how many times fn was invoked.
+func (d *Domain) CallCount(fn string) int {
+	n := 0
+	for _, c := range d.Calls {
+		if c.Function == fn {
+			n++
+		}
+	}
+	return n
+}
+
+// Name implements domain.Domain.
+func (d *Domain) Name() string { return d.name }
+
+// Functions implements domain.Domain.
+func (d *Domain) Functions() []domain.FuncSpec {
+	var out []domain.FuncSpec
+	for n, f := range d.funcs {
+		out = append(out, domain.FuncSpec{Name: n, Arity: f.Arity})
+	}
+	return out
+}
+
+// Call implements domain.Domain.
+func (d *Domain) Call(ctx *domain.Ctx, fn string, args []term.Value) (domain.Stream, error) {
+	f, ok := d.funcs[fn]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s:%s", domain.ErrUnknownFunction, d.name, fn)
+	}
+	if len(args) != f.Arity {
+		return nil, fmt.Errorf("%s:%s/%d called with %d args", d.name, fn, f.Arity, len(args))
+	}
+	d.Calls = append(d.Calls, domain.Call{Domain: d.name, Function: fn, Args: args})
+	ctx.Clock.Sleep(f.PerCall)
+	vals, err := f.Fn(args)
+	if err != nil {
+		return nil, err
+	}
+	per := f.PerAnswer
+	return domain.NewTimedSliceStream(vals, ctx.Clock, func(term.Value) time.Duration { return per }), nil
+}

@@ -1,0 +1,84 @@
+package domain
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Registry routes domain calls to registered domains. It is the mediator's
+// view of the federation; the CIM and the netsim wrappers are themselves
+// registered as domains or wrap entries here.
+type Registry struct {
+	mu      sync.RWMutex
+	domains map[string]Domain
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{domains: make(map[string]Domain)}
+}
+
+// Register adds a domain. Registering a name twice replaces the previous
+// entry (used to interpose wrappers such as the CIM or the netsim).
+func (r *Registry) Register(d Domain) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.domains[d.Name()] = d
+}
+
+// Get returns the domain registered under name.
+func (r *Registry) Get(name string) (Domain, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.domains[name]
+	return d, ok
+}
+
+// Names returns the registered domain names.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.domains))
+	for n := range r.domains {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Call routes a ground call to its domain.
+func (r *Registry) Call(ctx *Ctx, c Call) (Stream, error) {
+	d, ok := r.Get(c.Domain)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDomain, c.Domain)
+	}
+	return d.Call(ctx, c.Function, c.Args)
+}
+
+// HasFunction reports whether domain dom exports function fn with the given
+// arity (arity < 0 matches any).
+func (r *Registry) HasFunction(dom, fn string, arity int) bool {
+	d, ok := r.Get(dom)
+	if !ok {
+		return false
+	}
+	for _, spec := range d.Functions() {
+		if spec.Name == fn && (arity < 0 || spec.Arity == arity) {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckCall verifies a call resolves to a known domain function.
+func (r *Registry) CheckCall(c Call) error {
+	d, ok := r.Get(c.Domain)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownDomain, c.Domain)
+	}
+	for _, spec := range d.Functions() {
+		if spec.Name == c.Function && spec.Arity == len(c.Args) {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s:%s/%d", ErrUnknownFunction, c.Domain, c.Function, len(c.Args))
+}

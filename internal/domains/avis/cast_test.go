@@ -1,0 +1,94 @@
+package avis
+
+import (
+	"testing"
+
+	"hermes/internal/term"
+)
+
+func TestActorsAndAlias(t *testing.T) {
+	s := ropeStore(t)
+	actors := callVals(t, s, "actors", term.Str("rope"))
+	if len(actors) != len(RopeCast) {
+		t.Fatalf("actors = %d, want %d", len(actors), len(RopeCast))
+	}
+	if !term.Equal(actors[0], term.Str("james stewart")) {
+		t.Errorf("first actor = %v", actors[0])
+	}
+	alias := callVals(t, s, "cast_members", term.Str("rope"))
+	if len(alias) != len(actors) {
+		t.Fatalf("cast_members = %d", len(alias))
+	}
+	for i := range actors {
+		if !term.Equal(actors[i], alias[i]) {
+			t.Errorf("alias diverges at %d: %v vs %v", i, actors[i], alias[i])
+		}
+	}
+}
+
+func TestActorsInRange(t *testing.T) {
+	s := ropeStore(t)
+	// Early frames: David Kentley (0-6) is on screen; Rupert (40-) is not.
+	early := callVals(t, s, "actors_in_range", term.Str("rope"), term.Int(0), term.Int(10))
+	keys := map[string]bool{}
+	for _, a := range early {
+		keys[a.Key()] = true
+	}
+	if !keys[term.Str("dick hogan").Key()] { // plays david kentley
+		t.Errorf("david kentley's actor missing from early range: %v", early)
+	}
+	if keys[term.Str("james stewart").Key()] { // plays rupert cadell (40..)
+		t.Errorf("rupert's actor wrongly present in early range: %v", early)
+	}
+	// Whole movie equals the full cast (every role occurs somewhere).
+	all := callVals(t, s, "actors_in_range", term.Str("rope"), term.Int(0), term.Int(159))
+	if len(all) != len(RopeCast) {
+		t.Errorf("whole-range actors = %d, want %d", len(all), len(RopeCast))
+	}
+	// Swapped bounds normalize.
+	swapped := callVals(t, s, "actors_in_range", term.Str("rope"), term.Int(10), term.Int(0))
+	if len(swapped) != len(early) {
+		t.Errorf("swapped bounds differ: %d vs %d", len(swapped), len(early))
+	}
+}
+
+func TestActorsInRangeSubsetProperty(t *testing.T) {
+	// The invariant the experiments rely on: actors(v) ⊇ actors_in_range.
+	s := ropeStore(t)
+	all := callVals(t, s, "actors", term.Str("rope"))
+	keys := map[string]bool{}
+	for _, a := range all {
+		keys[a.Key()] = true
+	}
+	for f := 0; f < 160; f += 37 {
+		for _, a := range callVals(t, s, "actors_in_range", term.Str("rope"), term.Int(int64(f)), term.Int(int64(f+20))) {
+			if !keys[a.Key()] {
+				t.Fatalf("range actor %v not in full cast", a)
+			}
+		}
+	}
+}
+
+func TestCastErrors(t *testing.T) {
+	s := ropeStore(t)
+	if _, err := s.Call(newCtx(), "actors", nil); err == nil {
+		t.Error("arity mismatch")
+	}
+	if _, err := s.Call(newCtx(), "actors", []term.Value{term.Str("nosuch")}); err == nil {
+		t.Error("unknown video")
+	}
+	if _, err := s.Call(newCtx(), "actors_in_range", []term.Value{term.Str("rope"), term.Str("x"), term.Int(5)}); err == nil {
+		t.Error("non-int frame")
+	}
+	if err := s.SetCast("nosuch", nil); err == nil {
+		t.Error("SetCast on unknown video")
+	}
+}
+
+func TestVideoWithoutCast(t *testing.T) {
+	s := New("avis")
+	Generate(s, "v", 100, 5, 1)
+	if got := callVals(t, s, "actors", term.Str("v")); len(got) != 0 {
+		t.Errorf("cast-less video actors = %v", got)
+	}
+}

@@ -1,0 +1,108 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hermes/internal/term"
+)
+
+// LoadCSV creates a table from CSV data and fills it. The first CSV record
+// is the header; column types come from the schema columns, which must
+// match the header names (order may differ — columns are matched by name).
+// Values are parsed per the column type; empty cells load as zero values.
+func (db *DB) LoadCSV(name string, cols []Column, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: load %s: read header: %w", name, err)
+	}
+	byName := map[string]Column{}
+	for _, c := range cols {
+		byName[c.Name] = c
+	}
+	schema := Schema{Name: name}
+	colIdx := make([]int, 0, len(header))
+	for i, h := range header {
+		h = strings.TrimSpace(h)
+		c, ok := byName[h]
+		if !ok {
+			return nil, fmt.Errorf("relation: load %s: header column %q not in schema", name, h)
+		}
+		schema.Cols = append(schema.Cols, c)
+		colIdx = append(colIdx, i)
+	}
+	if len(schema.Cols) != len(cols) {
+		return nil, fmt.Errorf("relation: load %s: header has %d of %d schema columns", name, len(schema.Cols), len(cols))
+	}
+	t, err := db.CreateTable(schema)
+	if err != nil {
+		return nil, err
+	}
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: load %s: line %d: %w", name, line, err)
+		}
+		line++
+		vals := make([]term.Value, len(schema.Cols))
+		for i := range schema.Cols {
+			raw := ""
+			if colIdx[i] < len(rec) {
+				raw = strings.TrimSpace(rec[colIdx[i]])
+			}
+			v, err := parseCell(schema.Cols[i].Type, raw)
+			if err != nil {
+				return nil, fmt.Errorf("relation: load %s: line %d column %s: %w", name, line, schema.Cols[i].Name, err)
+			}
+			vals[i] = v
+		}
+		if err := t.Insert(vals...); err != nil {
+			return nil, fmt.Errorf("relation: load %s: line %d: %w", name, line, err)
+		}
+	}
+}
+
+// parseCell converts one CSV cell per the column type.
+func parseCell(ct ColType, raw string) (term.Value, error) {
+	switch ct {
+	case TString:
+		return term.Str(raw), nil
+	case TInt:
+		if raw == "" {
+			return term.Int(0), nil
+		}
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad int %q", raw)
+		}
+		return term.Int(n), nil
+	case TFloat:
+		if raw == "" {
+			return term.Float(0), nil
+		}
+		f, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q", raw)
+		}
+		return term.Float(f), nil
+	case TBool:
+		if raw == "" {
+			return term.Bool(false), nil
+		}
+		b, err := strconv.ParseBool(raw)
+		if err != nil {
+			return nil, fmt.Errorf("bad bool %q", raw)
+		}
+		return term.Bool(b), nil
+	}
+	return nil, fmt.Errorf("unknown column type %v", ct)
+}

@@ -1,0 +1,94 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+
+	"hermes/internal/term"
+)
+
+var invCols = []Column{
+	{Name: "item", Type: TString},
+	{Name: "loc", Type: TString},
+	{Name: "qty", Type: TInt},
+	{Name: "price", Type: TFloat},
+	{Name: "critical", Type: TBool},
+}
+
+func TestLoadCSV(t *testing.T) {
+	db := New("r")
+	csvData := `item,loc,qty,price,critical
+h-22 fuel,depot1,40,12.5,true
+rations,depot2,220,1.25,false
+ammo,depot3,90,,true
+`
+	tbl, err := db.LoadCSV("inventory", invCols, strings.NewReader(csvData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 3 {
+		t.Fatalf("rows = %d", tbl.Len())
+	}
+	vals := callVals(t, db, "equal", term.Str("inventory"), term.Str("item"), term.Str("ammo"))
+	if len(vals) != 1 {
+		t.Fatalf("equal = %v", vals)
+	}
+	rec := vals[0].(term.Record)
+	price, _ := rec.Get("price")
+	if !term.Equal(price, term.Float(0)) {
+		t.Errorf("empty float cell = %v, want 0", price)
+	}
+	crit, _ := rec.Get("critical")
+	if !term.Equal(crit, term.Bool(true)) {
+		t.Errorf("bool cell = %v", crit)
+	}
+}
+
+func TestLoadCSVColumnReorder(t *testing.T) {
+	db := New("r")
+	// Header order differs from the schema slice order.
+	csvData := "qty,item,loc,price,critical\n5,x,d,1.0,false\n"
+	tbl, err := db.LoadCSV("t", invCols, strings.NewReader(csvData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.Schema().Cols[0].Name; got != "qty" {
+		t.Errorf("first column = %q (header order should win)", got)
+	}
+	vals := callVals(t, db, "all", term.Str("t"))
+	qty, _ := vals[0].(term.Record).Get("qty")
+	if !term.Equal(qty, term.Int(5)) {
+		t.Errorf("qty = %v", qty)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"unknown header", "item,bogus\nx,y\n"},
+		{"missing schema column", "item\nx\n"},
+		{"bad int", "item,loc,qty,price,critical\nx,d,notanint,1,true\n"},
+		{"bad float", "item,loc,qty,price,critical\nx,d,1,zz,true\n"},
+		{"bad bool", "item,loc,qty,price,critical\nx,d,1,1,maybe\n"},
+		{"empty input", ""},
+	}
+	for _, c := range cases {
+		db := New("r")
+		if _, err := db.LoadCSV("t", invCols, strings.NewReader(c.data)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestLoadCSVDuplicateTable(t *testing.T) {
+	db := New("r")
+	data := "item,loc,qty,price,critical\nx,d,1,1,true\n"
+	if _, err := db.LoadCSV("t", invCols, strings.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.LoadCSV("t", invCols, strings.NewReader(data)); err == nil {
+		t.Error("duplicate table name should fail")
+	}
+}

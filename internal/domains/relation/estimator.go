@@ -1,0 +1,80 @@
+package relation
+
+import (
+	"time"
+
+	"hermes/internal/domain"
+	"hermes/internal/term"
+)
+
+// EstimateCost implements domain.Estimator using catalog statistics
+// (cardinalities and distinct counts), the way a conventional relational
+// optimizer would. This is the paper's "domains with good cost-estimation
+// functions" case: when connected, the DCSM directs estimates for this
+// domain here instead of (or in addition to) its statistics cache.
+//
+// The estimator needs the table name to be a known constant; patterns whose
+// table argument is $b return ok=false and fall back to cached statistics.
+func (db *DB) EstimateCost(p domain.Pattern) (domain.CostVector, []string, bool) {
+	if p.Domain != db.name || len(p.Args) == 0 || !p.Args[0].Known {
+		return domain.CostVector{}, nil, false
+	}
+	tname, isStr := p.Args[0].Val.(term.Str)
+	if !isStr {
+		return domain.CostVector{}, nil, false
+	}
+	t, ok := db.Table(string(tname))
+	if !ok {
+		return domain.CostVector{}, nil, false
+	}
+	n := float64(t.Len())
+	scan := func(rows float64) time.Duration {
+		return db.params.PerCall + time.Duration(rows)*(db.params.PerRowScan+db.params.PerRowResult)
+	}
+	colDistinct := func(argIdx int) (float64, bool) {
+		if argIdx >= len(p.Args) || !p.Args[argIdx].Known {
+			return 0, false
+		}
+		cname, isStr := p.Args[argIdx].Val.(term.Str)
+		if !isStr {
+			return 0, false
+		}
+		col, ok := t.schema.Col(string(cname))
+		if !ok {
+			return 0, false
+		}
+		d := float64(t.distinctCount(col))
+		if d < 1 {
+			d = 1
+		}
+		return d, true
+	}
+	var card float64
+	switch p.Function {
+	case "all":
+		card = n
+	case "equal", "select_eq":
+		if d, ok := colDistinct(1); ok {
+			card = n / d // classic 1/V(A) selectivity
+		} else {
+			card = n / 10
+		}
+	case "select_lt", "select_le", "select_gt", "select_ge":
+		card = n / 3 // textbook inequality selectivity
+	case "range_":
+		card = n / 4
+	case "project":
+		if d, ok := colDistinct(1); ok {
+			card = d
+		} else {
+			card = n / 2
+		}
+	case "count":
+		card = 1
+	default:
+		return domain.CostVector{}, nil, false
+	}
+	ta := scan(card)
+	tf := db.params.PerCall + db.params.IndexProbe
+	return domain.CostVector{TFirst: tf, TAll: ta, Card: card}, nil, true
+}

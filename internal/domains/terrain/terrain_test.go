@@ -1,0 +1,176 @@
+package terrain
+
+import (
+	"strings"
+	"testing"
+
+	"hermes/internal/domain"
+	"hermes/internal/term"
+	"hermes/internal/vclock"
+)
+
+func newCtx() *domain.Ctx { return domain.NewCtx(vclock.NewVirtual(0)) }
+
+func testGrid(t *testing.T) *Grid {
+	t.Helper()
+	g, err := NewGrid([]string{
+		"..........",
+		".####.####",
+		".#........",
+		".#.######.",
+		"...#....#.",
+		"####.##.#.",
+		"....#...#.",
+		".##...#.#.",
+		".#..###.#.",
+		"..........",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, at := range map[string][2]int{
+		"place1": {0, 0},
+		"depot1": {9, 9},
+		"depot3": {2, 2},
+	} {
+		if err := g.AddLocation(name, at[0], at[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestFindRoute(t *testing.T) {
+	p := New("terraindb", testGrid(t))
+	st, err := p.Call(newCtx(), "findrte", []term.Value{term.Str("place1"), term.Str("depot1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := domain.Collect(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 {
+		t.Fatalf("routes = %v", vals)
+	}
+	rec := vals[0].(term.Record)
+	length, _ := rec.Get("len")
+	if int64(length.(term.Int)) < 18 { // manhattan distance lower bound
+		t.Errorf("route length = %v, impossible (< manhattan distance)", length)
+	}
+	wps, _ := rec.Get("waypoints")
+	if !strings.HasPrefix(string(wps.(term.Str)), "0,0;") {
+		t.Errorf("route must start at origin: %v", wps)
+	}
+}
+
+func TestDistMatchesRoute(t *testing.T) {
+	p := New("terraindb", testGrid(t))
+	st, _ := p.Call(newCtx(), "dist", []term.Value{term.Str("place1"), term.Str("depot3")})
+	vals, _ := domain.Collect(st)
+	if len(vals) != 1 {
+		t.Fatalf("dist = %v", vals)
+	}
+	st2, _ := p.Call(newCtx(), "findrte", []term.Value{term.Str("place1"), term.Str("depot3")})
+	routes, _ := domain.Collect(st2)
+	length, _ := routes[0].(term.Record).Get("len")
+	if !term.Equal(vals[0], length) {
+		t.Errorf("dist %v != route len %v", vals[0], length)
+	}
+}
+
+func TestRouteToSelf(t *testing.T) {
+	p := New("terraindb", testGrid(t))
+	st, _ := p.Call(newCtx(), "dist", []term.Value{term.Str("place1"), term.Str("place1")})
+	vals, _ := domain.Collect(st)
+	if len(vals) != 1 || !term.Equal(vals[0], term.Int(0)) {
+		t.Errorf("self distance = %v", vals)
+	}
+}
+
+func TestNoRouteEmptyAnswerSet(t *testing.T) {
+	g, err := NewGrid([]string{
+		".#.",
+		".#.",
+		".#.",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AddLocation("west", 0, 0)
+	g.AddLocation("east", 2, 0)
+	p := New("t", g)
+	st, err := p.Call(newCtx(), "findrte", []term.Value{term.Str("west"), term.Str("east")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals, _ := domain.Collect(st); len(vals) != 0 {
+		t.Errorf("blocked route returned %v", vals)
+	}
+}
+
+func TestLocations(t *testing.T) {
+	p := New("terraindb", testGrid(t))
+	st, _ := p.Call(newCtx(), "locations", nil)
+	vals, _ := domain.Collect(st)
+	if len(vals) != 3 {
+		t.Fatalf("locations = %v", vals)
+	}
+	// Sorted.
+	if !term.Equal(vals[0], term.Str("depot1")) {
+		t.Errorf("locations not sorted: %v", vals)
+	}
+}
+
+func TestPlanningCostScalesWithDistance(t *testing.T) {
+	p := New("terraindb", testGrid(t))
+	ctx1 := newCtx()
+	st, _ := p.Call(ctx1, "findrte", []term.Value{term.Str("place1"), term.Str("depot3")})
+	domain.Collect(st)
+	near := ctx1.Clock.Now()
+	ctx2 := newCtx()
+	st, _ = p.Call(ctx2, "findrte", []term.Value{term.Str("place1"), term.Str("depot1")})
+	domain.Collect(st)
+	far := ctx2.Clock.Now()
+	if far <= near {
+		t.Errorf("far route (%v) should cost more than near (%v)", far, near)
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	if _, err := NewGrid(nil); err == nil {
+		t.Error("empty grid")
+	}
+	if _, err := NewGrid([]string{"..", "..."}); err == nil {
+		t.Error("ragged grid")
+	}
+	if _, err := NewGrid([]string{".x"}); err == nil {
+		t.Error("bad cell")
+	}
+	g, _ := NewGrid([]string{".#"})
+	if err := g.AddLocation("a", 5, 0); err == nil {
+		t.Error("out-of-bounds location")
+	}
+	if err := g.AddLocation("a", 1, 0); err == nil {
+		t.Error("blocked location")
+	}
+}
+
+func TestCallErrors(t *testing.T) {
+	p := New("terraindb", testGrid(t))
+	if _, err := p.Call(newCtx(), "findrte", []term.Value{term.Str("nosuch"), term.Str("depot1")}); err == nil {
+		t.Error("unknown from location")
+	}
+	if _, err := p.Call(newCtx(), "findrte", []term.Value{term.Str("place1"), term.Str("nosuch")}); err == nil {
+		t.Error("unknown to location")
+	}
+	if _, err := p.Call(newCtx(), "findrte", []term.Value{term.Int(1), term.Str("depot1")}); err == nil {
+		t.Error("non-string location")
+	}
+	if _, err := p.Call(newCtx(), "nosuch", nil); err == nil {
+		t.Error("unknown function")
+	}
+	if _, err := p.Call(newCtx(), "findrte", []term.Value{term.Str("place1")}); err == nil {
+		t.Error("arity mismatch")
+	}
+}

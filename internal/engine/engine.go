@@ -1,0 +1,228 @@
+// Package engine implements the HERMES run-time query processor assumed by
+// the paper's cost model: pipelined nested-loop evaluation of plan rule
+// bodies, left to right, with backtracking, no duplicate elimination, and
+// streaming answers. Domain calls execute when reached (their arguments are
+// then ground); an in() literal whose output is already bound is a
+// membership test that prunes as soon as a match is found.
+//
+// The engine supports the paper's two modes of operation through its
+// cursor: all-answers mode drains the cursor; interactive mode pulls
+// batches and may close early, which stops running source calls (and, via
+// the CIM's lazy partial streams, can avoid issuing actual calls at all).
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"hermes/internal/cim"
+	"hermes/internal/domain"
+	"hermes/internal/rewrite"
+	"hermes/internal/term"
+)
+
+// TraceEvent records one domain call the engine issued, with how it was
+// served. Wire a collector through Config.Trace to see exactly which calls
+// a plan made and which the cache absorbed.
+type TraceEvent struct {
+	Call  domain.Call
+	Route rewrite.Route
+	// Source is the CIM's serving source for CIM-routed calls
+	// ("cache-exact", "cache-partial", ...); "direct" otherwise.
+	Source string
+	// At is the clock reading when the call was issued.
+	At time.Duration
+}
+
+// Config tunes the engine.
+type Config struct {
+	// QueryInit is the fixed per-query setup cost; the paper's reported
+	// times include "query initialization + wait for response + display".
+	QueryInit time.Duration
+	// PerDisplay is charged per answer delivered to the user.
+	PerDisplay time.Duration
+	// MaxDepth bounds IDB recursion during evaluation.
+	MaxDepth int
+	// Trace, when set, observes every domain call the engine issues.
+	Trace func(TraceEvent)
+}
+
+// DefaultConfig mirrors the fixed overheads implied by the paper's
+// cache-only timings (≈300 ms to a first cached answer).
+func DefaultConfig() Config {
+	return Config{
+		QueryInit:  230 * time.Millisecond,
+		PerDisplay: 9 * time.Millisecond,
+		MaxDepth:   64,
+	}
+}
+
+// Engine executes plans.
+type Engine struct {
+	reg       *domain.Registry
+	cim       *cim.Manager // nil when no CIM is deployed
+	cfg       Config
+	onMeasure func(domain.Measurement)
+}
+
+// New builds an engine. cimMgr may be nil; onMeasure (may be nil) observes
+// the measurement of every direct source call, for the DCSM.
+func New(reg *domain.Registry, cimMgr *cim.Manager, cfg Config, onMeasure func(domain.Measurement)) *Engine {
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 64
+	}
+	return &Engine{reg: reg, cim: cimMgr, cfg: cfg, onMeasure: onMeasure}
+}
+
+// Answer is one query answer: the bindings of the query's variables.
+type Answer struct {
+	Subst term.Subst
+	// Vars lists the query variables in first-occurrence order; Vals their
+	// values, aligned.
+	Vars []string
+	Vals []term.Value
+}
+
+// String renders the answer as var=value pairs.
+func (a Answer) String() string {
+	s := ""
+	for i, v := range a.Vars {
+		if i > 0 {
+			s += ", "
+		}
+		s += v + "=" + a.Vals[i].String()
+	}
+	return "{" + s + "}"
+}
+
+// Metrics are the observed timings of a query execution.
+type Metrics struct {
+	TFirst  time.Duration
+	TAll    time.Duration
+	Answers int
+	Bytes   int
+	// Complete is false when the cursor was closed before exhaustion.
+	Complete bool
+}
+
+// Cursor streams query answers. It realizes the interactive mode: pull as
+// many answers as needed, then Close to stop all running source calls.
+type Cursor struct {
+	eng      *Engine
+	ctx      *domain.Ctx
+	vars     []string
+	iter     *bodyIter
+	start    time.Duration
+	metrics  Metrics
+	gotFirst bool
+	done     bool
+}
+
+// Next returns the next answer.
+func (c *Cursor) Next() (Answer, bool, error) {
+	if c.done {
+		return Answer{}, false, nil
+	}
+	s, ok, err := c.iter.next()
+	if err != nil {
+		return Answer{}, false, err
+	}
+	if !ok {
+		c.finish(true)
+		return Answer{}, false, nil
+	}
+	c.ctx.Clock.Sleep(c.eng.cfg.PerDisplay)
+	now := c.ctx.Clock.Now() - c.start
+	if !c.gotFirst {
+		c.gotFirst = true
+		c.metrics.TFirst = now
+	}
+	c.metrics.Answers++
+	a := Answer{Subst: s, Vars: c.vars, Vals: make([]term.Value, len(c.vars))}
+	for i, v := range c.vars {
+		val, err := s.Eval(term.V(v))
+		if err != nil {
+			return Answer{}, false, fmt.Errorf("engine: query variable %s unbound in answer", v)
+		}
+		a.Vals[i] = val
+		c.metrics.Bytes += term.SizeBytes(val)
+	}
+	return a, true, nil
+}
+
+// Close stops the cursor and any running source calls.
+func (c *Cursor) Close() error {
+	err := c.iter.close()
+	c.finish(false)
+	return err
+}
+
+func (c *Cursor) finish(complete bool) {
+	if c.done {
+		return
+	}
+	c.done = true
+	c.metrics.TAll = c.ctx.Clock.Now() - c.start
+	if !c.gotFirst {
+		c.metrics.TFirst = c.metrics.TAll
+	}
+	c.metrics.Complete = complete
+}
+
+// Metrics returns the timings observed so far (final after exhaustion or
+// Close).
+func (c *Cursor) Metrics() Metrics { return c.metrics }
+
+// ExecutePlan starts executing a plan, returning a cursor over its
+// answers.
+func (e *Engine) ExecutePlan(ctx *domain.Ctx, plan *rewrite.Plan) (*Cursor, error) {
+	start := ctx.Clock.Now()
+	ctx.Clock.Sleep(e.cfg.QueryInit)
+	var vars []string
+	seen := map[string]bool{}
+	for _, lit := range plan.Query.Rule.Body {
+		for _, v := range lit.Vars(nil) {
+			if !seen[v] {
+				seen[v] = true
+				vars = append(vars, v)
+			}
+		}
+	}
+	iter := e.newBodyIter(ctx, plan, plan.Query, term.Subst{}, 0)
+	return &Cursor{eng: e, ctx: ctx, vars: vars, iter: iter, start: start}, nil
+}
+
+// CollectAll drains a cursor (all-answers mode).
+func CollectAll(c *Cursor) ([]Answer, Metrics, error) {
+	var out []Answer
+	for {
+		a, ok, err := c.Next()
+		if err != nil {
+			c.Close()
+			return out, c.Metrics(), err
+		}
+		if !ok {
+			return out, c.Metrics(), nil
+		}
+		out = append(out, a)
+	}
+}
+
+// CollectFirst pulls up to n answers and closes the cursor (interactive
+// mode stopping early).
+func CollectFirst(c *Cursor, n int) ([]Answer, Metrics, error) {
+	var out []Answer
+	for len(out) < n {
+		a, ok, err := c.Next()
+		if err != nil {
+			c.Close()
+			return out, c.Metrics(), err
+		}
+		if !ok {
+			return out, c.Metrics(), nil
+		}
+		out = append(out, a)
+	}
+	c.Close()
+	return out, c.Metrics(), nil
+}

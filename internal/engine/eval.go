@@ -1,0 +1,412 @@
+package engine
+
+import (
+	"fmt"
+
+	"hermes/internal/domain"
+	"hermes/internal/lang"
+	"hermes/internal/rewrite"
+	"hermes/internal/term"
+)
+
+// substStream is a pull stream of substitutions.
+type substStream interface {
+	next() (term.Subst, bool, error)
+	close() error
+}
+
+// emptyStream yields nothing.
+type emptyStream struct{}
+
+func (emptyStream) next() (term.Subst, bool, error) { return nil, false, nil }
+func (emptyStream) close() error                    { return nil }
+
+// singleStream yields one substitution.
+type singleStream struct {
+	s    term.Subst
+	done bool
+}
+
+func (s *singleStream) next() (term.Subst, bool, error) {
+	if s.done {
+		return nil, false, nil
+	}
+	s.done = true
+	return s.s, true, nil
+}
+func (s *singleStream) close() error { return nil }
+
+// bodyIter evaluates a plan rule body by pipelined nested loops with
+// backtracking: level i's stream produces the substitutions after
+// executing the first i+1 literals.
+type bodyIter struct {
+	eng   *Engine
+	ctx   *domain.Ctx
+	plan  *rewrite.Plan
+	pr    *rewrite.PlanRule
+	base  term.Subst
+	depth int
+
+	streams []substStream
+	inited  bool
+	done    bool
+}
+
+func (e *Engine) newBodyIter(ctx *domain.Ctx, plan *rewrite.Plan, pr *rewrite.PlanRule, base term.Subst, depth int) *bodyIter {
+	return &bodyIter{eng: e, ctx: ctx, plan: plan, pr: pr, base: base, depth: depth}
+}
+
+func (b *bodyIter) next() (term.Subst, bool, error) {
+	if b.done {
+		return nil, false, nil
+	}
+	n := len(b.pr.Order)
+	if n == 0 {
+		b.done = true
+		return b.base, true, nil
+	}
+	i := len(b.streams) - 1
+	if !b.inited {
+		b.inited = true
+		s, err := b.openLevel(0, b.base)
+		if err != nil {
+			b.done = true
+			return nil, false, err
+		}
+		b.streams = []substStream{s}
+		i = 0
+	}
+	for {
+		if i < 0 {
+			b.done = true
+			return nil, false, nil
+		}
+		v, ok, err := b.streams[i].next()
+		if err != nil {
+			b.shutdown()
+			return nil, false, err
+		}
+		if !ok {
+			b.streams[i].close()
+			b.streams = b.streams[:i]
+			i--
+			continue
+		}
+		if i == n-1 {
+			return v, true, nil
+		}
+		s, err := b.openLevel(i+1, v)
+		if err != nil {
+			b.shutdown()
+			return nil, false, err
+		}
+		b.streams = append(b.streams, s)
+		i++
+	}
+}
+
+func (b *bodyIter) openLevel(level int, s term.Subst) (substStream, error) {
+	bi := b.pr.Order[level]
+	return b.eng.evalLiteral(b.ctx, b.plan, b.pr.Rule.Body[bi], b.pr.Routes[bi], s, b.depth)
+}
+
+func (b *bodyIter) shutdown() {
+	for i := len(b.streams) - 1; i >= 0; i-- {
+		b.streams[i].close()
+	}
+	b.streams = nil
+	b.done = true
+}
+
+func (b *bodyIter) close() error {
+	b.shutdown()
+	return nil
+}
+
+// evalLiteral opens the stream of substitutions extending s that satisfy
+// one literal.
+func (e *Engine) evalLiteral(ctx *domain.Ctx, plan *rewrite.Plan, lit lang.Literal, route rewrite.Route, s term.Subst, depth int) (substStream, error) {
+	switch l := lit.(type) {
+	case *lang.Comparison:
+		return e.evalComparison(l, s)
+	case *lang.InCall:
+		return e.evalInCall(ctx, l, route, s)
+	case *lang.Atom:
+		return e.evalAtom(ctx, plan, l, s, depth)
+	}
+	return nil, fmt.Errorf("engine: unknown literal %T", lit)
+}
+
+// evalComparison filters, or binds for X = ground.
+func (e *Engine) evalComparison(c *lang.Comparison, s term.Subst) (substStream, error) {
+	lg, rg := s.Ground(c.Left), s.Ground(c.Right)
+	if c.Op == term.OpEQ && lg != rg {
+		// Binding equality: assign the ground side to the bare-variable
+		// side.
+		var ground, varSide term.Term
+		if lg {
+			ground, varSide = c.Left, c.Right
+		} else {
+			ground, varSide = c.Right, c.Left
+		}
+		if varSide.IsVar() {
+			v, err := s.Eval(ground)
+			if err != nil {
+				return nil, err
+			}
+			out := s.Clone()
+			out[varSide.Var] = v
+			return &singleStream{s: out}, nil
+		}
+		return nil, fmt.Errorf("engine: comparison %s has unbound non-variable side", c)
+	}
+	ok, err := c.Holds(s)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %s: %w", c, err)
+	}
+	if ok {
+		return &singleStream{s: s}, nil
+	}
+	return emptyStream{}, nil
+}
+
+// evalInCall executes a domain call (direct or through the CIM) and binds
+// or tests the output term.
+func (e *Engine) evalInCall(ctx *domain.Ctx, l *lang.InCall, route rewrite.Route, s term.Subst) (substStream, error) {
+	args := make([]term.Value, len(l.Call.Args))
+	for i, t := range l.Call.Args {
+		v, err := s.Eval(t)
+		if err != nil {
+			return nil, fmt.Errorf("engine: domain call %s argument %d not ground: %w", l.Call.String(), i+1, err)
+		}
+		args[i] = v
+	}
+	call := domain.Call{Domain: l.Call.Domain, Function: l.Call.Function, Args: args}
+	issuedAt := ctx.Clock.Now()
+	var stream domain.Stream
+	if route == rewrite.RouteCIM && e.cim != nil {
+		resp, err := e.cim.CallThrough(ctx, call)
+		if err != nil {
+			return nil, err
+		}
+		stream = resp.Stream
+		if e.cfg.Trace != nil {
+			e.cfg.Trace(TraceEvent{Call: call, Route: route, Source: resp.Source.String(), At: issuedAt})
+		}
+	} else {
+		inner, err := e.reg.Call(ctx, call)
+		if err != nil {
+			return nil, err
+		}
+		stream = domain.NewMeasuredStreamAt(inner, ctx.Clock, call, issuedAt, e.onMeasure)
+		if e.cfg.Trace != nil {
+			e.cfg.Trace(TraceEvent{Call: call, Route: route, Source: "direct", At: issuedAt})
+		}
+	}
+	// Membership test: the output is already ground; find one match then
+	// prune (answer sets are sets).
+	if s.Ground(l.Out) {
+		want, err := s.Eval(l.Out)
+		if err != nil {
+			stream.Close()
+			return nil, err
+		}
+		return &membershipStream{inner: stream, want: want, s: s}, nil
+	}
+	if !l.Out.IsVar() {
+		stream.Close()
+		return nil, fmt.Errorf("engine: in() output %s cannot be bound (attribute path on unbound variable)", l.Out)
+	}
+	return &bindStream{inner: stream, v: l.Out.Var, s: s}, nil
+}
+
+// bindStream binds each answer to a fresh variable.
+type bindStream struct {
+	inner domain.Stream
+	v     string
+	s     term.Subst
+}
+
+func (b *bindStream) next() (term.Subst, bool, error) {
+	v, ok, err := b.inner.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := b.s.Clone()
+	out[b.v] = v
+	return out, true, nil
+}
+
+func (b *bindStream) close() error { return b.inner.Close() }
+
+// membershipStream scans for the wanted value, emits once, and closes the
+// source (pruning).
+type membershipStream struct {
+	inner domain.Stream
+	want  term.Value
+	s     term.Subst
+	done  bool
+}
+
+func (m *membershipStream) next() (term.Subst, bool, error) {
+	if m.done {
+		return nil, false, nil
+	}
+	for {
+		v, ok, err := m.inner.Next()
+		if err != nil {
+			m.done = true
+			return nil, false, err
+		}
+		if !ok {
+			m.done = true
+			return nil, false, nil
+		}
+		if term.Equal(v, m.want) {
+			m.done = true
+			m.inner.Close() // prune the rest of the stream
+			return m.s, true, nil
+		}
+	}
+}
+
+func (m *membershipStream) close() error {
+	m.done = true
+	return m.inner.Close()
+}
+
+// evalAtom evaluates an IDB predicate occurrence through the plan's rules
+// for its run-time adornment, concatenating the rules' answers (union, no
+// duplicate elimination).
+func (e *Engine) evalAtom(ctx *domain.Ctx, plan *rewrite.Plan, a *lang.Atom, s term.Subst, depth int) (substStream, error) {
+	if depth >= e.cfg.MaxDepth {
+		return nil, fmt.Errorf("engine: recursion deeper than %d evaluating %s", e.cfg.MaxDepth, a.Pred)
+	}
+	adorn := runtimeAdornment(a, s)
+	key := rewrite.PredKey{Pred: a.Pred, Adorn: adorn}
+	rules, ok := plan.Rules[key]
+	if !ok || len(rules) == 0 {
+		return nil, fmt.Errorf("engine: plan has no rules for %s", key)
+	}
+	return &atomStream{eng: e, ctx: ctx, plan: plan, atom: a, s: s, rules: rules, depth: depth}, nil
+}
+
+func runtimeAdornment(a *lang.Atom, s term.Subst) rewrite.Adornment {
+	b := make([]byte, len(a.Args))
+	for i, t := range a.Args {
+		if s.Ground(t) {
+			b[i] = 'b'
+		} else {
+			b[i] = 'f'
+		}
+	}
+	return rewrite.Adornment(b)
+}
+
+// atomStream unions the plan rules for an atom, mapping head bindings back
+// into the caller's substitution.
+type atomStream struct {
+	eng   *Engine
+	ctx   *domain.Ctx
+	plan  *rewrite.Plan
+	atom  *lang.Atom
+	s     term.Subst
+	rules []*rewrite.PlanRule
+	depth int
+
+	ruleIdx int
+	current *bodyIter
+	headSub term.Subst // caller-side partial bindings for the current rule
+	rule    *rewrite.PlanRule
+}
+
+func (as *atomStream) next() (term.Subst, bool, error) {
+	for {
+		if as.current == nil {
+			if as.ruleIdx >= len(as.rules) {
+				return nil, false, nil
+			}
+			as.rule = as.rules[as.ruleIdx]
+			as.ruleIdx++
+			headEnv, ok, err := bindHead(as.atom, as.rule.Rule, as.s)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				continue // head constants conflict with the call
+			}
+			as.current = as.eng.newBodyIter(as.ctx, as.plan, as.rule, headEnv, as.depth+1)
+		}
+		env, ok, err := as.current.next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			as.current.close()
+			as.current = nil
+			continue
+		}
+		out, ok, err := mapBack(as.atom, as.rule.Rule, as.s, env)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			continue
+		}
+		return out, true, nil
+	}
+}
+
+func (as *atomStream) close() error {
+	if as.current != nil {
+		return as.current.close()
+	}
+	return nil
+}
+
+// bindHead builds the rule-local environment from the atom occurrence: for
+// each head position, ground caller arguments flow into head terms
+// (unification); unbound caller variables leave the head variable free for
+// the body to bind.
+func bindHead(a *lang.Atom, r *lang.Rule, s term.Subst) (term.Subst, bool, error) {
+	if len(a.Args) != len(r.Head.Args) {
+		return nil, false, fmt.Errorf("engine: %s called with %d args, rule head has %d", a.Pred, len(a.Args), len(r.Head.Args))
+	}
+	env := term.Subst{}
+	for i, arg := range a.Args {
+		h := r.Head.Args[i]
+		if !s.Ground(arg) {
+			continue
+		}
+		v, err := s.Eval(arg)
+		if err != nil {
+			return nil, false, err
+		}
+		var ok bool
+		env, ok = env.Unify(h, v)
+		if !ok {
+			return nil, false, nil
+		}
+	}
+	return env, true, nil
+}
+
+// mapBack projects a rule-body solution onto the caller's substitution:
+// head terms are evaluated in the rule environment and unified with the
+// caller's argument terms.
+func mapBack(a *lang.Atom, r *lang.Rule, s term.Subst, env term.Subst) (term.Subst, bool, error) {
+	out := s
+	for i, arg := range a.Args {
+		h := r.Head.Args[i]
+		v, err := env.Eval(h)
+		if err != nil {
+			return nil, false, fmt.Errorf("engine: head term %s of %s unbound after body: %w", h, a.Pred, err)
+		}
+		var ok bool
+		out, ok = out.Unify(arg, v)
+		if !ok {
+			return nil, false, nil
+		}
+	}
+	return out, true, nil
+}

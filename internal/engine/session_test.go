@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"testing"
+
+	"hermes/internal/domain"
+	"hermes/internal/domain/domaintest"
+	"hermes/internal/term"
+	"hermes/internal/vclock"
+)
+
+func sessionHarness(t *testing.T, n int) (*Session, *domaintest.Domain) {
+	t.Helper()
+	d := domaintest.New("d")
+	d.Define("gen", domaintest.Func{Arity: 0,
+		Fn: func([]term.Value) ([]term.Value, error) {
+			out := make([]term.Value, n)
+			for i := range out {
+				out[i] = term.Int(int64(i))
+			}
+			return out, nil
+		}})
+	h := newHarness(t, d)
+	plan := h.plan(`v(X) :- in(X, d:gen()).`, "?- v(X).")
+	cur, err := h.eng.ExecutePlan(domain.NewCtx(vclock.NewVirtual(0)), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSession(cur, 3), d
+}
+
+func TestSessionBatches(t *testing.T) {
+	s, _ := sessionHarness(t, 7)
+	b1, ok, err := s.More()
+	if err != nil || !ok || len(b1) != 3 {
+		t.Fatalf("batch1 = %v ok=%v err=%v", b1, ok, err)
+	}
+	b2, ok, err := s.More()
+	if err != nil || !ok || len(b2) != 3 {
+		t.Fatalf("batch2 = %v ok=%v err=%v", b2, ok, err)
+	}
+	// Final partial batch: exhausted.
+	b3, ok, err := s.More()
+	if err != nil || ok || len(b3) != 1 {
+		t.Fatalf("batch3 = %v ok=%v err=%v", b3, ok, err)
+	}
+	// Further requests yield nothing.
+	b4, ok, _ := s.More()
+	if ok || len(b4) != 0 {
+		t.Fatalf("batch4 = %v ok=%v", b4, ok)
+	}
+	if !term.Equal(b1[0].Vals[0], term.Int(0)) || !term.Equal(b3[0].Vals[0], term.Int(6)) {
+		t.Errorf("batch contents wrong: %v ... %v", b1, b3)
+	}
+}
+
+func TestSessionRest(t *testing.T) {
+	s, _ := sessionHarness(t, 10)
+	if _, ok, err := s.More(); !ok || err != nil {
+		t.Fatal("first batch failed")
+	}
+	rest, err := s.Rest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 7 {
+		t.Fatalf("rest = %d answers, want 7", len(rest))
+	}
+	if more, ok, _ := s.More(); ok || len(more) != 0 {
+		t.Error("session should be exhausted after Rest")
+	}
+	if !s.Metrics().Complete {
+		t.Error("drained session should be complete")
+	}
+}
+
+func TestSessionStop(t *testing.T) {
+	s, _ := sessionHarness(t, 100)
+	if _, _, err := s.More(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Metrics().Complete {
+		t.Error("stopped session should be incomplete")
+	}
+	if rest, err := s.Rest(); err != nil || len(rest) != 0 {
+		t.Errorf("Rest after Stop = %v, %v", rest, err)
+	}
+}
+
+func TestSessionBatchSizeFloor(t *testing.T) {
+	s, _ := sessionHarness(t, 2)
+	s.batch = 1 // already ≥1 via constructor; exercise minimum directly
+	b, _, err := s.More()
+	if err != nil || len(b) != 1 {
+		t.Fatalf("batch = %v, %v", b, err)
+	}
+}

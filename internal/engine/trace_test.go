@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"testing"
+
+	"hermes/internal/cim"
+	"hermes/internal/domain"
+	"hermes/internal/domain/domaintest"
+	"hermes/internal/lang"
+	"hermes/internal/rewrite"
+	"hermes/internal/term"
+	"hermes/internal/vclock"
+)
+
+func TestTraceObserverDirectCalls(t *testing.T) {
+	d := seqDomain()
+	reg := domain.NewRegistry()
+	reg.Register(d)
+	var events []TraceEvent
+	cfg := Config{MaxDepth: 8, Trace: func(ev TraceEvent) { events = append(events, ev) }}
+	eng := New(reg, nil, cfg, nil)
+	prog, _ := lang.ParseProgram(`v(X, Y) :- in(X, d:nums()), in(Y, d:double(X)).`)
+	q, _ := lang.ParseQuery("?- v(X, Y).")
+	rw := rewrite.New(prog, rewrite.Config{}, reg)
+	plans, err := rw.Plans(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := eng.ExecutePlan(domain.NewCtx(vclock.NewVirtual(0)), plans[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := CollectAll(cur); err != nil {
+		t.Fatal(err)
+	}
+	// 1 nums + 4 double calls, all direct, in issue order.
+	if len(events) != 5 {
+		t.Fatalf("events = %d, want 5", len(events))
+	}
+	if events[0].Call.Function != "nums" || events[0].Source != "direct" {
+		t.Errorf("first event = %+v", events[0])
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Call.Function != "double" {
+			t.Errorf("event %d = %+v", i, events[i])
+		}
+		if events[i].At < events[i-1].At {
+			t.Errorf("trace out of order at %d", i)
+		}
+	}
+}
+
+func TestTraceObserverCIMSources(t *testing.T) {
+	d := domaintest.New("d")
+	d.Define("f", domaintest.Func{Arity: 1,
+		Fn: func(args []term.Value) ([]term.Value, error) {
+			return []term.Value{term.Str("a")}, nil
+		}})
+	reg := domain.NewRegistry()
+	reg.Register(d)
+	mgr := cim.New(reg, cim.Config{ParallelActual: true})
+	var events []TraceEvent
+	cfg := Config{MaxDepth: 8, Trace: func(ev TraceEvent) { events = append(events, ev) }}
+	eng := New(reg, mgr, cfg, nil)
+	prog, _ := lang.ParseProgram(`v(X) :- in(X, d:f(1)).`)
+	q, _ := lang.ParseQuery("?- v(X).")
+	rw := rewrite.New(prog, rewrite.Config{CIMDomains: map[string]bool{"d": true}}, reg)
+	plans, err := rw.Plans(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() {
+		cur, err := eng.ExecutePlan(domain.NewCtx(vclock.NewVirtual(0)), plans[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := CollectAll(cur); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	run()
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0].Source != "actual" {
+		t.Errorf("first run source = %q, want actual (miss)", events[0].Source)
+	}
+	if events[1].Source != "cache-exact" {
+		t.Errorf("second run source = %q, want cache-exact", events[1].Source)
+	}
+	if events[0].Route != rewrite.RouteCIM {
+		t.Errorf("route = %v", events[0].Route)
+	}
+}

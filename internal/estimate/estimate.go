@@ -1,0 +1,377 @@
+// Package estimate implements the rule cost estimator of the paper (§7):
+// it associates a cost vector [Tf, Ta, Card] with every plan produced by
+// the rule rewriter, combining per-call estimates obtained from the DCSM
+// under the pipelined nested-loops execution model with no duplicate
+// elimination:
+//
+//	Ta(body)   = Σ_i  Ta_i · Π_{j<i} Card_j
+//	Tf(body)   = Σ_i  Tf_i
+//	Card(body) = Π_i  Card_i
+//
+// Plan-time-known constants propagate through head unification (the
+// pattern d1:p_bf(a)); values bound only at run time become $b. Calls
+// routed through the CIM are costed against the cache's current contents
+// (exact/equality hits cost a cache serve; partial hits overlap the actual
+// call; misses add the lookup overhead).
+package estimate
+
+import (
+	"fmt"
+	"time"
+
+	"hermes/internal/cim"
+	"hermes/internal/dcsm"
+	"hermes/internal/domain"
+	"hermes/internal/lang"
+	"hermes/internal/rewrite"
+	"hermes/internal/term"
+)
+
+// maxDepth bounds recursive predicate costing.
+const maxDepth = 32
+
+// CacheModel exposes the CIM state the estimator needs; implemented by
+// *cim.Manager.
+type CacheModel interface {
+	// Probe reports, without side effects, how the CIM would serve a ground
+	// call right now and how many answers the cache would contribute.
+	Probe(c domain.Call) (cim.Source, int)
+	// CostModel returns the CIM's serve-cost parameters.
+	CostModel() cim.CostModel
+}
+
+// Config tunes the estimator.
+type Config struct {
+	// DefaultCost is assumed for calls with no statistics and no native
+	// estimator, so that planning can proceed on cold systems; Err from
+	// PlanCost reports how many literals fell back to it.
+	DefaultCost domain.CostVector
+	// ComparisonSelectivity scales cardinality per filtering comparison.
+	// The paper's estimator uses 1 (comparisons are ignored); values < 1
+	// are an extension.
+	ComparisonSelectivity float64
+}
+
+// DefaultConfig matches the paper's estimator.
+func DefaultConfig() Config {
+	return Config{
+		DefaultCost:           domain.CostVector{TFirst: 500 * time.Millisecond, TAll: 2 * time.Second, Card: 10},
+		ComparisonSelectivity: 1,
+	}
+}
+
+// Estimator costs plans.
+type Estimator struct {
+	db    *dcsm.DB
+	cache CacheModel // nil when no CIM is deployed
+	cfg   Config
+}
+
+// New builds an estimator over the DCSM. cache may be nil.
+func New(db *dcsm.DB, cache CacheModel, cfg Config) *Estimator {
+	if cfg.ComparisonSelectivity <= 0 {
+		cfg.ComparisonSelectivity = 1
+	}
+	return &Estimator{db: db, cache: cache, cfg: cfg}
+}
+
+// PlanCost estimates the cost vector of executing a plan in all-answers
+// mode. defaulted reports how many literals had no statistics and used
+// Config.DefaultCost.
+func (e *Estimator) PlanCost(p *rewrite.Plan) (cv domain.CostVector, defaulted int, err error) {
+	st := &costState{est: e, plan: p}
+	cv, err = st.costPlanRule(p.Query, term.Subst{}, map[string]bool{}, 0)
+	return cv, st.defaulted, err
+}
+
+// Best ranks plans by estimated all-answers time and returns the winner
+// with its cost. byFirstAnswer ranks by time-to-first-answer instead
+// (interactive mode).
+func (e *Estimator) Best(plans []*rewrite.Plan, byFirstAnswer bool) (*rewrite.Plan, domain.CostVector, error) {
+	if len(plans) == 0 {
+		return nil, domain.CostVector{}, fmt.Errorf("estimate: no plans to rank")
+	}
+	var best *rewrite.Plan
+	var bestCV domain.CostVector
+	for _, p := range plans {
+		cv, _, err := e.PlanCost(p)
+		if err != nil {
+			return nil, domain.CostVector{}, err
+		}
+		better := best == nil
+		if !better {
+			if byFirstAnswer {
+				better = cv.TFirst < bestCV.TFirst
+			} else {
+				better = cv.TAll < bestCV.TAll
+			}
+		}
+		if better {
+			best, bestCV = p, cv
+		}
+	}
+	return best, bestCV, nil
+}
+
+// costState threads plan context and fallback accounting.
+type costState struct {
+	est       *Estimator
+	plan      *rewrite.Plan
+	defaulted int
+}
+
+// costPlanRule costs one plan rule body under the plan-time-known constant
+// substitution and runtime-bound variable set of its head.
+func (st *costState) costPlanRule(pr *rewrite.PlanRule, known term.Subst, bound map[string]bool, depth int) (domain.CostVector, error) {
+	if depth > maxDepth {
+		return domain.CostVector{}, fmt.Errorf("estimate: recursion deeper than %d while costing %s", maxDepth, pr.Rule.Head.Pred)
+	}
+	known = known.Clone()
+	bound = cloneBound(bound)
+	total := domain.CostVector{Card: 1}
+	mult := 1.0 // Π Card_j over already-costed literals
+	for i, bi := range pr.Order {
+		lit := pr.Rule.Body[bi]
+		var cv domain.CostVector
+		var err error
+		switch l := lit.(type) {
+		case *lang.InCall:
+			cv, err = st.costInCall(l, pr.RouteInOrder(i), known, bound)
+			if err != nil {
+				return domain.CostVector{}, err
+			}
+			if l.Out.IsVar() && !bound[l.Out.Var] {
+				bound[l.Out.Var] = true
+			} else if cv.Card > 1 {
+				// Membership test: at most one continuation per probe.
+				cv.Card = 1
+			}
+		case *lang.Atom:
+			cv, err = st.costAtom(l, known, bound, depth)
+			if err != nil {
+				return domain.CostVector{}, err
+			}
+			for _, t := range l.Args {
+				if t.IsVar() && !bound[t.Var] {
+					bound[t.Var] = true
+				}
+			}
+		case *lang.Comparison:
+			cv = domain.CostVector{Card: 1}
+			if l.Op == term.OpEQ {
+				st.propagateEquality(l, known, bound)
+			}
+			if isFilter(l, bound) {
+				cv.Card = st.est.cfg.ComparisonSelectivity
+			}
+		}
+		total.TFirst += cv.TFirst
+		total.TAll += time.Duration(mult * float64(cv.TAll))
+		mult *= cv.Card
+		if mult < 0 {
+			mult = 0
+		}
+	}
+	total.Card = mult
+	return total, nil
+}
+
+func cloneBound(b map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(b))
+	for k, v := range b {
+		if v {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// propagateEquality records X = const (either orientation) as a plan-time
+// known binding.
+func (st *costState) propagateEquality(c *lang.Comparison, known term.Subst, bound map[string]bool) {
+	bindIfConst := func(v, other term.Term) {
+		if !v.IsVar() || bound[v.Var] {
+			return
+		}
+		if other.IsConst() {
+			known[v.Var] = other.Const
+		} else if other.Var != "" && len(other.Path) == 0 {
+			if val, ok := known[other.Var]; ok {
+				known[v.Var] = val
+			}
+		}
+		bound[v.Var] = true
+	}
+	bindIfConst(c.Left, c.Right)
+	bindIfConst(c.Right, c.Left)
+}
+
+// isFilter reports whether a comparison filters already-bound values
+// rather than producing a binding.
+func isFilter(c *lang.Comparison, bound map[string]bool) bool {
+	groundOrKnown := func(t term.Term) bool {
+		return t.IsConst() || bound[t.Var]
+	}
+	if c.Op != term.OpEQ {
+		return true
+	}
+	return groundOrKnown(c.Left) && groundOrKnown(c.Right)
+}
+
+// callPattern converts an in() call template into a DCSM pattern: constant
+// terms and plan-time-known variables become constants, runtime-bound
+// variables become $b.
+func callPattern(ct *lang.CallTemplate, known term.Subst) domain.Pattern {
+	args := make([]domain.PatternArg, len(ct.Args))
+	for i, t := range ct.Args {
+		switch {
+		case t.IsConst():
+			args[i] = domain.Const(t.Const)
+		case len(t.Path) == 0:
+			if v, ok := known[t.Var]; ok {
+				args[i] = domain.Const(v)
+			} else {
+				args[i] = domain.Bound
+			}
+		default:
+			// A path selection from a known record could be resolved, but
+			// the conservative choice is $b.
+			if v, err := known.Eval(t); err == nil {
+				args[i] = domain.Const(v)
+			} else {
+				args[i] = domain.Bound
+			}
+		}
+	}
+	return domain.Pattern{Domain: ct.Domain, Function: ct.Function, Args: args}
+}
+
+// costInCall estimates one in() literal via the DCSM, adjusting for CIM
+// routing.
+func (st *costState) costInCall(l *lang.InCall, route rewrite.Route, known term.Subst, bound map[string]bool) (domain.CostVector, error) {
+	p := callPattern(&l.Call, known)
+	actual, err := st.est.db.Cost(p)
+	if err != nil {
+		// No statistics: assume the default cost. (For CIM-routed calls a
+		// cache probe below may still refine hits to their serve cost.)
+		actual = st.est.cfg.DefaultCost
+		st.defaulted++
+	}
+	if route != rewrite.RouteCIM || st.est.cache == nil {
+		return actual, nil
+	}
+	cm := st.est.cache.CostModel()
+	// The CIM decision is only precise for fully-known patterns; otherwise
+	// assume a miss and charge the lookup overhead.
+	call, ground := groundCall(p)
+	if !ground {
+		actual.TFirst += cm.Lookup
+		actual.TAll += cm.Lookup
+		return actual, nil
+	}
+	src, n := st.est.cache.Probe(call)
+	serve := func(k int) domain.CostVector {
+		return domain.CostVector{
+			TFirst: cm.Lookup + cm.PerAnswer,
+			TAll:   cm.Lookup + time.Duration(k)*cm.PerAnswer,
+			Card:   float64(k),
+		}
+	}
+	switch src {
+	case cim.SourceCacheExact, cim.SourceCacheEquality:
+		return serve(n), nil
+	case cim.SourceCachePartial:
+		cached := serve(n)
+		ta := cached.TAll + time.Duration(actual.Card)*cm.DedupProbe
+		if actual.TAll > ta {
+			ta = actual.TAll // parallel actual call dominates
+		}
+		return domain.CostVector{TFirst: cached.TFirst, TAll: ta, Card: actual.Card}, nil
+	default: // miss
+		actual.TFirst += cm.Lookup
+		actual.TAll += cm.Lookup
+		return actual, nil
+	}
+}
+
+// groundCall converts a fully-known pattern to a ground call.
+func groundCall(p domain.Pattern) (domain.Call, bool) {
+	args := make([]term.Value, len(p.Args))
+	for i, a := range p.Args {
+		if !a.Known {
+			return domain.Call{}, false
+		}
+		args[i] = a.Val
+	}
+	return domain.Call{Domain: p.Domain, Function: p.Function, Args: args}, true
+}
+
+// costAtom costs an IDB predicate occurrence: the plan's rules for its
+// (pred, adornment) are costed recursively and combined by summing times
+// and cardinalities (§7 step 2); the first answer comes from the first
+// rule.
+func (st *costState) costAtom(a *lang.Atom, known term.Subst, bound map[string]bool, depth int) (domain.CostVector, error) {
+	adorn := adornmentOf(a, bound, known)
+	key := rewrite.PredKey{Pred: a.Pred, Adorn: adorn}
+	rules, ok := st.plan.Rules[key]
+	if !ok || len(rules) == 0 {
+		return domain.CostVector{}, fmt.Errorf("estimate: plan has no rules for %s", key)
+	}
+	var total domain.CostVector
+	for ri, pr := range rules {
+		subKnown, subBound := headBindings(a, pr.Rule, known, bound)
+		cv, err := st.costPlanRule(pr, subKnown, subBound, depth+1)
+		if err != nil {
+			return domain.CostVector{}, err
+		}
+		if ri == 0 {
+			total.TFirst = cv.TFirst
+		}
+		total.TAll += cv.TAll
+		total.Card += cv.Card
+	}
+	return total, nil
+}
+
+// adornmentOf computes an atom's adornment: bound where the argument is a
+// constant or a bound variable.
+func adornmentOf(a *lang.Atom, bound map[string]bool, known term.Subst) rewrite.Adornment {
+	b := make([]byte, len(a.Args))
+	for i, t := range a.Args {
+		if t.IsConst() || bound[t.Var] {
+			b[i] = 'b'
+		} else {
+			b[i] = 'f'
+		}
+	}
+	_ = known
+	return rewrite.Adornment(b)
+}
+
+// headBindings unifies an atom occurrence with a rule head at plan time:
+// constants (literal or known) flow into head variables; runtime-bound
+// arguments mark head variables bound.
+func headBindings(a *lang.Atom, r *lang.Rule, known term.Subst, bound map[string]bool) (term.Subst, map[string]bool) {
+	subKnown := term.Subst{}
+	subBound := map[string]bool{}
+	for i, arg := range a.Args {
+		if i >= len(r.Head.Args) {
+			break
+		}
+		h := r.Head.Args[i]
+		if !h.IsVar() {
+			continue
+		}
+		switch {
+		case arg.IsConst():
+			subKnown[h.Var] = arg.Const
+			subBound[h.Var] = true
+		case arg.Var != "" && bound[arg.Var]:
+			if v, ok := known[arg.Var]; ok && len(arg.Path) == 0 {
+				subKnown[h.Var] = v
+			}
+			subBound[h.Var] = true
+		}
+	}
+	return subKnown, subBound
+}

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlanChoiceShape(t *testing.T) {
+	rows, err := PlanChoice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// §8 claim 1: for all-answers, when the DCSM predicts a winner it is
+	// (almost always) right; with three pairs we require all correct.
+	for _, r := range rows {
+		if !r.CorrectAll {
+			t.Errorf("%s: all-answers choice wrong: pred %v/%v, actual %v/%v",
+				r.Pair, r.PredictedATa, r.PredictedBTa, r.ActualATa, r.ActualBTa)
+		}
+	}
+	// §8 claim 2: first-answer choices with a ≥50%% predicted margin are
+	// reliable; smaller margins are unpredictable, so we only assert on
+	// large-margin pairs.
+	for _, r := range rows {
+		if r.TfMargin >= 0.5 && !r.CorrectTf {
+			t.Errorf("%s: large-margin (%.0f%%) first-answer choice wrong", r.Pair, r.TfMargin*100)
+		}
+	}
+	if s := FormatPlanChoice(rows); !strings.Contains(s, "query3 vs query4") {
+		t.Errorf("formatting: %s", s)
+	}
+}
+
+func TestFigures234Render(t *testing.T) {
+	f2 := Figure2()
+	if !strings.Contains(f2, "(T16)") || !strings.Contains(f2, "2000") {
+		t.Errorf("figure 2:\n%s", f2)
+	}
+	f3, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f3, "(T20)") || !strings.Contains(f3, "2100.00") {
+		t.Errorf("figure 3:\n%s", f3)
+	}
+	f4, err := Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f4, "d1:p_bb/2") || !strings.Contains(f4, "drop [1]") {
+		t.Errorf("figure 4:\n%s", f4)
+	}
+}
+
+func TestAblationSummarization(t *testing.T) {
+	rows, err := AblationSummarization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]SummarizationRow{}
+	for _, r := range rows {
+		byName[r.Config] = r
+	}
+	raw := byName["raw cost vector DB"]
+	lossless := byName["lossless tables"]
+	lossy := byName["fully lossy"]
+	// Storage: summaries shrink the footprint; fully lossy is smallest.
+	if lossless.RawRecords != 0 || raw.RawRecords == 0 {
+		t.Errorf("raw record counts: raw=%d lossless=%d", raw.RawRecords, lossless.RawRecords)
+	}
+	if lossy.SummaryRows >= lossless.SummaryRows {
+		t.Errorf("fully lossy rows %d should be < lossless rows %d", lossy.SummaryRows, lossless.SummaryRows)
+	}
+	// Accuracy: fully lossy is no better than the raw database on this
+	// mixed-scale workload.
+	if lossy.MeanAbsErrTa < raw.MeanAbsErrTa {
+		t.Errorf("fully lossy err %.2f beats raw %.2f; scale mixing missing", lossy.MeanAbsErrTa, raw.MeanAbsErrTa)
+	}
+	// No configuration fails to produce estimates.
+	for _, r := range rows {
+		if r.Failures != 0 {
+			t.Errorf("%s: %d estimation failures", r.Config, r.Failures)
+		}
+	}
+	if s := FormatSummarization(rows); !strings.Contains(s, "fully lossy") {
+		t.Errorf("formatting: %s", s)
+	}
+}
+
+func TestAblationRecency(t *testing.T) {
+	rows, err := AblationRecency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	plain, weighted := rows[0], rows[1]
+	if weighted.ErrPct >= plain.ErrPct {
+		t.Errorf("recency weighting did not improve: plain %.1f%%, weighted %.1f%%",
+			plain.ErrPct, weighted.ErrPct)
+	}
+	// Under drifted (slower) conditions, plain averaging must underpredict.
+	if plain.PredTa >= plain.ActualTa {
+		t.Errorf("plain averaging should underpredict after slowdown: %v vs %v", plain.PredTa, plain.ActualTa)
+	}
+	if s := FormatRecency(rows); !strings.Contains(s, "half-life") {
+		t.Errorf("formatting: %s", s)
+	}
+}
+
+func TestAblationCachePolicy(t *testing.T) {
+	rows, err := AblationCachePolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	lru, cost := rows[0], rows[1]
+	// The cost-weighted policy keeps the recurring expensive entries and
+	// finishes the workload faster.
+	if cost.TotalTime >= lru.TotalTime {
+		t.Errorf("cost-weighted (%v) not faster than LRU (%v)", cost.TotalTime, lru.TotalTime)
+	}
+	if cost.Hits <= lru.Hits {
+		t.Errorf("cost-weighted hits %d not above LRU %d", cost.Hits, lru.Hits)
+	}
+	if s := FormatCachePolicy(rows); !strings.Contains(s, "LRU") {
+		t.Errorf("formatting: %s", s)
+	}
+}
+
+func TestAblationParallelPartial(t *testing.T) {
+	rows, err := AblationParallelPartial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	serial, parallel := rows[0], rows[1]
+	if parallel.TAll >= serial.TAll {
+		t.Errorf("parallel Ta %v not under serial %v", parallel.TAll, serial.TAll)
+	}
+	// First answers come from the cache either way.
+	diff := parallel.TFirst - serial.TFirst
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > serial.TFirst/10 {
+		t.Errorf("Tf should be cache-dominated in both: %v vs %v", parallel.TFirst, serial.TFirst)
+	}
+	if s := FormatParallelPartial(rows); !strings.Contains(s, "parallel") {
+		t.Errorf("formatting: %s", s)
+	}
+}
+
+func TestAvailability(t *testing.T) {
+	rows, err := Availability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Err != "" || rows[0].Answers == 0 {
+		t.Errorf("pre-outage run failed: %+v", rows[0])
+	}
+	if rows[1].Err == "" {
+		t.Errorf("cold-cache query during outage should fail: %+v", rows[1])
+	}
+	if rows[2].Err != "" || rows[2].Answers != rows[0].Answers {
+		t.Errorf("warm cache should answer through the outage: %+v vs %+v", rows[2], rows[0])
+	}
+	if s := FormatAvailability(rows); !strings.Contains(s, "outage") {
+		t.Errorf("formatting: %s", s)
+	}
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hermes/internal/dcsm"
+	"hermes/internal/domain"
+	"hermes/internal/lang"
+	"hermes/internal/rewrite"
+	"hermes/internal/term"
+)
+
+// Figure2Database builds the cost vector database of the paper's Figure 2:
+// the tables (T16)–(T19) for the running example's domain calls d1:p_bf,
+// d1:p_bb, d2:q_bf and d2:q_ff, with the Ta values the text quotes for
+// (T16) (2.00, 2.20, 2.80, 2.84 seconds).
+func Figure2Database() *dcsm.DB {
+	db := dcsm.New(dcsm.DefaultConfig(), nil)
+	obs := func(dom, fn string, args []term.Value, tfMs, taMs int, card float64) {
+		db.Observe(domain.Measurement{
+			Call: domain.Call{Domain: dom, Function: fn, Args: args},
+			Cost: domain.CostVector{
+				TFirst: time.Duration(tfMs) * time.Millisecond,
+				TAll:   time.Duration(taMs) * time.Millisecond,
+				Card:   card,
+			},
+			Complete: true,
+		})
+	}
+	s := func(v string) []term.Value { return []term.Value{term.Str(v)} }
+	// (T16) d1:p_bf(A).
+	obs("d1", "p_bf", s("a"), 300, 2000, 2)
+	obs("d1", "p_bf", s("a"), 320, 2200, 2)
+	obs("d1", "p_bf", s("c"), 400, 2800, 1)
+	obs("d1", "p_bf", s("c"), 410, 2840, 1)
+	// (T17) d1:p_bb(A, B).
+	obs("d1", "p_bb", []term.Value{term.Str("a"), term.Str("b1")}, 150, 500, 1)
+	obs("d1", "p_bb", []term.Value{term.Str("a"), term.Str("b2")}, 160, 520, 1)
+	obs("d1", "p_bb", []term.Value{term.Str("c"), term.Str("b3")}, 170, 560, 1)
+	// (T18) d2:q_bf(B).
+	obs("d2", "q_bf", s("b1"), 200, 900, 2)
+	obs("d2", "q_bf", s("b2"), 220, 1000, 1)
+	// (T19) d2:q_ff().
+	obs("d2", "q_ff", nil, 500, 3000, 3)
+	obs("d2", "q_ff", nil, 520, 3100, 3)
+	return db
+}
+
+// Figure2 renders the raw cost vector database tables.
+func Figure2() string {
+	db := Figure2Database()
+	var b strings.Builder
+	b.WriteString("Figure 2: tables in the cost vector database\n\n")
+	for _, g := range []struct {
+		label, dom, fn string
+		arity          int
+	}{
+		{"(T16) d1:p_bf(A)", "d1", "p_bf", 1},
+		{"(T17) d1:p_bb(A, B)", "d1", "p_bb", 2},
+		{"(T18) d2:q_bf(B)", "d2", "q_bf", 1},
+		{"(T19) d2:q_ff()", "d2", "q_ff", 0},
+	} {
+		fmt.Fprintf(&b, "%s\n", g.label)
+		b.WriteString("  args\tCard\tT_a(ms)\n")
+		for _, rec := range db.Records(g.dom, g.fn, g.arity) {
+			args := make([]string, len(rec.Call.Args))
+			for i, a := range rec.Call.Args {
+				args[i] = a.String()
+			}
+			fmt.Fprintf(&b, "  (%s)\t%.2f\t%d\n", strings.Join(args, ", "),
+				rec.Cost.Card, rec.Cost.TAll.Milliseconds())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Figure3 builds and renders the lossless summarizations (T20), (T21) of
+// Figure 3.
+func Figure3() (string, error) {
+	db := Figure2Database()
+	t20, err := db.SummarizeLossless("d1", "p_bf", 1)
+	if err != nil {
+		return "", err
+	}
+	t21, err := db.SummarizeLossless("d2", "q_ff", 0)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 3: loss-less summarizations\n\n(T20) ")
+	b.WriteString(t20.String())
+	b.WriteString("\n(T21) ")
+	b.WriteString(t21.String())
+	return b.String(), nil
+}
+
+// m1Program is the paper's (M1) used by the Figure 4 droppability
+// analysis.
+const m1Program = `
+	access_equivalent('p', 2).
+	access_equivalent('q', 2).
+	m(A, C) :- p(A, B), q(B, C).
+	p(A, B) :- in($ans, d1:p_ff()), =($ans.1, A), =($ans.2, B).
+	p(A, B) :- in(B, d1:p_bf(A)).
+	p(A, B) :- in($x, d1:p_bb(A, B)).
+	q(B, C) :- in($ans, d2:q_ff()), =($ans.1, B), =($ans.2, C).
+	q(B, C) :- in(C, d2:q_bf(B)).
+`
+
+// Figure4 runs the §6.2.2 analysis on (M1) — with only m exported, which
+// positions can ever be planning-time constants — and renders the lossy
+// summary tables it licenses.
+func Figure4() (string, error) {
+	prog, err := lang.ParseProgram(m1Program)
+	if err != nil {
+		return "", err
+	}
+	analysis := rewrite.DroppableDims(prog, []string{"m"})
+	db := Figure2Database()
+	var b strings.Builder
+	b.WriteString("Figure 4: lossy summarizations licensed by the droppability analysis\n")
+	b.WriteString("(exported: m; hidden: p, q)\n\n")
+	for _, da := range analysis {
+		fmt.Fprintf(&b, "%s: keep dims %v, drop %v\n", da.Key, da.Keep, da.Drop)
+		tbl, err := db.Summarize(da.Key.Domain, da.Key.Function, da.Key.Arity, da.Keep)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(tbl.String())
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}

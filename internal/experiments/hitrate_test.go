@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHitRateShape(t *testing.T) {
+	rows, err := HitRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]HitRateRow{}
+	for _, r := range rows {
+		byName[r.Config] = r
+	}
+	noCacheAll := byName["no cache (all answers)"]
+	cacheAll := byName["cache, no invariants (all answers)"]
+	invAll := byName["cache + invariants (all answers)"]
+	noCacheFirst := byName["no cache (first 3)"]
+	cacheFirst := byName["cache, no invariants (first 3)"]
+	invFirst := byName["cache + invariants (first 3)"]
+
+	// Caching cuts total time in all-answers mode on a skewed stream.
+	if cacheAll.TotalTime >= noCacheAll.TotalTime {
+		t.Errorf("cache (all) %v not under no-cache %v", cacheAll.TotalTime, noCacheAll.TotalTime)
+	}
+	// Invariants barely change the all-answers total (the actual call must
+	// still run for partial hits): within 25% of the plain cache.
+	lo, hi := cacheAll.TotalTime*3/4, cacheAll.TotalTime*5/4
+	if invAll.TotalTime < lo || invAll.TotalTime > hi {
+		t.Errorf("invariants (all) %v not ≈ plain cache %v", invAll.TotalTime, cacheAll.TotalTime)
+	}
+	// ...but they slash misses.
+	if invAll.Misses >= cacheAll.Misses/2 {
+		t.Errorf("invariant misses %d not well under plain cache %d", invAll.Misses, cacheAll.Misses)
+	}
+	// Interactive mode: invariants avoid the actual call for most of the
+	// stream — at least a 3x total-time win over the plain cache.
+	if invFirst.TotalTime*3 > cacheFirst.TotalTime {
+		t.Errorf("interactive invariants %v not ≥3x faster than plain cache %v",
+			invFirst.TotalTime, cacheFirst.TotalTime)
+	}
+	if invFirst.Misses >= 40 {
+		t.Errorf("interactive invariant misses = %d, want few", invFirst.Misses)
+	}
+	if noCacheFirst.Misses != 150 {
+		t.Errorf("no-cache interactive misses = %d", noCacheFirst.Misses)
+	}
+	// Partial hits dominate the invariant configurations.
+	if invFirst.PartialHits < 100 {
+		t.Errorf("interactive partial hits = %d", invFirst.PartialHits)
+	}
+	if s := FormatHitRate(rows); !strings.Contains(s, "first 3") {
+		t.Errorf("formatting: %s", s)
+	}
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOptimizerQualityShape(t *testing.T) {
+	rows, err := OptimizerQuality(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var sumRegret float64
+	badPlansExist := false
+	for _, r := range rows {
+		if r.Plans < 2 {
+			t.Errorf("%s: only %d plans", r.Query, r.Plans)
+		}
+		if r.Chosen < r.Best || r.Chosen > r.Worst {
+			t.Errorf("%s: chosen %v outside [best %v, worst %v]", r.Query, r.Chosen, r.Best, r.Worst)
+		}
+		sumRegret += r.Regret
+		if r.Worst > 3*r.Best {
+			badPlansExist = true
+		}
+	}
+	// §8 claim 1, quantitative: statistics-driven choice is near-optimal on
+	// average (≤25% mean regret) while the plan space contains plans several
+	// times worse.
+	if mean := sumRegret / float64(len(rows)); mean > 0.25 {
+		t.Errorf("mean regret %.1f%%, want ≤25%%", mean*100)
+	}
+	if !badPlansExist {
+		t.Error("plan space has no bad plans; study vacuous")
+	}
+	if s := FormatOptimizerQuality(rows); !strings.Contains(s, "mean regret") {
+		t.Errorf("formatting: %s", s)
+	}
+}

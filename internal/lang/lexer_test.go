@@ -1,0 +1,175 @@
+package lang
+
+import (
+	"testing"
+)
+
+// lexKinds tokenizes src and returns the token kinds (minus EOF).
+func lexKinds(t *testing.T, src string) []tokenKind {
+	t.Helper()
+	toks, err := lexAll(src)
+	if err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	var out []tokenKind
+	for _, tk := range toks {
+		if tk.kind == tokEOF {
+			break
+		}
+		out = append(out, tk.kind)
+	}
+	return out
+}
+
+// lexTexts returns the token texts.
+func lexTexts(t *testing.T, src string) []string {
+	t.Helper()
+	toks, err := lexAll(src)
+	if err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	var out []string
+	for _, tk := range toks {
+		if tk.kind == tokEOF {
+			break
+		}
+		out = append(out, tk.text)
+	}
+	return out
+}
+
+func TestLexAttributePathFolding(t *testing.T) {
+	texts := lexTexts(t, "P.name")
+	if len(texts) != 1 || texts[0] != "P.name" {
+		t.Errorf("P.name lexed as %v", texts)
+	}
+	texts = lexTexts(t, "$ans.1.x")
+	if len(texts) != 1 || texts[0] != "$ans.1.x" {
+		t.Errorf("$ans.1.x lexed as %v", texts)
+	}
+	// Statement terminator after a variable: not part of the path.
+	texts = lexTexts(t, "p(X).")
+	want := []string{"p", "(", "X", ")", "."}
+	if len(texts) != len(want) {
+		t.Fatalf("p(X). lexed as %v", texts)
+	}
+	// Lower-case identifiers never take paths.
+	texts = lexTexts(t, "abc.def")
+	if len(texts) != 3 {
+		t.Errorf("abc.def lexed as %v (dot must separate)", texts)
+	}
+}
+
+func TestLexNumberDotDisambiguation(t *testing.T) {
+	kinds := lexKinds(t, "q(142).")
+	// ident ( int ) dot
+	if kinds[2] != tokInt || kinds[4] != tokDot {
+		t.Errorf("q(142). kinds = %v", kinds)
+	}
+	kinds = lexKinds(t, "q(1.5).")
+	if kinds[2] != tokFloat {
+		t.Errorf("q(1.5). kinds = %v", kinds)
+	}
+	texts := lexTexts(t, "1.5e3")
+	if len(texts) != 1 || texts[0] != "1.5e3" {
+		t.Errorf("scientific notation lexed as %v", texts)
+	}
+	texts = lexTexts(t, "-42")
+	if len(texts) != 1 || texts[0] != "-42" {
+		t.Errorf("negative int lexed as %v", texts)
+	}
+	// Exponents without a decimal point (the %g rendering of large floats,
+	// e.g. term.Float(1e6).String() == "1e+06") must lex as one float.
+	for _, src := range []string{"1e+06", "1e6", "2E-3", "1.5e3", "-4e+2"} {
+		kinds := lexKinds(t, src)
+		if len(kinds) != 1 || kinds[0] != tokFloat {
+			t.Errorf("%q lexed as %v, want one float", src, kinds)
+		}
+	}
+	// 'e' not followed by a digit stays an identifier boundary.
+	if texts := lexTexts(t, "1east"); len(texts) != 2 || texts[0] != "1" {
+		t.Errorf("1east lexed as %v", texts)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	for src, kind := range map[string]tokenKind{
+		"=":  tokRelOp,
+		"==": tokRelOp,
+		"!=": tokRelOp,
+		"<>": tokRelOp,
+		"<=": tokRelOp,
+		">=": tokRelOp,
+		"=<": tokRelOp,
+		"<":  tokRelOp,
+		">":  tokRelOp,
+		"=>": tokImplies,
+		":-": tokIf,
+		"?-": tokQuery,
+		":":  tokColon,
+		"&":  tokAmp,
+	} {
+		kinds := lexKinds(t, src)
+		if len(kinds) != 1 || kinds[0] != kind {
+			t.Errorf("%q lexed as %v, want %v", src, kinds, kind)
+		}
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	texts := lexTexts(t, `'it\'s' "tab\there"`)
+	if texts[0] != "it's" {
+		t.Errorf("escaped quote: %q", texts[0])
+	}
+	if texts[1] != "tab\there" {
+		t.Errorf("escaped tab: %q", texts[1])
+	}
+	if _, err := lexAll("'unterminated"); err == nil {
+		t.Error("unterminated string should fail")
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	kinds := lexKinds(t, "% whole line\np(X). # trailing\n// also this\nq(Y).")
+	count := 0
+	for _, k := range kinds {
+		if k == tokIdent {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("comments leaked tokens: %v", kinds)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := lexAll("p(X).\nbad?")
+	if err != nil {
+		// '?' alone on line 2 is an error at next() time only when reached;
+		// lexAll stops at the error.
+		return
+	}
+	_ = toks
+}
+
+func TestLexErrorPosition(t *testing.T) {
+	_, err := lexAll("p(X).\n  @")
+	if err == nil {
+		t.Fatal("@ should fail")
+	}
+	if got := err.Error(); got[:4] != "2:3:" {
+		t.Errorf("error position = %q, want 2:3 prefix", got)
+	}
+}
+
+func TestLexUnicodeIdentifiers(t *testing.T) {
+	texts := lexTexts(t, "café(Ärger)")
+	if texts[0] != "café" || texts[2] != "Ärger" {
+		t.Errorf("unicode lexing: %v", texts)
+	}
+	// Uppercase unicode starts a variable.
+	kinds := lexKinds(t, "Ärger")
+	if kinds[0] != tokVar {
+		t.Errorf("Ärger kind = %v, want var", kinds[0])
+	}
+}

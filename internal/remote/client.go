@@ -1,0 +1,152 @@
+package remote
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"hermes/internal/domain"
+	"hermes/internal/term"
+)
+
+// Client exposes one domain hosted by a remote server as a local
+// domain.Domain. Each call dials its own connection; closing the answer
+// stream closes the connection, which the server notices and aborts the
+// call (pruning across the network).
+type Client struct {
+	addr   string
+	name   string
+	dialTO time.Duration
+
+	mu    sync.Mutex
+	specs []domain.FuncSpec
+}
+
+// NewClient creates a client for the domain `name` served at addr.
+func NewClient(addr, name string) *Client {
+	return &Client{addr: addr, name: name, dialTO: 5 * time.Second}
+}
+
+// SetDialTimeout overrides the default 5 s dial timeout.
+func (c *Client) SetDialTimeout(d time.Duration) { c.dialTO = d }
+
+// Name implements domain.Domain.
+func (c *Client) Name() string { return c.name }
+
+// Functions implements domain.Domain, fetching (and caching) the remote
+// listing. An unreachable server yields an empty listing.
+func (c *Client) Functions() []domain.FuncSpec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.specs != nil {
+		return c.specs
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.dialTO)
+	if err != nil {
+		return nil
+	}
+	defer conn.Close()
+	if err := json.NewEncoder(conn).Encode(request{Op: "functions"}); err != nil {
+		return nil
+	}
+	var resp response
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		return nil
+	}
+	for _, spec := range resp.Functions[c.name] {
+		c.specs = append(c.specs, domain.FuncSpec{Name: spec.Name, Arity: spec.Arity, Doc: spec.Doc})
+	}
+	return c.specs
+}
+
+// Call implements domain.Domain.
+func (c *Client) Call(ctx *domain.Ctx, fn string, args []term.Value) (domain.Stream, error) {
+	wargs, err := encodeValues(args)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.dialTO)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", domain.ErrUnavailable, c.addr, err)
+	}
+	if err := json.NewEncoder(conn).Encode(request{
+		Op: "call", Domain: c.name, Function: fn, Args: wargs,
+	}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("remote: send request: %w", err)
+	}
+	return &remoteStream{conn: conn, dec: json.NewDecoder(conn)}, nil
+}
+
+// DiscoverDomains asks a server which domains it hosts.
+func DiscoverDomains(addr string, timeout time.Duration) ([]string, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", domain.ErrUnavailable, addr, err)
+	}
+	defer conn.Close()
+	if err := json.NewEncoder(conn).Encode(request{Op: "functions"}); err != nil {
+		return nil, err
+	}
+	var resp response
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(resp.Functions))
+	for name := range resp.Functions {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// remoteStream pulls answer chunks off the connection.
+type remoteStream struct {
+	conn    net.Conn
+	dec     *json.Decoder
+	pending []term.Value
+	done    bool
+}
+
+func (s *remoteStream) Next() (term.Value, bool, error) {
+	for {
+		if len(s.pending) > 0 {
+			v := s.pending[0]
+			s.pending = s.pending[1:]
+			return v, true, nil
+		}
+		if s.done {
+			return nil, false, nil
+		}
+		var resp response
+		if err := s.dec.Decode(&resp); err != nil {
+			s.done = true
+			return nil, false, fmt.Errorf("remote: read answers: %w", err)
+		}
+		if resp.Err != "" {
+			s.done = true
+			if resp.Unavailable {
+				return nil, false, fmt.Errorf("%w: %s", domain.ErrUnavailable, resp.Err)
+			}
+			return nil, false, fmt.Errorf("remote: %s", resp.Err)
+		}
+		vals, err := decodeValues(resp.Values)
+		if err != nil {
+			s.done = true
+			return nil, false, err
+		}
+		s.pending = vals
+		if resp.Done {
+			s.done = true
+		}
+	}
+}
+
+func (s *remoteStream) Close() error {
+	s.done = true
+	s.pending = nil
+	return s.conn.Close()
+}

@@ -1,0 +1,51 @@
+// Package remote implements genuine distribution for the mediator: a TCP
+// server (cmd/hermesd) that hosts source domains, and a client that makes a
+// remote domain look like any local domain.Domain. The wire protocol is
+// newline-delimited JSON with one connection per call (answers stream back
+// in chunks); closing the client stream aborts the server-side call, which
+// is how the engine's pruning and interactive stops propagate across the
+// network.
+//
+// The simulated-network experiments do not use this package — they wrap
+// local domains with internal/netsim so that WAN latencies are virtual and
+// deterministic. This package exists to run the system for real across
+// machines, under wall-clock time.
+package remote
+
+import (
+	"hermes/internal/term"
+)
+
+// wireValue is the JSON encoding of a term.Value, shared with the
+// persistence formats.
+type wireValue = term.JSONValue
+
+func encodeValue(v term.Value) (wireValue, error)       { return term.EncodeJSON(v) }
+func decodeValue(w wireValue) (term.Value, error)       { return term.DecodeJSON(w) }
+func encodeValues(vs []term.Value) ([]wireValue, error) { return term.EncodeJSONs(vs) }
+func decodeValues(ws []wireValue) ([]term.Value, error) { return term.DecodeJSONs(ws) }
+
+// request opens every connection: one call, or a functions listing.
+type request struct {
+	Op       string      `json:"op"` // "call" or "functions"
+	Domain   string      `json:"domain,omitempty"`
+	Function string      `json:"function,omitempty"`
+	Args     []wireValue `json:"args,omitempty"`
+}
+
+// response frames stream back from the server. For a call, zero or more
+// frames carry Values with Done=false, then a final frame has Done=true
+// (possibly with trailing values). Err aborts the stream.
+type response struct {
+	Values      []wireValue         `json:"values,omitempty"`
+	Done        bool                `json:"done,omitempty"`
+	Err         string              `json:"err,omitempty"`
+	Unavailable bool                `json:"unavailable,omitempty"`
+	Functions   map[string][]fnSpec `json:"functions,omitempty"`
+}
+
+type fnSpec struct {
+	Name  string `json:"name"`
+	Arity int    `json:"arity"`
+	Doc   string `json:"doc,omitempty"`
+}

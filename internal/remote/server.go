@@ -1,0 +1,170 @@
+package remote
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"hermes/internal/domain"
+	"hermes/internal/vclock"
+)
+
+// Server hosts source domains over TCP: the hermesd side of the protocol.
+type Server struct {
+	reg *domain.Registry
+	// ChunkSize is how many answers travel per response frame.
+	ChunkSize int
+	// Logf receives connection-level diagnostics (default: log.Printf; set
+	// to a no-op in tests).
+	Logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+}
+
+// NewServer creates a server over a registry of domains.
+func NewServer(reg *domain.Registry) *Server {
+	return &Server{reg: reg, ChunkSize: 64, Logf: log.Printf, conns: map[net.Conn]struct{}{}}
+}
+
+// Serve accepts connections on l until Close. It always returns a non-nil
+// error (net.ErrClosed after Close).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// ListenAndServe listens on addr and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Close stops the listener and all live connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	return err
+}
+
+func (s *Server) dropConn(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	c.Close()
+}
+
+// handle serves one connection: exactly one request.
+func (s *Server) handle(conn net.Conn) {
+	defer s.dropConn(conn)
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+	var req request
+	if err := dec.Decode(&req); err != nil {
+		s.Logf("remote: bad request from %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	switch req.Op {
+	case "functions":
+		s.serveFunctions(enc)
+	case "call":
+		s.serveCall(enc, req)
+	default:
+		enc.Encode(response{Err: fmt.Sprintf("unknown op %q", req.Op), Done: true})
+	}
+}
+
+func (s *Server) serveFunctions(enc *json.Encoder) {
+	out := map[string][]fnSpec{}
+	for _, name := range s.reg.Names() {
+		d, ok := s.reg.Get(name)
+		if !ok {
+			continue
+		}
+		var specs []fnSpec
+		for _, f := range d.Functions() {
+			specs = append(specs, fnSpec{Name: f.Name, Arity: f.Arity, Doc: f.Doc})
+		}
+		out[name] = specs
+	}
+	enc.Encode(response{Functions: out, Done: true})
+}
+
+func (s *Server) serveCall(enc *json.Encoder, req request) {
+	args, err := decodeValues(req.Args)
+	if err != nil {
+		enc.Encode(response{Err: err.Error(), Done: true})
+		return
+	}
+	// Server-side execution runs under wall-clock time: simulated compute
+	// costs become real delays, which is what a genuinely remote source
+	// looks like to the mediator.
+	ctx := domain.NewCtx(vclock.NewWall())
+	stream, err := s.reg.Call(ctx, domain.Call{Domain: req.Domain, Function: req.Function, Args: args})
+	if err != nil {
+		enc.Encode(response{Err: err.Error(), Unavailable: errors.Is(err, domain.ErrUnavailable), Done: true})
+		return
+	}
+	defer stream.Close()
+	chunk := make([]wireValue, 0, s.ChunkSize)
+	flush := func(done bool) bool {
+		err := enc.Encode(response{Values: chunk, Done: done})
+		chunk = chunk[:0]
+		return err == nil
+	}
+	for {
+		v, ok, err := stream.Next()
+		if err != nil {
+			enc.Encode(response{Err: err.Error(), Unavailable: errors.Is(err, domain.ErrUnavailable), Done: true})
+			return
+		}
+		if !ok {
+			flush(true)
+			return
+		}
+		wv, err := encodeValue(v)
+		if err != nil {
+			enc.Encode(response{Err: err.Error(), Done: true})
+			return
+		}
+		chunk = append(chunk, wv)
+		if len(chunk) >= s.ChunkSize {
+			if !flush(false) {
+				// Client went away (stream closed / pruning): stop the call.
+				return
+			}
+		}
+	}
+}

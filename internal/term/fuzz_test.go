@@ -1,0 +1,46 @@
+package term
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecodeJSON: arbitrary JSON must never panic the value decoder, and
+// anything it accepts must re-encode and decode to an equal value.
+func FuzzDecodeJSON(f *testing.F) {
+	for _, s := range []string{
+		`{"t":"s","s":"x"}`,
+		`{"t":"i","s":"42"}`,
+		`{"t":"f","f":2.5}`,
+		`{"t":"b","b":true}`,
+		`{"t":"tu","l":[{"t":"i","s":"1"}]}`,
+		`{"t":"r","r":[{"n":"a","v":{"t":"s","s":"y"}}]}`,
+		`{"t":"zz"}`,
+		`{"t":"i","s":"notanint"}`,
+		`{}`,
+		`{"t":"tu","l":[{"t":"tu","l":[{"t":"tu","l":[]}]}]}`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var w JSONValue
+		if err := json.Unmarshal(raw, &w); err != nil {
+			return
+		}
+		v, err := DecodeJSON(w)
+		if err != nil {
+			return
+		}
+		w2, err := EncodeJSON(v)
+		if err != nil {
+			t.Fatalf("decoded %s but cannot re-encode: %v", raw, err)
+		}
+		v2, err := DecodeJSON(w2)
+		if err != nil {
+			t.Fatalf("re-encoded form does not decode: %v", err)
+		}
+		if !Equal(v, v2) {
+			t.Fatalf("round trip changed value: %s -> %s", v, v2)
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package term
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// JSONValue is the portable JSON encoding of a Value, shared by the remote
+// wire protocol and the cache/statistics persistence formats. Int64
+// payloads travel as decimal text so they survive JSON's float64 numbers
+// exactly.
+type JSONValue struct {
+	T string      `json:"t"`           // s, i, f, b, tu, r
+	S string      `json:"s,omitempty"` // string payload (also int64 text)
+	F float64     `json:"f,omitempty"`
+	B bool        `json:"b,omitempty"`
+	L []JSONValue `json:"l,omitempty"` // tuple elements
+	R []JSONField `json:"r,omitempty"` // record fields
+}
+
+// JSONField is one record field in a JSONValue.
+type JSONField struct {
+	N string    `json:"n"`
+	V JSONValue `json:"v"`
+}
+
+// EncodeJSON converts a Value to its JSON form.
+func EncodeJSON(v Value) (JSONValue, error) {
+	switch cv := v.(type) {
+	case Str:
+		return JSONValue{T: "s", S: string(cv)}, nil
+	case Int:
+		return JSONValue{T: "i", S: strconv.FormatInt(int64(cv), 10)}, nil
+	case Float:
+		return JSONValue{T: "f", F: float64(cv)}, nil
+	case Bool:
+		return JSONValue{T: "b", B: bool(cv)}, nil
+	case Tuple:
+		out := JSONValue{T: "tu", L: make([]JSONValue, len(cv))}
+		for i, e := range cv {
+			we, err := EncodeJSON(e)
+			if err != nil {
+				return JSONValue{}, err
+			}
+			out.L[i] = we
+		}
+		return out, nil
+	case Record:
+		fields := cv.Fields()
+		out := JSONValue{T: "r", R: make([]JSONField, len(fields))}
+		for i, f := range fields {
+			wv, err := EncodeJSON(f.Val)
+			if err != nil {
+				return JSONValue{}, err
+			}
+			out.R[i] = JSONField{N: f.Name, V: wv}
+		}
+		return out, nil
+	}
+	return JSONValue{}, fmt.Errorf("term: cannot encode value of kind %v", v.Kind())
+}
+
+// DecodeJSON converts a JSON form back to a Value.
+func DecodeJSON(w JSONValue) (Value, error) {
+	switch w.T {
+	case "s":
+		return Str(w.S), nil
+	case "i":
+		n, err := strconv.ParseInt(w.S, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("term: bad int payload %q", w.S)
+		}
+		return Int(n), nil
+	case "f":
+		return Float(w.F), nil
+	case "b":
+		return Bool(w.B), nil
+	case "tu":
+		out := make(Tuple, len(w.L))
+		for i, e := range w.L {
+			v, err := DecodeJSON(e)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	case "r":
+		fields := make([]Field, len(w.R))
+		for i, f := range w.R {
+			v, err := DecodeJSON(f.V)
+			if err != nil {
+				return nil, err
+			}
+			fields[i] = Field{Name: f.N, Val: v}
+		}
+		return NewRecord(fields...), nil
+	}
+	return nil, fmt.Errorf("term: unknown value tag %q", w.T)
+}
+
+// EncodeJSONs encodes a slice of values.
+func EncodeJSONs(vs []Value) ([]JSONValue, error) {
+	out := make([]JSONValue, len(vs))
+	for i, v := range vs {
+		w, err := EncodeJSON(v)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = w
+	}
+	return out, nil
+}
+
+// DecodeJSONs decodes a slice of values.
+func DecodeJSONs(ws []JSONValue) ([]Value, error) {
+	out := make([]Value, len(ws))
+	for i, w := range ws {
+		v, err := DecodeJSON(w)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,122 @@
+package term
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func genValue(rng *rand.Rand, depth int) Value {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return Str(string(rune('a' + rng.Intn(26))))
+		case 1:
+			return Int(rng.Int63() - rng.Int63())
+		case 2:
+			return Float(rng.NormFloat64())
+		default:
+			return Bool(rng.Intn(2) == 0)
+		}
+	}
+	switch rng.Intn(6) {
+	case 0:
+		n := rng.Intn(4)
+		t := make(Tuple, n)
+		for i := range t {
+			t[i] = genValue(rng, depth-1)
+		}
+		return t
+	case 1:
+		n := rng.Intn(4)
+		fields := make([]Field, n)
+		for i := range fields {
+			fields[i] = Field{Name: string(rune('a' + i)), Val: genValue(rng, depth-1)}
+		}
+		return NewRecord(fields...)
+	default:
+		return genValue(rng, 0)
+	}
+}
+
+// TestJSONRoundTripRandom: encode/decode preserves every value exactly
+// (by canonical key), including through an actual JSON marshal.
+func TestJSONRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		v := genValue(rng, 3)
+		w, err := EncodeJSON(v)
+		if err != nil {
+			t.Fatalf("case %d encode: %v", i, err)
+		}
+		raw, err := json.Marshal(w)
+		if err != nil {
+			t.Fatalf("case %d marshal: %v", i, err)
+		}
+		var w2 JSONValue
+		if err := json.Unmarshal(raw, &w2); err != nil {
+			t.Fatalf("case %d unmarshal: %v", i, err)
+		}
+		got, err := DecodeJSON(w2)
+		if err != nil {
+			t.Fatalf("case %d decode: %v", i, err)
+		}
+		if !Equal(v, got) {
+			t.Fatalf("case %d: %s -> %s", i, v, got)
+		}
+	}
+}
+
+// TestJSONIntExactness: int64 values beyond float64 precision survive.
+func TestJSONIntExactness(t *testing.T) {
+	f := func(n int64) bool {
+		w, err := EncodeJSON(Int(n))
+		if err != nil {
+			return false
+		}
+		raw, _ := json.Marshal(w)
+		var w2 JSONValue
+		json.Unmarshal(raw, &w2)
+		got, err := DecodeJSON(w2)
+		return err == nil && Equal(got, Int(n))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJSONDecodeErrors(t *testing.T) {
+	if _, err := DecodeJSON(JSONValue{T: "nope"}); err == nil {
+		t.Error("unknown tag")
+	}
+	if _, err := DecodeJSON(JSONValue{T: "i", S: "xyz"}); err == nil {
+		t.Error("bad int payload")
+	}
+	if _, err := DecodeJSON(JSONValue{T: "tu", L: []JSONValue{{T: "nope"}}}); err == nil {
+		t.Error("nested error must propagate")
+	}
+	if _, err := DecodeJSON(JSONValue{T: "r", R: []JSONField{{N: "x", V: JSONValue{T: "nope"}}}}); err == nil {
+		t.Error("record field error must propagate")
+	}
+}
+
+func TestJSONSlices(t *testing.T) {
+	vals := []Value{Int(1), Str("a"), Bool(true)}
+	ws, err := EncodeJSONs(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJSONs(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if !Equal(vals[i], got[i]) {
+			t.Errorf("slice element %d: %s != %s", i, vals[i], got[i])
+		}
+	}
+	if _, err := DecodeJSONs([]JSONValue{{T: "zz"}}); err == nil {
+		t.Error("bad element must fail")
+	}
+}

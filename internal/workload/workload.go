@@ -1,0 +1,128 @@
+// Package workload generates deterministic, realistically skewed query and
+// call workloads for the experiment harness and benchmarks: video
+// frame-range call streams with exact repeats and containment structure
+// (so caches and invariants have something to exploit), and randomized
+// federations for scale tests.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hermes/internal/domain"
+	"hermes/internal/domains/avis"
+	"hermes/internal/domains/relation"
+	"hermes/internal/term"
+)
+
+// FrameRangeConfig tunes a frame-range call stream.
+type FrameRangeConfig struct {
+	// Video is the queried video name.
+	Video string
+	// Frames is the video's frame count.
+	Frames int
+	// N is the stream length.
+	N int
+	// RepeatFrac is the fraction of calls that exactly repeat an earlier
+	// call (exact cache hits).
+	RepeatFrac float64
+	// NarrowFrac is the fraction of calls that are sub-ranges of an
+	// earlier call (equality/partial invariant opportunities — note that a
+	// cached narrower call serves the *wider* query partially, and a wider
+	// cached call serves nothing without a filter, so the stream emits
+	// widening sequences too).
+	NarrowFrac float64
+	// Seed drives the generator.
+	Seed int64
+}
+
+// DefaultFrameRanges is a medium-skew configuration over "rope".
+func DefaultFrameRanges(n int) FrameRangeConfig {
+	return FrameRangeConfig{Video: "rope", Frames: 160, N: n, RepeatFrac: 0.3, NarrowFrac: 0.3, Seed: 42}
+}
+
+// FrameRanges generates the call stream.
+func FrameRanges(cfg FrameRangeConfig) []domain.Call {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mk := func(f, l int) domain.Call {
+		if f < 0 {
+			f = 0
+		}
+		if l >= cfg.Frames {
+			l = cfg.Frames - 1
+		}
+		if l < f {
+			f, l = l, f
+		}
+		return domain.Call{Domain: "avis", Function: "frames_to_objects",
+			Args: []term.Value{term.Str(cfg.Video), term.Int(int64(f)), term.Int(int64(l))}}
+	}
+	var out []domain.Call
+	fresh := func() domain.Call {
+		f := rng.Intn(cfg.Frames * 3 / 4)
+		w := 5 + rng.Intn(cfg.Frames/3)
+		return mk(f, f+w)
+	}
+	for len(out) < cfg.N {
+		r := rng.Float64()
+		switch {
+		case r < cfg.RepeatFrac && len(out) > 0:
+			out = append(out, out[rng.Intn(len(out))])
+		case r < cfg.RepeatFrac+cfg.NarrowFrac && len(out) > 0:
+			// Widen an earlier call slightly: the cached call is then a
+			// contained sub-range of this one (a partial-invariant hit).
+			prev := out[rng.Intn(len(out))]
+			f := int(prev.Args[1].(term.Int))
+			l := int(prev.Args[2].(term.Int))
+			out = append(out, mk(f-rng.Intn(6), l+rng.Intn(10)))
+		default:
+			out = append(out, fresh())
+		}
+	}
+	return out
+}
+
+// FederationConfig tunes a randomized federation.
+type FederationConfig struct {
+	Videos     int
+	FramesMin  int
+	FramesMax  int
+	ObjectsMax int
+	Tables     int
+	RowsMax    int
+	Seed       int64
+}
+
+// DefaultFederation is a mid-size federation.
+func DefaultFederation() FederationConfig {
+	return FederationConfig{Videos: 4, FramesMin: 200, FramesMax: 1500, ObjectsMax: 60,
+		Tables: 3, RowsMax: 300, Seed: 99}
+}
+
+// Federation builds an AVIS store and a relational database with
+// deterministic random content. Video names are video00.., table names
+// table00.. with columns (k string, v int).
+func Federation(cfg FederationConfig) (*avis.Store, *relation.DB) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	store := avis.New("avis")
+	for i := 0; i < cfg.Videos; i++ {
+		frames := cfg.FramesMin + rng.Intn(cfg.FramesMax-cfg.FramesMin+1)
+		objects := 5 + rng.Intn(cfg.ObjectsMax)
+		avis.Generate(store, fmt.Sprintf("video%02d", i), frames, objects, rng.Int63())
+	}
+	db := relation.New("rel")
+	for i := 0; i < cfg.Tables; i++ {
+		tbl := db.MustCreateTable(relation.Schema{
+			Name: fmt.Sprintf("table%02d", i),
+			Cols: []relation.Column{
+				{Name: "k", Type: relation.TString},
+				{Name: "v", Type: relation.TInt},
+			},
+		})
+		rows := 10 + rng.Intn(cfg.RowsMax)
+		for r := 0; r < rows; r++ {
+			tbl.MustInsert(term.Str(fmt.Sprintf("k%03d", rng.Intn(rows))), term.Int(int64(rng.Intn(1000))))
+		}
+	}
+	return store, db
+}

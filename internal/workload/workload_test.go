@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"testing"
+
+	"hermes/internal/term"
+)
+
+func TestFrameRangesDeterministic(t *testing.T) {
+	a := FrameRanges(DefaultFrameRanges(100))
+	b := FrameRanges(DefaultFrameRanges(100))
+	if len(a) != 100 || len(b) != 100 {
+		t.Fatalf("lengths: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Key() != b[i].Key() {
+			t.Fatalf("call %d differs", i)
+		}
+	}
+}
+
+func TestFrameRangesValidBounds(t *testing.T) {
+	cfg := DefaultFrameRanges(500)
+	for i, c := range FrameRanges(cfg) {
+		f := int64(c.Args[1].(term.Int))
+		l := int64(c.Args[2].(term.Int))
+		if f < 0 || l >= int64(cfg.Frames) || f > l {
+			t.Fatalf("call %d out of bounds: [%d,%d]", i, f, l)
+		}
+	}
+}
+
+func TestFrameRangesHaveRepeats(t *testing.T) {
+	calls := FrameRanges(DefaultFrameRanges(300))
+	seen := map[string]int{}
+	for _, c := range calls {
+		seen[c.Key()]++
+	}
+	repeats := 0
+	for _, n := range seen {
+		if n > 1 {
+			repeats += n - 1
+		}
+	}
+	if repeats < 30 {
+		t.Errorf("only %d repeated calls in 300; skew missing", repeats)
+	}
+	if len(seen) < 50 {
+		t.Errorf("only %d distinct calls; too degenerate", len(seen))
+	}
+}
+
+func TestFederationDeterministicAndSized(t *testing.T) {
+	cfg := DefaultFederation()
+	s1, db1 := Federation(cfg)
+	s2, _ := Federation(cfg)
+	for i := 0; i < cfg.Videos; i++ {
+		name := []string{"video00", "video01", "video02", "video03"}[i]
+		v1, ok1 := s1.Video(name)
+		v2, ok2 := s2.Video(name)
+		if !ok1 || !ok2 {
+			t.Fatalf("video %s missing", name)
+		}
+		if v1.Frames != v2.Frames || len(v1.Objects()) != len(v2.Objects()) {
+			t.Fatalf("video %s differs between runs", name)
+		}
+	}
+	for i := 0; i < cfg.Tables; i++ {
+		name := []string{"table00", "table01", "table02"}[i]
+		tbl, ok := db1.Table(name)
+		if !ok || tbl.Len() < 10 {
+			t.Fatalf("table %s missing or too small", name)
+		}
+	}
+}
