@@ -13,6 +13,7 @@
 package cim
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -31,6 +32,10 @@ const (
 	SourceCacheExact
 	SourceCacheEquality
 	SourceCachePartial
+	// SourceCacheDegraded marks answers served purely from cache because
+	// the source was unreachable (or its circuit breaker open): sound but
+	// possibly stale/partial.
+	SourceCacheDegraded
 )
 
 func (s Source) String() string {
@@ -43,6 +48,8 @@ func (s Source) String() string {
 		return "cache-equality"
 	case SourceCachePartial:
 		return "cache-partial"
+	case SourceCacheDegraded:
+		return "cache-degraded"
 	}
 	return "?"
 }
@@ -111,7 +118,11 @@ type Stats struct {
 	PartialHits          int
 	Misses               int
 	UnavailableFallbacks int
-	Evictions            int
+	// DegradedServes counts responses served purely from cache because
+	// the source was down (subset of UnavailableFallbacks that produced a
+	// degraded-tagged response).
+	DegradedServes int
+	Evictions      int
 	StoredEntries        int
 	ServedFromCache      int // answers served out of the cache
 }
@@ -302,6 +313,13 @@ type Response struct {
 	// ServingCall is the cached call whose answers were used (differs from
 	// the requested call on invariant hits).
 	ServingCall domain.Call
+	// Degraded marks a response that fell back to cache because the source
+	// was unreachable — either entirely (SourceCacheDegraded) or part-way
+	// through completing a partial hit. The answers are sound (every tuple
+	// is a true answer) but may be a strict subset of the full answer set.
+	// For partial hits the flag is set lazily, when the completion call
+	// fails: it is authoritative once the stream is drained.
+	Degraded bool
 }
 
 // cacheStream serves a materialized answer slice, charging PerAnswer per
@@ -390,14 +408,57 @@ func (m *Manager) CallThrough(ctx *domain.Ctx, call domain.Call) (*Response, err
 		return resp, nil
 	}
 
-	// 4. Miss: actual call.
+	// 4. Miss: actual call. When the source is unreachable (including an
+	// open circuit breaker, which wraps domain.ErrUnavailable), degrade
+	// to whatever sound answers the cache holds instead of failing.
 	m.stats.Misses++
 	m.mu.Unlock()
 	stream, err := m.actualStream(ctx, call)
 	if err != nil {
+		if m.cfg.FallbackOnUnavailable && isUnavailable(err) {
+			if resp, ok := m.Degrade(ctx, call); ok {
+				return resp, nil
+			}
+		}
 		return nil, err
 	}
 	return &Response{Stream: stream, Source: SourceActual, ServingCall: call}, nil
+}
+
+// Degrade serves the best sound cached answer for a call without touching
+// the source: an exact entry (complete or partial), an equality-invariant
+// match, or a subset-invariant partial answer. ok=false when the cache
+// holds nothing sound for the call. The response is tagged Degraded; its
+// answers are always a subset of the true answer set.
+func (m *Manager) Degrade(ctx *domain.Ctx, call domain.Call) (*Response, bool) {
+	m.mu.Lock()
+	ctx.Clock.Sleep(m.cfg.LookupCost)
+	var e *Entry
+	if ex, ok := m.entries[call.Key()]; ok {
+		e = ex
+	} else if eq := m.findEqualityLocked(ctx, call); eq != nil {
+		e = eq
+	} else if pe := m.findPartialLocked(ctx, call); pe != nil {
+		e = pe
+	}
+	if e == nil {
+		m.mu.Unlock()
+		return nil, false
+	}
+	m.touchLocked(e)
+	m.stats.UnavailableFallbacks++
+	m.stats.DegradedServes++
+	m.stats.ServedFromCache += len(e.Answers)
+	answers := e.Answers
+	serving := e.Call
+	m.mu.Unlock()
+	return &Response{
+		Stream:        m.cacheStream(ctx, answers),
+		Source:        SourceCacheDegraded,
+		CachedAnswers: len(answers),
+		ServingCall:   serving,
+		Degraded:      true,
+	}, true
 }
 
 // servePartialThenActual builds the two-phase stream: cached answers first
@@ -417,6 +478,7 @@ func (m *Manager) servePartialThenActual(ctx *domain.Ctx, call domain.Call, e *E
 	var actualErr error
 	started := false
 	unavailableOK := m.cfg.FallbackOnUnavailable
+	resp := &Response{Source: SourceCachePartial, CachedAnswers: len(cached), ServingCall: e.Call}
 
 	next := func() (term.Value, bool, error) {
 		if idx < len(cached) {
@@ -443,7 +505,9 @@ func (m *Manager) servePartialThenActual(ctx *domain.Ctx, call domain.Call, e *E
 			if unavailableOK && isUnavailable(actualErr) {
 				m.mu.Lock()
 				m.stats.UnavailableFallbacks++
+				m.stats.DegradedServes++
 				m.mu.Unlock()
+				resp.Degraded = true
 				return nil, false, nil // partial answers are the best we can do
 			}
 			return nil, false, actualErr
@@ -451,6 +515,17 @@ func (m *Manager) servePartialThenActual(ctx *domain.Ctx, call domain.Call, e *E
 		v, ok, err := actual.Next()
 		if fork != nil {
 			ctx.Clock.Join(fork.Clock) // wait for the parallel call to catch up
+		}
+		if err != nil && unavailableOK && isUnavailable(err) {
+			// The source died mid-completion: everything emitted so far
+			// (cached prefix + actual answers) is sound, so degrade to a
+			// partial result instead of failing the query.
+			m.mu.Lock()
+			m.stats.UnavailableFallbacks++
+			m.stats.DegradedServes++
+			m.mu.Unlock()
+			resp.Degraded = true
+			return nil, false, nil
 		}
 		return v, ok, err
 	}
@@ -460,26 +535,14 @@ func (m *Manager) servePartialThenActual(ctx *domain.Ctx, call domain.Call, e *E
 		}
 		return nil
 	}
-	return &Response{
-		Stream:        domain.NewFuncStream(next, closer),
-		Source:        SourceCachePartial,
-		CachedAnswers: len(cached),
-		ServingCall:   e.Call,
-	}
+	resp.Stream = domain.NewFuncStream(next, closer)
+	return resp
 }
 
+// isUnavailable walks the full wrap tree (errors.Is handles the
+// multi-error chains the resilience layer builds).
 func isUnavailable(err error) bool {
-	for e := err; e != nil; {
-		if e == domain.ErrUnavailable {
-			return true
-		}
-		u, ok := e.(interface{ Unwrap() error })
-		if !ok {
-			return false
-		}
-		e = u.Unwrap()
-	}
-	return false
+	return errors.Is(err, domain.ErrUnavailable)
 }
 
 // Call implements domain.Domain using the paper's decoding scheme: a call

@@ -1,0 +1,196 @@
+package cim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"hermes/internal/domain"
+	"hermes/internal/domains/avis"
+	"hermes/internal/lang"
+	"hermes/internal/term"
+	"hermes/internal/workload"
+)
+
+// downable is a domain whose availability the test toggles: while down,
+// every call fails with the retryable domain.ErrUnavailable — the shape
+// the resilience wrapper presents to the CIM when a source is out.
+type downable struct {
+	domain.Domain
+	down bool
+}
+
+func (d *downable) Call(ctx *domain.Ctx, fn string, args []term.Value) (domain.Stream, error) {
+	if d.down {
+		// Mimic the resilience layer's multi-wrapped chains: ErrUnavailable
+		// buried under other wrapping, as errors.Is (not ==) must find it.
+		return nil, fmt.Errorf("retries exhausted: %w",
+			fmt.Errorf("%w: source offline", domain.ErrUnavailable))
+	}
+	return d.Domain.Call(ctx, fn, args)
+}
+
+// TestDegradedAnswersAreSoundSubset is the degradation counterpart of
+// TestSoundnessOverRandomStream: over a random call stream with the
+// source flapping, every cache-degraded response must be a subset of the
+// source's true answer set — stale/partial is allowed, wrong is not.
+func TestDegradedAnswersAreSoundSubset(t *testing.T) {
+	store := avis.New("avis")
+	avis.LoadRope(store)
+
+	// Twin registry over the raw store supplies ground truth even while
+	// the mediated source is down.
+	truthReg := domain.NewRegistry()
+	truthReg.Register(store)
+
+	src := &downable{Domain: store}
+	reg := domain.NewRegistry()
+	reg.Register(src)
+
+	m := New(reg, testCfg())
+	for _, isrc := range []string{
+		"true => avis:frames_to_objects(V, F, L) = avis:objects_in_range(V, F, L).",
+		"F1 <= G1 & G2 <= F2 => avis:frames_to_objects(V, F1, F2) >= avis:frames_to_objects(V, G1, G2).",
+	} {
+		inv, err := lang.ParseInvariant(isrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.AddInvariant(inv); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	asSet := func(vals []term.Value) map[string]bool {
+		out := make(map[string]bool, len(vals))
+		for _, v := range vals {
+			out[v.Key()] = true
+		}
+		return out
+	}
+
+	stream := workload.FrameRanges(workload.DefaultFrameRanges(200))
+	degraded := 0
+	for i, c := range stream {
+		// The source flaps: down for the second quarter and the last fifth
+		// of the stream.
+		src.down = (i >= 50 && i < 100) || i >= 160
+
+		ds, err := truthReg.Call(newCtx(), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := domain.Collect(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := asSet(direct)
+
+		resp, err := m.CallThrough(newCtx(), c)
+		if err != nil {
+			// Nothing cached to degrade to: the only acceptable failure,
+			// and it must stay typed retryable.
+			if !src.down || !errors.Is(err, domain.ErrUnavailable) {
+				t.Fatalf("call %d (%s): %v", i, c, err)
+			}
+			continue
+		}
+		got, err := domain.Collect(resp.Stream)
+		if err != nil {
+			t.Fatalf("call %d (%s, served by %v): drain: %v", i, c, resp.Source, err)
+		}
+		have := asSet(got)
+
+		// Soundness: never a tuple outside the true answer set, degraded
+		// or not.
+		for k := range have {
+			if !truth[k] {
+				t.Fatalf("call %d (%s, served by %v, degraded=%v): unsound answer %s",
+					i, c, resp.Source, resp.Degraded, k)
+			}
+		}
+		if resp.Degraded {
+			degraded++
+			// Either served wholly from cache, or a partial hit whose
+			// completion call fell back mid-stream.
+			if resp.Source != SourceCacheDegraded && resp.Source != SourceCachePartial {
+				t.Errorf("call %d: Degraded response with source %v", i, resp.Source)
+			}
+		} else if len(have) != len(truth) {
+			// Non-degraded responses keep the original completeness
+			// guarantee.
+			t.Fatalf("call %d (%s, served by %v): %d answers, source gives %d",
+				i, c, resp.Source, len(have), len(truth))
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("no degraded serves over a flapping source; property vacuous")
+	}
+	st := m.Stats()
+	if st.DegradedServes == 0 || st.UnavailableFallbacks == 0 {
+		t.Errorf("degradation not counted: %+v", st)
+	}
+}
+
+// TestDegradeServesIncompleteEntrySubset: an entry cut short mid-fill
+// (incomplete) may still be served degraded — and stays a sound subset.
+func TestDegradeServesIncompleteEntrySubset(t *testing.T) {
+	store := avis.New("avis")
+	avis.LoadRope(store)
+	truthReg := domain.NewRegistry()
+	truthReg.Register(store)
+
+	src := &downable{Domain: store}
+	reg := domain.NewRegistry()
+	reg.Register(src)
+	m := New(reg, testCfg())
+
+	c := call("avis", "frames_to_objects", term.Str("rope"), term.Int(0), term.Int(200))
+
+	// Fill the cache partially: pull a few answers, then close early.
+	resp, err := m.CallThrough(newCtx(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok, err := resp.Stream.Next(); !ok || err != nil {
+			t.Fatalf("prefix pull %d: %v %v", i, ok, err)
+		}
+	}
+	resp.Stream.Close()
+
+	src.down = true
+	resp2, err := m.CallThrough(newCtx(), c)
+	if err != nil {
+		t.Fatalf("expected degraded serve from incomplete entry, got %v", err)
+	}
+	got, err := domain.Collect(resp2.Stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The incomplete entry serves as a partial hit whose completion call
+	// fails; by drain time the response must be flagged degraded.
+	if !resp2.Degraded {
+		t.Fatalf("response = %+v, want degraded cache serve", resp2)
+	}
+	ds, err := truthReg.Call(newCtx(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := domain.Collect(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[string]bool{}
+	for _, v := range direct {
+		truth[v.Key()] = true
+	}
+	if len(got) == 0 || len(got) >= len(direct) {
+		t.Fatalf("degraded serve returned %d of %d answers, want a proper subset", len(got), len(direct))
+	}
+	for _, v := range got {
+		if !truth[v.Key()] {
+			t.Fatalf("unsound degraded answer %s", v)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"hermes/internal/engine"
 	"hermes/internal/estimate"
 	"hermes/internal/lang"
+	"hermes/internal/resilience"
 	"hermes/internal/rewrite"
 	"hermes/internal/vclock"
 )
@@ -44,6 +45,16 @@ type Options struct {
 	Rewrite *rewrite.Config
 	// Estimate configures the rule cost estimator.
 	Estimate *estimate.Config
+	// Resilience, when set, wraps every registered domain in a resilient
+	// call layer: per-call deadlines, bounded retry with deterministic
+	// backoff, and a per-domain circuit breaker. Combined with the CIM's
+	// FallbackOnUnavailable, a down source degrades to cached answers
+	// instead of failing the query.
+	Resilience *resilience.Policy
+	// QueryDeadline, when nonzero, gives every query that much execution
+	// clock from its start; past it, evaluation stops with
+	// domain.ErrDeadlineExceeded. Retries and backoff respect the budget.
+	QueryDeadline time.Duration
 }
 
 // System is a mediator instance.
@@ -54,10 +65,13 @@ type System struct {
 	DCSM     *dcsm.DB
 	Clock    vclock.Clock
 
-	engine     *engine.Engine
-	rewriteCfg rewrite.Config
-	estimator  *estimate.Estimator
-	cimAll     bool // route all domains through the CIM unless configured
+	engine        *engine.Engine
+	rewriteCfg    rewrite.Config
+	estimator     *estimate.Estimator
+	cimAll        bool // route all domains through the CIM unless configured
+	resilience    *resilience.Policy
+	wrappers      map[string]*resilience.Wrapper
+	queryDeadline time.Duration
 }
 
 // NewSystem builds a system from options.
@@ -67,9 +81,12 @@ func NewSystem(opts Options) *System {
 		clk = vclock.NewVirtual(0)
 	}
 	s := &System{
-		Registry: domain.NewRegistry(),
-		Program:  &lang.Program{},
-		Clock:    clk,
+		Registry:      domain.NewRegistry(),
+		Program:       &lang.Program{},
+		Clock:         clk,
+		resilience:    opts.Resilience,
+		wrappers:      map[string]*resilience.Wrapper{},
+		queryDeadline: opts.QueryDeadline,
 	}
 	dcfg := dcsm.DefaultConfig()
 	if opts.DCSM != nil {
@@ -116,22 +133,38 @@ func NewSystem(opts Options) *System {
 // Register adds a source domain to the federation. If the domain ships a
 // native cost estimator it is connected to the DCSM. When the system was
 // built without an explicit rewrite configuration and the CIM is enabled,
-// the domain's calls are routed through the CIM.
+// the domain's calls are routed through the CIM. With a resilience policy
+// configured, the domain is placed behind a resilient call wrapper.
 func (s *System) Register(d domain.Domain) {
-	s.Registry.Register(d)
-	if est, ok := d.(domain.Estimator); ok {
-		s.DCSM.RegisterEstimator(d.Name(), est)
+	if s.resilience != nil {
+		w := resilience.Wrap(d, *s.resilience)
+		s.wrappers[d.Name()] = w
+		d = w
 	}
+	s.Registry.Register(d)
 	if s.cimAll {
 		s.rewriteCfg.CIMDomains[d.Name()] = true
 	}
-	// Domains behind a netsim host may wrap an estimator.
+	// Estimators may sit behind wrapper layers (resilience, netsim).
 	type unwrapper interface{ Inner() domain.Domain }
-	if u, ok := d.(unwrapper); ok {
-		if est, ok := u.Inner().(domain.Estimator); ok {
+	for probe := d; probe != nil; {
+		if est, ok := probe.(domain.Estimator); ok {
 			s.DCSM.RegisterEstimator(d.Name(), est)
+			break
 		}
+		u, ok := probe.(unwrapper)
+		if !ok {
+			break
+		}
+		probe = u.Inner()
 	}
+}
+
+// Resilience returns the resilient wrapper interposed for a domain, when
+// the system was built with a resilience policy (metrics, breaker state).
+func (s *System) Resilience(dom string) (*resilience.Wrapper, bool) {
+	w, ok := s.wrappers[dom]
+	return w, ok
 }
 
 // RouteThroughCIM sets whether a domain's calls go through the CIM.
@@ -160,8 +193,15 @@ func (s *System) LoadProgram(src string) error {
 	return nil
 }
 
-// Ctx returns a fresh execution context over the system clock.
-func (s *System) Ctx() *domain.Ctx { return domain.NewCtx(s.Clock) }
+// Ctx returns a fresh execution context over the system clock. A
+// configured query deadline is armed relative to the current reading.
+func (s *System) Ctx() *domain.Ctx {
+	ctx := domain.NewCtx(s.Clock)
+	if s.queryDeadline > 0 {
+		ctx.Deadline = s.Clock.Now() + s.queryDeadline
+	}
+	return ctx
+}
 
 // Plans parses a query and returns the rewriter's candidate plans.
 func (s *System) Plans(query string) ([]*rewrite.Plan, error) {
@@ -197,6 +237,12 @@ func (s *System) Optimize(query string, interactive bool) (*rewrite.Plan, domain
 // Execute runs a plan, returning a cursor over the answers.
 func (s *System) Execute(p *rewrite.Plan) (*engine.Cursor, error) {
 	return s.engine.ExecutePlan(s.Ctx(), p)
+}
+
+// ExecuteCtx runs a plan under a caller-supplied execution context, for
+// per-query cancellation or deadlines differing from the system default.
+func (s *System) ExecuteCtx(ctx *domain.Ctx, p *rewrite.Plan) (*engine.Cursor, error) {
+	return s.engine.ExecutePlan(ctx, p)
 }
 
 // Query optimizes and executes in one step (all-answers ranking).

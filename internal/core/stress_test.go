@@ -3,10 +3,20 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
+	"time"
 
+	"hermes/internal/cim"
+	"hermes/internal/dcsm"
+	"hermes/internal/domain"
 	"hermes/internal/engine"
+	"hermes/internal/faultinject"
+	"hermes/internal/lang"
 	"hermes/internal/netsim"
+	"hermes/internal/resilience"
+	"hermes/internal/term"
+	"hermes/internal/vclock"
 	"hermes/internal/workload"
 )
 
@@ -127,5 +137,126 @@ func TestInteractiveStress(t *testing.T) {
 	st := sys.CIM.Stats()
 	if st.StoredEntries == 0 {
 		t.Error("interactive runs stored nothing")
+	}
+}
+
+// TestConcurrentResilienceStress hammers the shared mutable state from
+// many goroutines at once — CIM insert/lookup/degrade, DCSM record and
+// estimate, resilience breaker trips, half-open probes and recoveries,
+// fault-injector bookkeeping — and lets the race detector (go test -race)
+// referee. Semantic checks are limited to soundness invariants that hold
+// under any interleaving.
+func TestConcurrentResilienceStress(t *testing.T) {
+	store, _ := workload.Federation(workload.DefaultFederation())
+	inj := faultinject.Wrap(store, faultinject.Config{
+		Seed:         21,
+		ErrorRate:    0.30,
+		TruncateRate: 0.20,
+		FailLatency:  time.Millisecond,
+	})
+	pol := resilience.Policy{
+		MaxAttempts:  2,
+		BackoffBase:  time.Millisecond,
+		BackoffCap:   4 * time.Millisecond,
+		Seed:         7,
+		ResumeStream: true,
+		MaxResumes:   1,
+		// A low threshold and short open timeout keep the breaker cycling
+		// through trips, probes and recoveries for the whole run.
+		Breaker: resilience.BreakerConfig{FailureThreshold: 2, OpenTimeout: 20 * time.Millisecond},
+	}
+	wrapper := resilience.Wrap(inj, pol)
+	reg := domain.NewRegistry()
+	reg.Register(wrapper)
+
+	sharedClk := vclock.NewVirtual(0)
+	db := dcsm.New(dcsm.DefaultConfig(), sharedClk.Now)
+	m := cim.New(reg, cim.Config{ParallelActual: true, FallbackOnUnavailable: true})
+	m.SetMeasurementObserver(db.Observe)
+	inv, err := lang.ParseInvariant(
+		"F1 <= G1 & G2 <= F2 => avis:frames_to_objects(V, F1, F2) >= avis:frames_to_objects(V, G1, G2).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddInvariant(inv); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const iters = 60
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			ctx := domain.NewCtx(vclock.NewVirtual(0))
+			for i := 0; i < iters; i++ {
+				// A small call space, so concurrent workers repeat and
+				// contain each other's ranges: exact and partial hits race
+				// with inserts.
+				f := rng.Intn(6) * 10
+				l := f + 20 + rng.Intn(3)*10
+				c := domain.Call{Domain: "avis", Function: "frames_to_objects",
+					Args: []term.Value{term.Str(fmt.Sprintf("video%02d", rng.Intn(4))),
+						term.Int(int64(f)), term.Int(int64(l))}}
+				resp, err := m.CallThrough(ctx, c)
+				if err != nil {
+					// Unavailable with an empty cache is legitimate; anything
+					// else is a bug.
+					if !domain.IsRetryable(err) {
+						errs <- fmt.Errorf("worker %d call %s: %v", g, c, err)
+						return
+					}
+					continue
+				}
+				vals, err := domain.Collect(resp.Stream)
+				if err != nil && !domain.IsRetryable(err) {
+					errs <- fmt.Errorf("worker %d drain %s: %v", g, c, err)
+					return
+				}
+				// No interleaving may produce duplicate answers in one
+				// response.
+				seen := map[string]bool{}
+				for _, v := range vals {
+					k := v.Key()
+					if seen[k] {
+						errs <- fmt.Errorf("worker %d call %s: duplicate answer %s", g, c, k)
+						return
+					}
+					seen[k] = true
+				}
+				// Concurrent DCSM estimates and breaker reads while others
+				// write.
+				if i%3 == 0 {
+					db.Cost(domain.PatternOf(c))
+					wrapper.Breaker().State(ctx.Clock.Now())
+					wrapper.Metrics()
+				}
+				sharedClk.Sleep(time.Millisecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The run must actually have exercised the interesting machinery.
+	bm := wrapper.Breaker().Metrics()
+	if bm.Trips == 0 {
+		t.Errorf("breaker never tripped under 30%% failures: %+v", bm)
+	}
+	st := m.Stats()
+	if st.StoredEntries == 0 || st.ExactHits+st.PartialHits == 0 {
+		t.Errorf("cache not exercised: %+v", st)
+	}
+	if db.Storage().RawRecords == 0 {
+		t.Error("no statistics recorded under concurrency")
+	}
+	if len(inj.Events()) == 0 {
+		t.Error("no faults injected")
 	}
 }

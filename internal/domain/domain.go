@@ -6,6 +6,7 @@
 package domain
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -25,6 +26,10 @@ var (
 	// ErrUnavailable reports that a (remote) source is temporarily
 	// unreachable. The CIM may still serve such calls from cache.
 	ErrUnavailable = errors.New("source temporarily unavailable")
+	// ErrDeadlineExceeded reports that the execution clock passed the
+	// query deadline carried by the Ctx. It is distinct from
+	// context.DeadlineExceeded, which is measured against wall time.
+	ErrDeadlineExceeded = errors.New("query deadline exceeded")
 )
 
 // Call is a ground domain call: domain:function(arg1, ..., argN). Per the
@@ -186,9 +191,21 @@ type FuncSpec struct {
 }
 
 // Ctx carries per-execution state into domain calls: the clock against
-// which simulated latencies and measurements accrue.
+// which simulated latencies and measurements accrue, an optional standard
+// context for cancellation, and an optional query deadline measured on the
+// execution clock.
 type Ctx struct {
 	Clock vclock.Clock
+	// Context, when non-nil, carries cancellation from the caller. Long
+	// call paths (registry routing, the engine's evaluation loops, remote
+	// dials) check it and abort early when it is done.
+	Context context.Context
+	// Deadline, when nonzero, is the execution-clock reading past which
+	// the query must not run: Err reports ErrDeadlineExceeded once
+	// Clock.Now() reaches it. Measuring the deadline on the execution
+	// clock keeps simulated runs deterministic — a wall-time deadline
+	// would depend on host speed.
+	Deadline time.Duration
 }
 
 // NewCtx returns a context over the given clock. A nil clock gets a fresh
@@ -201,8 +218,54 @@ func NewCtx(c vclock.Clock) *Ctx {
 }
 
 // Fork returns a context on a forked clock, for modelling concurrent
-// activity.
-func (c *Ctx) Fork() *Ctx { return &Ctx{Clock: c.Clock.Fork()} }
+// activity. Cancellation and the deadline propagate to the fork.
+func (c *Ctx) Fork() *Ctx {
+	return &Ctx{Clock: c.Clock.Fork(), Context: c.Context, Deadline: c.Deadline}
+}
+
+// WithContext returns a copy of the Ctx carrying gc for cancellation.
+func (c *Ctx) WithContext(gc context.Context) *Ctx {
+	out := *c
+	out.Context = gc
+	return &out
+}
+
+// WithDeadline returns a copy of the Ctx whose query deadline is the
+// absolute clock reading d (0 clears it).
+func (c *Ctx) WithDeadline(d time.Duration) *Ctx {
+	out := *c
+	out.Deadline = d
+	return &out
+}
+
+// Err reports why the execution should stop: the cancellation context's
+// error, or ErrDeadlineExceeded when the clock passed the query deadline.
+// It returns nil while the execution may continue.
+func (c *Ctx) Err() error {
+	if c.Context != nil {
+		if err := c.Context.Err(); err != nil {
+			return err
+		}
+	}
+	if c.Deadline > 0 && c.Clock.Now() >= c.Deadline {
+		return fmt.Errorf("%w (clock %s past deadline %s)",
+			ErrDeadlineExceeded, c.Clock.Now(), c.Deadline)
+	}
+	return nil
+}
+
+// Remaining returns the clock time left before the query deadline.
+// ok=false means no deadline is set (infinite budget).
+func (c *Ctx) Remaining() (time.Duration, bool) {
+	if c.Deadline <= 0 {
+		return 0, false
+	}
+	left := c.Deadline - c.Clock.Now()
+	if left < 0 {
+		left = 0
+	}
+	return left, true
+}
 
 // Stream is a pull-based answer stream. Next returns the next answer, or
 // ok=false at end of stream. Close releases resources; it is safe to call
@@ -222,6 +285,26 @@ type Domain interface {
 	// answers. Implementations advance ctx.Clock by their compute and
 	// transfer costs.
 	Call(ctx *Ctx, fn string, args []term.Value) (Stream, error)
+}
+
+// FunctionLister is an optional interface for domains whose function
+// listing can itself fail — a remote source whose server is unreachable
+// has an unknown listing, not an empty one. Callers that would otherwise
+// misread an empty listing as "function-less" (registry validation, plan
+// enumeration) should prefer this interface when the domain provides it.
+type FunctionLister interface {
+	// FunctionsErr lists the exported functions, or reports why the
+	// listing could not be obtained (typically wrapping ErrUnavailable,
+	// which is retryable).
+	FunctionsErr() ([]FuncSpec, error)
+}
+
+// IsRetryable reports whether an error is transient: retrying the call
+// later may succeed. Unavailability (network partitions, outages, open
+// circuit breakers wrap ErrUnavailable) is retryable; semantic errors
+// (unknown domain or function, type errors) are not.
+func IsRetryable(err error) bool {
+	return errors.Is(err, ErrUnavailable)
 }
 
 // Estimator is an optional interface for domains that ship a native cost

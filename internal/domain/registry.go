@@ -45,8 +45,12 @@ func (r *Registry) Names() []string {
 	return out
 }
 
-// Call routes a ground call to its domain.
+// Call routes a ground call to its domain. A cancelled or past-deadline
+// ctx aborts before the call is issued.
 func (r *Registry) Call(ctx *Ctx, c Call) (Stream, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	d, ok := r.Get(c.Domain)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownDomain, c.Domain)
@@ -54,14 +58,28 @@ func (r *Registry) Call(ctx *Ctx, c Call) (Stream, error) {
 	return d.Call(ctx, c.Function, c.Args)
 }
 
+// listFunctions resolves a domain's function listing, preferring the
+// fallible FunctionsErr when the domain provides it.
+func listFunctions(d Domain) ([]FuncSpec, error) {
+	if fl, ok := d.(FunctionLister); ok {
+		return fl.FunctionsErr()
+	}
+	return d.Functions(), nil
+}
+
 // HasFunction reports whether domain dom exports function fn with the given
-// arity (arity < 0 matches any).
+// arity (arity < 0 matches any). An unobtainable listing (unreachable
+// remote source) reports false: the function cannot be confirmed.
 func (r *Registry) HasFunction(dom, fn string, arity int) bool {
 	d, ok := r.Get(dom)
 	if !ok {
 		return false
 	}
-	for _, spec := range d.Functions() {
+	specs, err := listFunctions(d)
+	if err != nil {
+		return false
+	}
+	for _, spec := range specs {
 		if spec.Name == fn && (arity < 0 || spec.Arity == arity) {
 			return true
 		}
@@ -69,13 +87,20 @@ func (r *Registry) HasFunction(dom, fn string, arity int) bool {
 	return false
 }
 
-// CheckCall verifies a call resolves to a known domain function.
+// CheckCall verifies a call resolves to a known domain function. When the
+// domain's listing cannot be obtained the error surfaces as-is (wrapping
+// ErrUnavailable for remote sources) rather than the misleading — and
+// non-retryable — ErrUnknownFunction.
 func (r *Registry) CheckCall(c Call) error {
 	d, ok := r.Get(c.Domain)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownDomain, c.Domain)
 	}
-	for _, spec := range d.Functions() {
+	specs, err := listFunctions(d)
+	if err != nil {
+		return fmt.Errorf("list functions of %q: %w", c.Domain, err)
+	}
+	for _, spec := range specs {
 		if spec.Name == c.Function && spec.Arity == len(c.Args) {
 			return nil
 		}

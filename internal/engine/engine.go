@@ -32,6 +32,9 @@ type TraceEvent struct {
 	Source string
 	// At is the clock reading when the call was issued.
 	At time.Duration
+	// Degraded marks a call answered purely from cache because its source
+	// was down: the answers are sound but possibly partial.
+	Degraded bool
 }
 
 // Config tunes the engine.
@@ -118,10 +121,15 @@ type Cursor struct {
 	done     bool
 }
 
-// Next returns the next answer.
+// Next returns the next answer. A cancelled context or an exceeded query
+// deadline surfaces as an error (the cursor is closed).
 func (c *Cursor) Next() (Answer, bool, error) {
 	if c.done {
 		return Answer{}, false, nil
+	}
+	if err := c.ctx.Err(); err != nil {
+		c.Close()
+		return Answer{}, false, err
 	}
 	s, ok, err := c.iter.next()
 	if err != nil {

@@ -77,6 +77,10 @@ func (b *bodyIter) next() (term.Subst, bool, error) {
 		i = 0
 	}
 	for {
+		if err := b.ctx.Err(); err != nil {
+			b.shutdown()
+			return nil, false, err
+		}
 		if i < 0 {
 			b.done = true
 			return nil, false, nil
@@ -173,6 +177,9 @@ func (e *Engine) evalComparison(c *lang.Comparison, s term.Subst) (substStream, 
 // evalInCall executes a domain call (direct or through the CIM) and binds
 // or tests the output term.
 func (e *Engine) evalInCall(ctx *domain.Ctx, l *lang.InCall, route rewrite.Route, s term.Subst) (substStream, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	args := make([]term.Value, len(l.Call.Args))
 	for i, t := range l.Call.Args {
 		v, err := s.Eval(t)
@@ -191,7 +198,7 @@ func (e *Engine) evalInCall(ctx *domain.Ctx, l *lang.InCall, route rewrite.Route
 		}
 		stream = resp.Stream
 		if e.cfg.Trace != nil {
-			e.cfg.Trace(TraceEvent{Call: call, Route: route, Source: resp.Source.String(), At: issuedAt})
+			e.cfg.Trace(TraceEvent{Call: call, Route: route, Source: resp.Source.String(), At: issuedAt, Degraded: resp.Degraded})
 		}
 	} else {
 		inner, err := e.reg.Call(ctx, call)

@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"hermes/internal/cim"
+	"hermes/internal/domain"
+	"hermes/internal/engine"
+	"hermes/internal/faultinject"
+	"hermes/internal/netsim"
+	"hermes/internal/resilience"
+	"hermes/internal/term"
+	"hermes/internal/vclock"
+)
+
+// The chaos/soak harness runs the Figure-5-style workload (cache-primed
+// AVIS range and cast queries over a WAN site) while a deterministic fault
+// injector degrades the source: transient call errors, latency spikes,
+// mid-stream truncation, and two scheduled unavailability windows. It
+// exists to prove the resilience layer's three promises under fire:
+//
+//   - soundness: every returned tuple is a true answer (degraded results
+//     are subsets of the fault-free answer sets);
+//   - liveness: every query finishes within its deadline, degrading to
+//     cached answers instead of hanging on a dead source;
+//   - recovery: the failing site's circuit breaker trips during the
+//     outages and closes again afterwards.
+//
+// Everything is seeded, so one seed yields one fault schedule, bit for
+// bit, on every run.
+
+// ChaosOptions configure a chaos/soak run.
+type ChaosOptions struct {
+	// Seed drives netsim jitter, retry jitter, and the fault schedule.
+	Seed uint64
+	// Rounds is how many times the workload's query set repeats.
+	Rounds int
+	// ErrorRate, TruncateRate, SpikeRate and SpikeLatency configure the
+	// injected per-call faults.
+	ErrorRate    float64
+	TruncateRate float64
+	SpikeRate    float64
+	SpikeLatency time.Duration
+	// Windows schedules source outages. Empty = auto-schedule two windows
+	// inside the soak span (derived from the fault-free pass).
+	Windows []faultinject.Window
+	// QueryDeadline is each query's execution-clock budget.
+	QueryDeadline time.Duration
+	// Site is the network profile of the AVIS source.
+	Site netsim.Profile
+}
+
+// DefaultChaosOptions is the acceptance configuration: 20% injected call
+// failures, two outage windows, a 90 s per-query deadline.
+func DefaultChaosOptions() ChaosOptions {
+	return ChaosOptions{
+		Seed:          11,
+		Rounds:        12,
+		ErrorRate:     0.20,
+		TruncateRate:  0.10,
+		SpikeRate:     0.05,
+		SpikeLatency:  2 * time.Second,
+		QueryDeadline: 90 * time.Second,
+		Site:          SiteUSA,
+	}
+}
+
+// ChaosPolicy is the resilience policy the chaos runs apply to every
+// source: three attempts with sub-second decorrelated backoff, stream
+// resume, and a breaker that trips after three straight failures and
+// probes again after 5 s.
+func ChaosPolicy(seed uint64) resilience.Policy {
+	return resilience.Policy{
+		MaxAttempts:  3,
+		BackoffBase:  80 * time.Millisecond,
+		BackoffCap:   800 * time.Millisecond,
+		Seed:         seed,
+		ResumeStream: true,
+		MaxResumes:   2,
+		Breaker: resilience.BreakerConfig{
+			FailureThreshold:  3,
+			OpenTimeout:       5 * time.Second,
+			HalfOpenSuccesses: 1,
+		},
+	}
+}
+
+// ChaosQueryResult is one query execution of a chaos pass.
+type ChaosQueryResult struct {
+	Round int
+	Query string
+	// TAll is the query's metrics.TAll (bounded by the deadline on a
+	// passing run).
+	TAll time.Duration
+	// AnswerKeys is the sorted canonical encoding of the answer set.
+	AnswerKeys []string
+	// Err is the query error, "" on success.
+	Err string
+}
+
+// ChaosReport is everything one pass observed.
+type ChaosReport struct {
+	Queries []ChaosQueryResult
+	// Windows are the outage windows in force (nil for the truth pass).
+	Windows []faultinject.Window
+	// FaultLog is the injector's event log (nil for the truth pass).
+	FaultLog []string
+	// Breaker is the AVIS breaker's metrics; BreakerFinal its state at
+	// the end of the soak.
+	Breaker      resilience.BreakerMetrics
+	BreakerFinal resilience.BreakerState
+	// Wrapper is the AVIS resilience wrapper's counters.
+	Wrapper resilience.Metrics
+	// CIM is the cache's counters (degraded serves live here).
+	CIM cim.Stats
+	// SoakClock is the execution-clock reading at the end of the pass.
+	SoakClock time.Duration
+}
+
+// chaosWorkload is the Fig-5-style query sequence: the cast query (primed
+// through a subset invariant, complete in cache after round one) and a
+// drifting frame-range query whose every instance contains the primed
+// [30, 100] range, so the cache always holds a sound partial answer to
+// degrade to.
+func chaosWorkload(rounds int) []string {
+	var qs []string
+	for r := 0; r < rounds; r++ {
+		qs = append(qs, "?- actors(Actor).")
+		a := (r * 3) % 30
+		b := 110 + (r*7)%50
+		qs = append(qs, fmt.Sprintf("?- in(Object, avis:frames_to_objects('rope', %d, %d)).", a, b))
+	}
+	return qs
+}
+
+// chaosPrime warms the cache the way the paper's earlier queries would
+// have: a narrow frame range and a cast range, both reusable through the
+// subset invariants.
+func chaosPrime(tb *Testbed) error {
+	return tb.Sys.PrimeCache([]domain.Call{
+		avisCall("frames_to_objects", term.Str("rope"), term.Int(30), term.Int(100)),
+		avisCall("actors_in_range", term.Str("rope"), term.Int(30), term.Int(130)),
+	})
+}
+
+// runChaosPass primes and soaks one testbed. faults=nil is the truth
+// pass: identical workload, no injector.
+func runChaosPass(opts ChaosOptions, faults *faultinject.Config) (*ChaosReport, error) {
+	policy := ChaosPolicy(opts.Seed)
+	tb, err := NewTestbed(TestbedOptions{
+		Site:           opts.Site,
+		WithInvariants: true,
+		RouteViaCIM:    true,
+		Seed:           opts.Seed,
+		Resilience:     &policy,
+		QueryDeadline:  opts.QueryDeadline,
+		Faults:         faults,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := chaosPrime(tb); err != nil {
+		return nil, fmt.Errorf("chaos: prime: %w", err)
+	}
+	report := &ChaosReport{}
+	queries := chaosWorkload(opts.Rounds)
+	for i, q := range queries {
+		res := ChaosQueryResult{Round: i / 2, Query: q}
+		plan, err := originalOrderPlan(tb.Sys, q)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: plan %s: %w", q, err)
+		}
+		cur, err := tb.Sys.Execute(plan)
+		if err != nil {
+			res.Err = err.Error()
+		} else {
+			answers, metrics, err := engine.CollectAll(cur)
+			if err != nil {
+				res.Err = err.Error()
+			}
+			res.TAll = metrics.TAll
+			res.AnswerKeys = answerKeys(answers)
+		}
+		report.Queries = append(report.Queries, res)
+	}
+	if tb.Faults != nil {
+		report.FaultLog = tb.Faults.EventLog()
+		report.Windows = faults.Windows
+	}
+	if w, ok := tb.Sys.Resilience("avis"); ok {
+		report.Wrapper = w.Metrics()
+		report.Breaker = w.Breaker().Metrics()
+		report.BreakerFinal = w.Breaker().State(tb.Sys.Clock.Now())
+	}
+	if tb.Sys.CIM != nil {
+		report.CIM = tb.Sys.CIM.Stats()
+	}
+	report.SoakClock = tb.Sys.Clock.Now()
+	return report, nil
+}
+
+// RunChaos executes the fault-free truth pass, schedules the outage
+// windows inside the observed soak span (unless explicitly given), and
+// runs the faulted pass. Both passes execute the identical workload.
+func RunChaos(opts ChaosOptions) (truth, faulted *ChaosReport, err error) {
+	truth, err = runChaosPass(opts, nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("chaos: truth pass: %w", err)
+	}
+	windows := opts.Windows
+	if len(windows) == 0 {
+		// Two outages inside the soak: the faulted pass runs slower than
+		// the truth pass (retries, spikes, backoff), so windows placed in
+		// the truth span land comfortably inside the faulted span.
+		t := truth.SoakClock
+		windows = []faultinject.Window{
+			{From: t * 25 / 100, To: t * 40 / 100},
+			{From: t * 60 / 100, To: t * 72 / 100},
+		}
+	}
+	cfg := &faultinject.Config{
+		Seed:         opts.Seed,
+		ErrorRate:    opts.ErrorRate,
+		FailLatency:  60 * time.Millisecond,
+		SpikeRate:    opts.SpikeRate,
+		SpikeLatency: opts.SpikeLatency,
+		TruncateRate: opts.TruncateRate,
+		Windows:      windows,
+	}
+	faulted, err = runChaosPass(opts, cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("chaos: faulted pass: %w", err)
+	}
+	return truth, faulted, nil
+}
+
+// answerKeys canonicalizes an answer set for comparison.
+func answerKeys(answers []engine.Answer) []string {
+	keys := make([]string, 0, len(answers))
+	for _, a := range answers {
+		parts := make([]string, len(a.Vals))
+		for i, v := range a.Vals {
+			parts[i] = v.Key()
+		}
+		keys = append(keys, strings.Join(parts, "|"))
+	}
+	sort.Strings(keys)
+	// Answer sets are sets: collapse duplicates so subset comparisons
+	// are insensitive to delivery order and multiplicity.
+	out := keys[:0]
+	for i, k := range keys {
+		if i == 0 || keys[i-1] != k {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// FormatChaos renders a chaos report for the experiment CLI.
+func FormatChaos(truth, faulted *ChaosReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos soak: %d queries, %d faults injected, soak clock %sms (truth %sms)\n",
+		len(faulted.Queries), len(faulted.FaultLog), vclock.Millis(faulted.SoakClock), vclock.Millis(truth.SoakClock))
+	for _, w := range faulted.Windows {
+		fmt.Fprintf(&b, "  outage window %sms..%sms\n", vclock.Millis(w.From), vclock.Millis(w.To))
+	}
+	full, degraded, failed := 0, 0, 0
+	for i, q := range faulted.Queries {
+		switch {
+		case q.Err != "":
+			failed++
+		case len(q.AnswerKeys) == len(truth.Queries[i].AnswerKeys):
+			full++
+		default:
+			degraded++
+		}
+	}
+	fmt.Fprintf(&b, "  queries: %d full, %d degraded, %d failed\n", full, degraded, failed)
+	fmt.Fprintf(&b, "  wrapper: %+v\n", faulted.Wrapper)
+	fmt.Fprintf(&b, "  breaker: trips=%d probes=%d probe-failures=%d rejections=%d final=%s\n",
+		faulted.Breaker.Trips, faulted.Breaker.Probes, faulted.Breaker.ProbeFailures,
+		faulted.Breaker.Rejections, faulted.BreakerFinal)
+	fmt.Fprintf(&b, "  cim: degraded=%d fallbacks=%d exact=%d partial=%d\n",
+		faulted.CIM.DegradedServes, faulted.CIM.UnavailableFallbacks,
+		faulted.CIM.ExactHits, faulted.CIM.PartialHits)
+	return b.String()
+}

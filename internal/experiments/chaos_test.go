@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"hermes/internal/resilience"
+)
+
+// isSubset reports whether every key of sub appears in super (both sorted).
+func isSubset(sub, super []string) bool {
+	i := 0
+	for _, k := range sub {
+		for i < len(super) && super[i] < k {
+			i++
+		}
+		if i >= len(super) || super[i] != k {
+			return false
+		}
+	}
+	return true
+}
+
+// TestChaosSoak is the acceptance run: the Fig-5 workload with 20%
+// injected call failures, truncation, spikes, and two scheduled outage
+// windows. Every query must finish within its deadline, every returned
+// tuple must be a true answer, the failing site's breaker must trip and
+// recover, and degradation must actually have served cached answers.
+func TestChaosSoak(t *testing.T) {
+	opts := DefaultChaosOptions()
+	truth, faulted, err := RunChaos(opts)
+	if err != nil {
+		t.Fatalf("RunChaos: %v", err)
+	}
+	t.Logf("\n%s", FormatChaos(truth, faulted))
+
+	if len(truth.Queries) != len(faulted.Queries) {
+		t.Fatalf("pass length mismatch: truth %d, faulted %d", len(truth.Queries), len(faulted.Queries))
+	}
+	// Truth pass must be clean and complete: it defines the full answer
+	// sets the soundness check compares against.
+	for _, q := range truth.Queries {
+		if q.Err != "" {
+			t.Fatalf("truth pass query %q failed: %s", q.Query, q.Err)
+		}
+		if len(q.AnswerKeys) == 0 {
+			t.Fatalf("truth pass query %q returned no answers; workload is vacuous", q.Query)
+		}
+	}
+
+	// Liveness: every faulted query completes, within the deadline.
+	for _, q := range faulted.Queries {
+		if q.Err != "" {
+			t.Errorf("round %d query %q failed instead of degrading: %s", q.Round, q.Query, q.Err)
+		}
+		if q.TAll > opts.QueryDeadline {
+			t.Errorf("round %d query %q took %v, beyond the %v deadline", q.Round, q.Query, q.TAll, opts.QueryDeadline)
+		}
+	}
+
+	// Soundness: faulted answers are a subset of the fault-free answers.
+	degradedQueries := 0
+	for i, q := range faulted.Queries {
+		full := truth.Queries[i].AnswerKeys
+		if !isSubset(q.AnswerKeys, full) {
+			t.Errorf("round %d query %q returned tuples outside the true answer set:\n  faulted: %v\n  truth:   %v",
+				q.Round, q.Query, q.AnswerKeys, full)
+		}
+		if len(q.AnswerKeys) < len(full) {
+			degradedQueries++
+		}
+	}
+
+	// The faults must actually have bitten: outages forced cache-degraded
+	// serves, and at least one query returned a strict (still sound)
+	// subset.
+	if faulted.CIM.DegradedServes == 0 {
+		t.Errorf("no degraded cache serves recorded; outage windows did not exercise degradation")
+	}
+	if degradedQueries == 0 {
+		t.Errorf("no query returned a partial answer set; outage windows did not bite")
+	}
+	if len(faulted.FaultLog) == 0 {
+		t.Errorf("fault injector recorded no events")
+	}
+
+	// Breaker: tripped during the outages, probed, and recovered.
+	if faulted.Breaker.Trips == 0 {
+		t.Errorf("breaker never tripped despite scheduled outages: %+v", faulted.Breaker)
+	}
+	if faulted.Breaker.Probes == 0 {
+		t.Errorf("breaker never probed half-open: %+v", faulted.Breaker)
+	}
+	if faulted.BreakerFinal != resilience.StateClosed {
+		t.Errorf("breaker did not recover: final state %s, metrics %+v", faulted.BreakerFinal, faulted.Breaker)
+	}
+	if faulted.Breaker.Rejections == 0 {
+		t.Errorf("open breaker never fast-rejected a call: %+v", faulted.Breaker)
+	}
+
+	// The truth pass must not have tripped anything.
+	if truth.Breaker.Trips != 0 {
+		t.Errorf("truth pass tripped the breaker: %+v", truth.Breaker)
+	}
+}
+
+// TestChaosDeterminism runs the identical chaos configuration twice and
+// requires bit-identical fault schedules and answer sets: the injector,
+// backoff jitter and netsim are all seeded, so one seed must mean one
+// execution.
+func TestChaosDeterminism(t *testing.T) {
+	opts := DefaultChaosOptions()
+	opts.Rounds = 6
+	_, run1, err := RunChaos(opts)
+	if err != nil {
+		t.Fatalf("RunChaos #1: %v", err)
+	}
+	_, run2, err := RunChaos(opts)
+	if err != nil {
+		t.Fatalf("RunChaos #2: %v", err)
+	}
+	if !reflect.DeepEqual(run1.FaultLog, run2.FaultLog) {
+		t.Errorf("fault schedules differ across runs with the same seed:\nrun1: %v\nrun2: %v", run1.FaultLog, run2.FaultLog)
+	}
+	if !reflect.DeepEqual(run1.Windows, run2.Windows) {
+		t.Errorf("outage windows differ: %v vs %v", run1.Windows, run2.Windows)
+	}
+	for i := range run1.Queries {
+		q1, q2 := run1.Queries[i], run2.Queries[i]
+		if !reflect.DeepEqual(q1.AnswerKeys, q2.AnswerKeys) {
+			t.Errorf("query %d (%s) answers differ across same-seed runs:\nrun1: %v\nrun2: %v", i, q1.Query, q1.AnswerKeys, q2.AnswerKeys)
+		}
+		if q1.TAll != q2.TAll {
+			t.Errorf("query %d (%s) timing differs across same-seed runs: %v vs %v", i, q1.Query, q1.TAll, q2.TAll)
+		}
+		if q1.Err != q2.Err {
+			t.Errorf("query %d (%s) error differs: %q vs %q", i, q1.Query, q1.Err, q2.Err)
+		}
+	}
+	if !reflect.DeepEqual(run1.Breaker, run2.Breaker) {
+		t.Errorf("breaker metrics differ: %+v vs %+v", run1.Breaker, run2.Breaker)
+	}
+	if run1.SoakClock != run2.SoakClock {
+		t.Errorf("soak clock differs: %v vs %v", run1.SoakClock, run2.SoakClock)
+	}
+	// A different seed must yield a different fault schedule (the seed is
+	// live, not decorative).
+	opts2 := opts
+	opts2.Seed = opts.Seed + 1
+	_, run3, err := RunChaos(opts2)
+	if err != nil {
+		t.Fatalf("RunChaos #3: %v", err)
+	}
+	if reflect.DeepEqual(run1.FaultLog, run3.FaultLog) && len(run1.FaultLog) > 0 {
+		t.Errorf("different seeds produced identical fault schedules")
+	}
+}

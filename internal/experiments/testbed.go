@@ -18,7 +18,9 @@ import (
 	"hermes/internal/domains/avis"
 	"hermes/internal/domains/relation"
 	"hermes/internal/engine"
+	"hermes/internal/faultinject"
 	"hermes/internal/netsim"
+	"hermes/internal/resilience"
 	"hermes/internal/rewrite"
 	"hermes/internal/term"
 )
@@ -129,15 +131,25 @@ type TestbedOptions struct {
 	// Load, if set, installs a time-varying latency multiplier on the
 	// remote hosts (recency ablation).
 	Load func(time.Duration) float64
+	// Faults, if set, wraps the remote AVIS source in a deterministic
+	// fault injector (chaos/soak experiments).
+	Faults *faultinject.Config
+	// Resilience, if set, wraps every source in the resilient call layer.
+	Resilience *resilience.Policy
+	// QueryDeadline bounds each query's execution-clock budget.
+	QueryDeadline time.Duration
 }
 
 // Testbed is a fully wired federation: the mediator system plus direct
 // handles on the sources for dataset inspection.
 type Testbed struct {
-	Sys   *core.System
-	AVIS  *avis.Store
-	Rel   *relation.DB
-	hosts []*netsim.Host
+	Sys  *core.System
+	AVIS *avis.Store
+	Rel  *relation.DB
+	// Faults is the AVIS fault injector (nil unless TestbedOptions.Faults
+	// was set).
+	Faults *faultinject.Injector
+	hosts  []*netsim.Host
 }
 
 // ResetConnections cools every simulated network connection, so the next
@@ -216,6 +228,8 @@ func NewTestbed(opts TestbedOptions) (*Testbed, error) {
 	if opts.DCSMConfig != nil {
 		sysOpts.DCSM = opts.DCSMConfig
 	}
+	sysOpts.Resilience = opts.Resilience
+	sysOpts.QueryDeadline = opts.QueryDeadline
 	sys := core.NewSystem(sysOpts)
 
 	var hostOpts []netsim.Option
@@ -231,7 +245,13 @@ func NewTestbed(opts TestbedOptions) (*Testbed, error) {
 	}
 	avisHost := netsim.Wrap(store, opts.Site, hostOpts...)
 	relHost := netsim.Wrap(rel, relSite, hostOpts...)
-	sys.Register(avisHost)
+	var injector *faultinject.Injector
+	if opts.Faults != nil {
+		injector = faultinject.Wrap(avisHost, *opts.Faults)
+		sys.Register(injector)
+	} else {
+		sys.Register(avisHost)
+	}
 	sys.Register(relHost)
 
 	if err := sys.LoadProgram(mediatorProgram); err != nil {
@@ -247,7 +267,7 @@ func NewTestbed(opts TestbedOptions) (*Testbed, error) {
 		// co-located relational database is cheaper to query directly.
 		sys.RouteThroughCIM("avis", true)
 	}
-	return &Testbed{Sys: sys, AVIS: store, Rel: rel, hosts: []*netsim.Host{avisHost, relHost}}, nil
+	return &Testbed{Sys: sys, AVIS: store, Rel: rel, Faults: injector, hosts: []*netsim.Host{avisHost, relHost}}, nil
 }
 
 // originalOrderPlan returns a plan whose rule for the query's single

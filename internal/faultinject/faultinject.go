@@ -1,0 +1,210 @@
+// Package faultinject wraps a domain.Domain with seeded, deterministic
+// fault injection: per-call transient errors, latency spikes, mid-stream
+// truncation, and scheduled unavailability windows. It is the test
+// harness counterpart of internal/resilience — chaos and soak tests wrap
+// a source with an Injector and assert that the resilience layer and the
+// CIM's cache fallback keep queries sound and live.
+//
+// Every decision is a pure function of (seed, call key, per-key
+// occurrence number), so the same seed and workload produce an identical
+// fault schedule on every run; the Injector records an event log that
+// tests can compare across runs to prove it.
+package faultinject
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"hermes/internal/domain"
+	"hermes/internal/term"
+)
+
+// Window is a clock interval [From, To) during which every call fails
+// with domain.ErrUnavailable, modelling a site outage.
+type Window struct {
+	From, To time.Duration
+}
+
+// Config tunes the injector. All rates are probabilities in [0, 1],
+// evaluated independently per call occurrence.
+type Config struct {
+	// Seed drives every deterministic pseudo-random decision.
+	Seed uint64
+	// ErrorRate is the per-attempt probability that a call fails at setup
+	// with a retryable error.
+	ErrorRate float64
+	// FailLatency is charged to the clock on an injected setup failure
+	// (a connection that errors still costs a round trip).
+	FailLatency time.Duration
+	// SpikeRate is the probability a call's setup suffers SpikeLatency of
+	// extra delay.
+	SpikeRate    float64
+	SpikeLatency time.Duration
+	// TruncateRate is the probability the answer stream is cut mid-way:
+	// after a deterministic prefix, Next returns a retryable error.
+	TruncateRate float64
+	// Windows schedules unavailability on the execution clock.
+	Windows []Window
+}
+
+// Event is one injected fault, for determinism assertions.
+type Event struct {
+	// Seq orders events; Occurrence is the per-key call counter the
+	// decision was drawn from.
+	Seq        int
+	Occurrence int
+	Key        string
+	// Kind is "error", "spike", "truncate", or "window".
+	Kind string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %s[%d] %s", e.Seq, e.Key, e.Occurrence, e.Kind)
+}
+
+// Injector is a fault-injecting domain wrapper. It is safe for
+// concurrent use.
+type Injector struct {
+	inner domain.Domain
+	cfg   Config
+
+	mu     sync.Mutex
+	counts map[string]int
+	events []Event
+	seq    int
+}
+
+// Wrap places d behind the fault injector.
+func Wrap(d domain.Domain, cfg Config) *Injector {
+	return &Injector{inner: d, cfg: cfg, counts: make(map[string]int)}
+}
+
+// Name is transparent, like netsim.Host.
+func (i *Injector) Name() string { return i.inner.Name() }
+
+// Functions forwards to the wrapped domain.
+func (i *Injector) Functions() []domain.FuncSpec { return i.inner.Functions() }
+
+// Inner returns the wrapped domain.
+func (i *Injector) Inner() domain.Domain { return i.inner }
+
+// Events returns the injected-fault log in order.
+func (i *Injector) Events() []Event {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return append([]Event(nil), i.events...)
+}
+
+// EventLog renders the event log one line per fault, for cross-run
+// comparison.
+func (i *Injector) EventLog() []string {
+	evs := i.Events()
+	out := make([]string, len(evs))
+	for j, e := range evs {
+		out[j] = e.String()
+	}
+	return out
+}
+
+// Reset clears the occurrence counters and the event log (not the seed),
+// so a repeated run observes the identical schedule.
+func (i *Injector) Reset() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.counts = make(map[string]int)
+	i.events = nil
+	i.seq = 0
+}
+
+// unit returns the deterministic u ∈ [0,1) for one decision.
+func (i *Injector) unit(key string, occurrence int, tag string) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d|%s", i.cfg.Seed, key, occurrence, tag)
+	return float64(h.Sum64()%1_000_000) / 1_000_000
+}
+
+func (i *Injector) record(key string, occurrence int, kind string) {
+	i.seq++
+	i.events = append(i.events, Event{Seq: i.seq, Occurrence: occurrence, Key: key, Kind: kind})
+}
+
+// Call injects scheduled and per-occurrence faults around the wrapped
+// domain's call.
+func (i *Injector) Call(ctx *domain.Ctx, fn string, args []term.Value) (domain.Stream, error) {
+	call := domain.Call{Domain: i.inner.Name(), Function: fn, Args: args}
+	key := call.Key()
+	now := ctx.Clock.Now()
+
+	i.mu.Lock()
+	n := i.counts[key]
+	i.counts[key]++
+	inWindow := false
+	for _, w := range i.cfg.Windows {
+		if now >= w.From && now < w.To {
+			inWindow = true
+			break
+		}
+	}
+	if inWindow {
+		i.record(key, n, "window")
+		i.mu.Unlock()
+		ctx.Clock.Sleep(i.cfg.FailLatency)
+		return nil, fmt.Errorf("%w: injected outage window at %s", domain.ErrUnavailable, now)
+	}
+	if i.cfg.ErrorRate > 0 && i.unit(key, n, "error") < i.cfg.ErrorRate {
+		i.record(key, n, "error")
+		i.mu.Unlock()
+		ctx.Clock.Sleep(i.cfg.FailLatency)
+		return nil, fmt.Errorf("%w: injected transient error (occurrence %d)", domain.ErrUnavailable, n)
+	}
+	spike := i.cfg.SpikeRate > 0 && i.unit(key, n, "spike") < i.cfg.SpikeRate
+	truncate := i.cfg.TruncateRate > 0 && i.unit(key, n, "truncate") < i.cfg.TruncateRate
+	truncAfter := 0
+	if spike {
+		i.record(key, n, "spike")
+	}
+	if truncate {
+		truncAfter = 1 + int(i.unit(key, n, "truncate-len")*4)
+		i.record(key, n, "truncate")
+	}
+	i.mu.Unlock()
+
+	if spike {
+		ctx.Clock.Sleep(i.cfg.SpikeLatency)
+	}
+	s, err := i.inner.Call(ctx, fn, args)
+	if err != nil {
+		return nil, err
+	}
+	if truncate {
+		return &truncatedStream{inner: s, remaining: truncAfter, occurrence: n}, nil
+	}
+	return s, nil
+}
+
+// truncatedStream delivers a prefix of the real answers, then fails with
+// a retryable error — a connection dropped mid-transfer. The delivered
+// prefix consists of true answers, so soundness is preserved; the error
+// keeps the truncation from being mistaken for end-of-stream.
+type truncatedStream struct {
+	inner      domain.Stream
+	remaining  int
+	occurrence int
+}
+
+func (s *truncatedStream) Next() (term.Value, bool, error) {
+	if s.remaining <= 0 {
+		return nil, false, fmt.Errorf("%w: injected mid-stream truncation (occurrence %d)",
+			domain.ErrUnavailable, s.occurrence)
+	}
+	v, ok, err := s.inner.Next()
+	if err != nil || !ok {
+		return v, ok, err
+	}
+	s.remaining--
+	return v, true, nil
+}
+
+func (s *truncatedStream) Close() error { return s.inner.Close() }

@@ -1,0 +1,180 @@
+package faultinject
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"hermes/internal/domain"
+	"hermes/internal/domain/domaintest"
+	"hermes/internal/term"
+	"hermes/internal/vclock"
+)
+
+func tenValues() *domaintest.Domain {
+	d := domaintest.New("src")
+	d.Define("gen", domaintest.Func{Arity: 0,
+		Fn: func([]term.Value) ([]term.Value, error) {
+			out := make([]term.Value, 10)
+			for i := range out {
+				out[i] = term.Int(int64(i))
+			}
+			return out, nil
+		}})
+	return d
+}
+
+// drive runs n calls through an injector, collecting outcome signatures.
+func drive(inj *Injector, n int) []string {
+	ctx := domain.NewCtx(vclock.NewVirtual(0))
+	var out []string
+	for i := 0; i < n; i++ {
+		s, err := inj.Call(ctx, "gen", nil)
+		if err != nil {
+			out = append(out, "err:"+err.Error())
+			continue
+		}
+		vals, err := domain.Collect(s)
+		if err != nil {
+			out = append(out, "trunc:"+err.Error())
+			continue
+		}
+		out = append(out, "ok")
+		_ = vals
+	}
+	return out
+}
+
+func TestInjectorDeterministicSchedule(t *testing.T) {
+	cfg := Config{Seed: 42, ErrorRate: 0.3, TruncateRate: 0.3, SpikeRate: 0.2, SpikeLatency: time.Second}
+
+	i1 := Wrap(tenValues(), cfg)
+	out1 := drive(i1, 20)
+	log1 := i1.EventLog()
+
+	i2 := Wrap(tenValues(), cfg)
+	out2 := drive(i2, 20)
+	if !reflect.DeepEqual(out1, out2) {
+		t.Errorf("same seed, different outcomes:\n%v\n%v", out1, out2)
+	}
+	if !reflect.DeepEqual(log1, i2.EventLog()) {
+		t.Errorf("same seed, different event logs:\n%v\n%v", log1, i2.EventLog())
+	}
+	if len(log1) == 0 {
+		t.Fatal("no faults injected at 30% rates over 20 calls; schedule is vacuous")
+	}
+
+	// Reset replays the identical schedule on the same injector.
+	i1.Reset()
+	out3 := drive(i1, 20)
+	if !reflect.DeepEqual(out1, out3) {
+		t.Errorf("Reset did not reproduce the schedule:\n%v\n%v", out1, out3)
+	}
+
+	// A different seed must change the schedule.
+	i4 := Wrap(tenValues(), Config{Seed: 43, ErrorRate: 0.3, TruncateRate: 0.3, SpikeRate: 0.2, SpikeLatency: time.Second})
+	drive(i4, 20)
+	if reflect.DeepEqual(log1, i4.EventLog()) {
+		t.Error("different seeds produced identical fault schedules")
+	}
+}
+
+func TestInjectorWindow(t *testing.T) {
+	inj := Wrap(tenValues(), Config{
+		Seed:        1,
+		FailLatency: 100 * time.Millisecond,
+		Windows:     []Window{{From: time.Second, To: 2 * time.Second}},
+	})
+	clk := vclock.NewVirtual(0)
+	ctx := domain.NewCtx(clk)
+
+	// Before the window: clean.
+	if _, err := inj.Call(ctx, "gen", nil); err != nil {
+		t.Fatalf("call before window: %v", err)
+	}
+
+	// Inside the window: typed unavailable, and the failed dial costs
+	// FailLatency.
+	clk.Sleep(time.Second - clk.Now() + time.Millisecond)
+	before := clk.Now()
+	_, err := inj.Call(ctx, "gen", nil)
+	if !errors.Is(err, domain.ErrUnavailable) {
+		t.Fatalf("call inside window = %v, want ErrUnavailable", err)
+	}
+	if got := clk.Now() - before; got != 100*time.Millisecond {
+		t.Errorf("window failure charged %v, want FailLatency", got)
+	}
+
+	// After the window: clean again (To is exclusive).
+	clk.Sleep(2*time.Second - clk.Now())
+	if _, err := inj.Call(ctx, "gen", nil); err != nil {
+		t.Fatalf("call after window: %v", err)
+	}
+
+	evs := inj.Events()
+	if len(evs) != 1 || evs[0].Kind != "window" {
+		t.Errorf("events = %v, want exactly one window event", evs)
+	}
+}
+
+func TestInjectorTruncationIsPrefix(t *testing.T) {
+	inj := Wrap(tenValues(), Config{Seed: 5, TruncateRate: 1})
+	ctx := domain.NewCtx(vclock.NewVirtual(0))
+	s, err := inj.Call(ctx, "gen", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []term.Value
+	var streamErr error
+	for {
+		v, ok, err := s.Next()
+		if err != nil {
+			streamErr = err
+			break
+		}
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	if !errors.Is(streamErr, domain.ErrUnavailable) {
+		t.Fatalf("truncation error = %v, want retryable ErrUnavailable", streamErr)
+	}
+	if len(got) == 0 || len(got) >= 10 {
+		t.Fatalf("truncated stream delivered %d of 10 answers, want a proper prefix", len(got))
+	}
+	// The prefix consists of true answers in order (soundness).
+	for i, v := range got {
+		if !term.Equal(v, term.Int(int64(i))) {
+			t.Errorf("answer %d = %v, want %v", i, v, term.Int(int64(i)))
+		}
+	}
+}
+
+func TestInjectorTransparent(t *testing.T) {
+	src := tenValues()
+	inj := Wrap(src, Config{})
+	if inj.Name() != "src" {
+		t.Errorf("Name = %q", inj.Name())
+	}
+	if len(inj.Functions()) != 1 {
+		t.Errorf("Functions = %v", inj.Functions())
+	}
+	if inj.Inner() != domain.Domain(src) {
+		t.Error("Inner does not return the wrapped domain")
+	}
+	// Zero config injects nothing.
+	ctx := domain.NewCtx(vclock.NewVirtual(0))
+	s, err := inj.Call(ctx, "gen", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := domain.Collect(s)
+	if err != nil || len(vals) != 10 {
+		t.Errorf("passthrough = %d answers, %v", len(vals), err)
+	}
+	if evs := inj.Events(); len(evs) != 0 {
+		t.Errorf("zero config injected %v", evs)
+	}
+}

@@ -150,6 +150,9 @@ func (h *Host) loadFactor(t time.Duration) float64 {
 // Call charges connection setup and RTT, checks availability, invokes the
 // wrapped domain, and returns a stream that charges per-answer transfer.
 func (h *Host) Call(ctx *domain.Ctx, fn string, args []term.Value) (domain.Stream, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	call := domain.Call{Domain: h.inner.Name(), Function: fn, Args: args}
 	now := ctx.Clock.Now()
 	for _, o := range h.outages {
@@ -190,6 +193,9 @@ type timedStream struct {
 }
 
 func (s *timedStream) Next() (term.Value, bool, error) {
+	if err := s.ctx.Err(); err != nil {
+		return nil, false, err
+	}
 	v, ok, err := s.inner.Next()
 	if err != nil || !ok {
 		return v, ok, err

@@ -36,39 +36,61 @@ func (c *Client) SetDialTimeout(d time.Duration) { c.dialTO = d }
 // Name implements domain.Domain.
 func (c *Client) Name() string { return c.name }
 
-// Functions implements domain.Domain, fetching (and caching) the remote
-// listing. An unreachable server yields an empty listing.
+// Functions implements domain.Domain. The interface cannot report errors;
+// callers that must distinguish "no functions" from "server unreachable"
+// (the registry's validation does) use FunctionsErr instead.
 func (c *Client) Functions() []domain.FuncSpec {
+	specs, _ := c.FunctionsErr()
+	return specs
+}
+
+// FunctionsErr implements domain.FunctionLister, fetching (and caching)
+// the remote listing. An unreachable server surfaces domain.ErrUnavailable
+// — a retryable condition — rather than masquerading as a function-less
+// domain; nothing is cached on failure, so a later probe retries.
+func (c *Client) FunctionsErr() ([]domain.FuncSpec, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.specs != nil {
-		return c.specs
+		return c.specs, nil
 	}
 	conn, err := net.DialTimeout("tcp", c.addr, c.dialTO)
 	if err != nil {
-		return nil
+		return nil, fmt.Errorf("%w: dial %s: %v", domain.ErrUnavailable, c.addr, err)
 	}
 	defer conn.Close()
 	if err := json.NewEncoder(conn).Encode(request{Op: "functions"}); err != nil {
-		return nil
+		return nil, fmt.Errorf("%w: send functions request to %s: %v", domain.ErrUnavailable, c.addr, err)
 	}
 	var resp response
 	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
-		return nil
+		return nil, fmt.Errorf("%w: read functions listing from %s: %v", domain.ErrUnavailable, c.addr, err)
 	}
+	specs := make([]domain.FuncSpec, 0, len(resp.Functions[c.name]))
 	for _, spec := range resp.Functions[c.name] {
-		c.specs = append(c.specs, domain.FuncSpec{Name: spec.Name, Arity: spec.Arity, Doc: spec.Doc})
+		specs = append(specs, domain.FuncSpec{Name: spec.Name, Arity: spec.Arity, Doc: spec.Doc})
 	}
-	return c.specs
+	c.specs = specs
+	return c.specs, nil
 }
 
-// Call implements domain.Domain.
+// Call implements domain.Domain. The dial honours the ctx's cancellation
+// context, so an aborted query does not leave a dial in flight.
 func (c *Client) Call(ctx *domain.Ctx, fn string, args []term.Value) (domain.Stream, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	wargs, err := encodeValues(args)
 	if err != nil {
 		return nil, err
 	}
-	conn, err := net.DialTimeout("tcp", c.addr, c.dialTO)
+	dialer := net.Dialer{Timeout: c.dialTO}
+	var conn net.Conn
+	if ctx.Context != nil {
+		conn, err = dialer.DialContext(ctx.Context, "tcp", c.addr)
+	} else {
+		conn, err = dialer.Dial("tcp", c.addr)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("%w: dial %s: %v", domain.ErrUnavailable, c.addr, err)
 	}

@@ -201,6 +201,52 @@ func TestFunctionsListing(t *testing.T) {
 	}
 }
 
+// Regression: Functions() used to swallow dial failures and return an
+// empty listing, which made the registry's validation misclassify an
+// unreachable server as "unknown function" — a permanent, non-retryable
+// verdict for a transient outage. FunctionsErr must surface the typed
+// ErrUnavailable, nothing may be cached on failure, and a recovered
+// server must serve the listing on the next probe.
+func TestFunctionsUnreachableSurfacesUnavailable(t *testing.T) {
+	c := NewClient("127.0.0.1:1", "echo") // nothing listens on port 1
+	c.SetDialTimeout(200 * time.Millisecond)
+	specs, err := c.FunctionsErr()
+	if !errors.Is(err, domain.ErrUnavailable) {
+		t.Fatalf("FunctionsErr = (%v, %v), want ErrUnavailable", specs, err)
+	}
+	if !domain.IsRetryable(err) {
+		t.Errorf("listing failure should be retryable, got %v", err)
+	}
+	if specs != nil {
+		t.Errorf("failed listing returned specs %v, want nil", specs)
+	}
+
+	// The registry must not translate the outage into ErrUnknownFunction.
+	reg := domain.NewRegistry()
+	reg.Register(c)
+	call := domain.Call{Domain: "echo", Function: "gen", Args: []term.Value{term.Int(1)}}
+	err = reg.CheckCall(call)
+	if !errors.Is(err, domain.ErrUnavailable) {
+		t.Errorf("CheckCall = %v, want ErrUnavailable", err)
+	}
+	if errors.Is(err, domain.ErrUnknownFunction) {
+		t.Errorf("CheckCall misreported outage as unknown function: %v", err)
+	}
+	if reg.HasFunction("echo", "gen", 1) {
+		t.Error("HasFunction must not confirm a function it could not list")
+	}
+
+	// Nothing was cached, so once the server is up the same client works.
+	_, addr := startServer(t, echoDomain())
+	c.addr = addr
+	if err := reg.CheckCall(call); err != nil {
+		t.Errorf("CheckCall after recovery: %v", err)
+	}
+	if len(c.Functions()) != 3 {
+		t.Errorf("recovered listing = %v", c.Functions())
+	}
+}
+
 func TestUnknownRemoteDomainErrors(t *testing.T) {
 	_, addr := startServer(t, echoDomain())
 	c := NewClient(addr, "nosuch")

@@ -1,0 +1,74 @@
+// Package resilience hardens the mediator's call path against the
+// failure modes the paper's live-Internet sources exhibit: >10× latency
+// variance, transient errors, and temporary unreachability. It provides a
+// policy-driven wrapper around any domain.Domain that adds per-call
+// deadlines, bounded retry with decorrelated exponential backoff, a
+// per-domain circuit breaker with half-open probing, and mid-stream resume
+// after truncated answer streams. Cache degradation — serving stale or
+// partial answers when a source stays down — lives above this layer, in
+// the CIM: the wrapper's job is to fail fast and predictably so the CIM's
+// fallback can take over.
+//
+// All randomness is derived by hashing a seed with the call key, so a
+// given workload observes an identical retry schedule on every run; the
+// deterministic virtual clock does the rest.
+package resilience
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// Backoff computes retry delays with decorrelated jitter: each delay is
+// drawn uniformly from [Base, 3·prev], capped at Cap. Unlike plain
+// exponential backoff with full jitter, decorrelated jitter spreads
+// concurrent retriers apart even when they fail in lockstep, while the
+// hash-seeded draw keeps every schedule reproducible.
+type Backoff struct {
+	// Base is the minimum delay (and the nominal first delay).
+	Base time.Duration
+	// Cap bounds every delay.
+	Cap time.Duration
+	// Seed drives the deterministic jitter.
+	Seed uint64
+	// Key scopes the jitter stream, typically the call key: two different
+	// calls retry on different schedules.
+	Key string
+}
+
+// unit returns a deterministic pseudo-random u ∈ [0,1) for one attempt.
+func (b Backoff) unit(attempt int) float64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(b.Seed >> (8 * i))
+		buf[8+i] = byte(uint64(attempt) >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(b.Key))
+	return float64(h.Sum64()%1_000_000) / 1_000_000
+}
+
+// Delay returns the backoff before retry number attempt (1-based), given
+// the previous delay (pass 0 before the first retry).
+func (b Backoff) Delay(attempt int, prev time.Duration) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if prev < base {
+		prev = base
+	}
+	hi := 3 * prev
+	if b.Cap > 0 && hi > b.Cap {
+		hi = b.Cap
+	}
+	if hi < base {
+		hi = base
+	}
+	d := base + time.Duration(b.unit(attempt)*float64(hi-base))
+	if b.Cap > 0 && d > b.Cap {
+		d = b.Cap
+	}
+	return d
+}

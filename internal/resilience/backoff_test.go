@@ -1,0 +1,117 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayBounds(t *testing.T) {
+	tests := []struct {
+		name string
+		b    Backoff
+		// runs attempts 1..n threading prev, checking every delay stays in
+		// [lo, hi].
+		n      int
+		lo, hi time.Duration
+	}{
+		{
+			name: "base and cap respected",
+			b:    Backoff{Base: 50 * time.Millisecond, Cap: 2 * time.Second, Seed: 1, Key: "avis|f|x"},
+			n:    10, lo: 50 * time.Millisecond, hi: 2 * time.Second,
+		},
+		{
+			name: "zero base defaults to 1ms",
+			b:    Backoff{Cap: time.Second, Seed: 2, Key: "k"},
+			n:    5, lo: time.Millisecond, hi: time.Second,
+		},
+		{
+			name: "no cap still bounded by 3x growth",
+			b:    Backoff{Base: 10 * time.Millisecond, Seed: 3, Key: "k"},
+			n:    6, lo: 10 * time.Millisecond, hi: 10 * time.Millisecond * 3 * 3 * 3 * 3 * 3 * 3,
+		},
+		{
+			name: "cap below base clamps to base",
+			b:    Backoff{Base: 100 * time.Millisecond, Cap: 10 * time.Millisecond, Seed: 4, Key: "k"},
+			n:    4, lo: 10 * time.Millisecond, hi: 100 * time.Millisecond,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			prev := time.Duration(0)
+			for a := 1; a <= tc.n; a++ {
+				d := tc.b.Delay(a, prev)
+				if d < tc.lo || d > tc.hi {
+					t.Errorf("attempt %d: delay %v outside [%v, %v]", a, d, tc.lo, tc.hi)
+				}
+				prev = d
+			}
+		})
+	}
+}
+
+func TestBackoffDecorrelatedRange(t *testing.T) {
+	// Each delay must lie in [Base, 3·prev] (capped): the decorrelated
+	// jitter recurrence.
+	b := Backoff{Base: 20 * time.Millisecond, Cap: 5 * time.Second, Seed: 9, Key: "call"}
+	prev := time.Duration(0)
+	for a := 1; a <= 12; a++ {
+		d := b.Delay(a, prev)
+		lo := b.Base
+		// The recurrence clamps prev up to Base before tripling.
+		p := prev
+		if p < b.Base {
+			p = b.Base
+		}
+		hi := 3 * p
+		if hi > b.Cap {
+			hi = b.Cap
+		}
+		if d < lo || d > hi {
+			t.Errorf("attempt %d: delay %v outside decorrelated range [%v, %v] (prev %v)", a, d, lo, hi, prev)
+		}
+		prev = d
+	}
+}
+
+func TestBackoffDeterministicPerSeed(t *testing.T) {
+	schedule := func(seed uint64, key string) []time.Duration {
+		b := Backoff{Base: 50 * time.Millisecond, Cap: 2 * time.Second, Seed: seed, Key: key}
+		var out []time.Duration
+		prev := time.Duration(0)
+		for a := 1; a <= 8; a++ {
+			d := b.Delay(a, prev)
+			out = append(out, d)
+			prev = d
+		}
+		return out
+	}
+
+	s1 := schedule(7, "avis|frames_to_objects|rope,0,110")
+	s2 := schedule(7, "avis|frames_to_objects|rope,0,110")
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("same seed+key diverged at retry %d: %v vs %v", i+1, s1[i], s2[i])
+		}
+	}
+
+	// Different seeds and different keys must (for these inputs) give
+	// different schedules — the jitter is live, not constant.
+	if same(s1, schedule(8, "avis|frames_to_objects|rope,0,110")) {
+		t.Error("different seeds produced identical schedules")
+	}
+	if same(s1, schedule(7, "avis|frames_to_objects|rope,3,117")) {
+		t.Error("different call keys produced identical schedules")
+	}
+}
+
+func same(a, b []time.Duration) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

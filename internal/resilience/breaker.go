@@ -1,0 +1,197 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen reports that the circuit breaker rejected a call without
+// attempting it. Callers see it wrapped in domain.ErrUnavailable, so the
+// CIM's cache fallback treats an open breaker exactly like a down source.
+var ErrBreakerOpen = errors.New("circuit breaker open")
+
+// BreakerState is the circuit breaker's state machine position.
+type BreakerState int
+
+// Breaker states: closed (calls flow), open (calls rejected), half-open
+// (exactly one probe call allowed through).
+const (
+	StateClosed BreakerState = iota
+	StateOpen
+	StateHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	}
+	return "?"
+}
+
+// BreakerConfig tunes the circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive retryable failures trip
+	// the breaker (0 disables the breaker entirely).
+	FailureThreshold int
+	// OpenTimeout is how long the breaker stays open before allowing a
+	// half-open probe, measured on the execution clock.
+	OpenTimeout time.Duration
+	// HalfOpenSuccesses is how many consecutive probe successes close the
+	// breaker again (default 1).
+	HalfOpenSuccesses int
+}
+
+// Transition is one recorded state change, for tests and dashboards.
+type Transition struct {
+	At       time.Duration
+	From, To BreakerState
+}
+
+// BreakerMetrics counts breaker activity.
+type BreakerMetrics struct {
+	// Trips counts closed→open (and half-open→open) transitions.
+	Trips int
+	// Probes counts half-open probe calls allowed through.
+	Probes int
+	// ProbeFailures counts probes that failed and re-opened the breaker.
+	ProbeFailures int
+	// Rejections counts calls rejected while open (or while another
+	// half-open probe was in flight).
+	Rejections int
+	// Transitions is the full state-change history in clock order.
+	Transitions []Transition
+}
+
+// Breaker is a per-domain circuit breaker. Time is supplied by the caller
+// (execution-clock readings), keeping the state machine deterministic
+// under the virtual clock. The half-open state admits exactly one probe
+// at a time: concurrent calls are rejected until the probe reports.
+type Breaker struct {
+	mu        sync.Mutex
+	cfg       BreakerConfig
+	state     BreakerState
+	failures  int // consecutive retryable failures while closed
+	successes int // consecutive probe successes while half-open
+	openedAt  time.Duration
+	probing   bool // a half-open probe is in flight
+	metrics   BreakerMetrics
+}
+
+// NewBreaker builds a breaker in the closed state.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.HalfOpenSuccesses <= 0 {
+		cfg.HalfOpenSuccesses = 1
+	}
+	return &Breaker{cfg: cfg}
+}
+
+// State returns the current state, advancing open→half-open if the open
+// timeout has elapsed at clock reading now.
+func (b *Breaker) State(now time.Duration) BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked(now)
+	return b.state
+}
+
+// Metrics returns a snapshot of the activity counters.
+func (b *Breaker) Metrics() BreakerMetrics {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := b.metrics
+	out.Transitions = append([]Transition(nil), b.metrics.Transitions...)
+	return out
+}
+
+func (b *Breaker) transitionLocked(now time.Duration, to BreakerState) {
+	if b.state == to {
+		return
+	}
+	b.metrics.Transitions = append(b.metrics.Transitions, Transition{At: now, From: b.state, To: to})
+	b.state = to
+}
+
+// advanceLocked moves open→half-open once the open timeout elapses.
+func (b *Breaker) advanceLocked(now time.Duration) {
+	if b.state == StateOpen && now >= b.openedAt+b.cfg.OpenTimeout {
+		b.transitionLocked(now, StateHalfOpen)
+		b.successes = 0
+		b.probing = false
+	}
+}
+
+// Allow asks whether a call may proceed at clock reading now. It returns
+// ErrBreakerOpen when the breaker rejects the call. In the half-open
+// state the first caller is admitted as the probe; concurrent callers are
+// rejected until the probe's Record.
+func (b *Breaker) Allow(now time.Duration) error {
+	if b.cfg.FailureThreshold <= 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked(now)
+	switch b.state {
+	case StateClosed:
+		return nil
+	case StateHalfOpen:
+		if b.probing {
+			b.metrics.Rejections++
+			return ErrBreakerOpen
+		}
+		b.probing = true
+		b.metrics.Probes++
+		return nil
+	default: // StateOpen
+		b.metrics.Rejections++
+		return ErrBreakerOpen
+	}
+}
+
+// Record reports the outcome of a call previously admitted by Allow.
+// ok=true is a success; ok=false a retryable failure (non-retryable
+// errors should be recorded as successes: the source answered).
+func (b *Breaker) Record(now time.Duration, ok bool) {
+	if b.cfg.FailureThreshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked(now)
+	switch b.state {
+	case StateClosed:
+		if ok {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.transitionLocked(now, StateOpen)
+			b.openedAt = now
+			b.failures = 0
+			b.metrics.Trips++
+		}
+	case StateHalfOpen:
+		b.probing = false
+		if ok {
+			b.successes++
+			if b.successes >= b.cfg.HalfOpenSuccesses {
+				b.transitionLocked(now, StateClosed)
+				b.failures = 0
+			}
+			return
+		}
+		b.successes = 0
+		b.transitionLocked(now, StateOpen)
+		b.openedAt = now
+		b.metrics.Trips++
+		b.metrics.ProbeFailures++
+	default: // StateOpen: a straggler from before the trip; ignore.
+	}
+}
