@@ -10,7 +10,8 @@
 //	hermes -query "?- actors(A)." # one-shot query
 //	hermes -program my.hql        # load additional rules/invariants
 //	hermes -connect host:7117     # use domains hosted by hermesd
-//	hermes -explain               # print candidate plans with costs
+//	hermes -explain               # candidate plans, then the executed
+//	                              # query's span tree (est vs actual)
 //
 // In the REPL, end statements with '.'; queries start with '?-'. Other
 // statements are added to the program (rules and invariants). Commands:
@@ -30,6 +31,7 @@ import (
 	"hermes/internal/domains/relation"
 	"hermes/internal/engine"
 	"hermes/internal/netsim"
+	"hermes/internal/obs"
 	"hermes/internal/remote"
 	"hermes/internal/term"
 	"hermes/internal/vclock"
@@ -39,13 +41,13 @@ func main() {
 	programPath := flag.String("program", "", "mediator program file to load")
 	query := flag.String("query", "", "one-shot query (REPL otherwise)")
 	connect := flag.String("connect", "", "hermesd address; replaces the built-in simulated federation")
-	explain := flag.Bool("explain", false, "print all candidate plans with their estimated costs")
+	explain := flag.Bool("explain", false, "print all candidate plans with their estimated costs, then the executed query's span tree")
 	interactive := flag.Bool("interactive", false, "rank plans by time to first answer")
 	limit := flag.Int("limit", 0, "stop after N answers (0 = all)")
 	trace := flag.Bool("trace", false, "print every domain call with how it was served")
 	flag.Parse()
 
-	opts := core.Options{}
+	opts := core.Options{Obs: obs.NewObserver()}
 	if *trace {
 		ecfg := engine.DefaultConfig()
 		ecfg.Trace = func(ev engine.TraceEvent) {
@@ -205,6 +207,18 @@ func (sh *shell) runQuery(q string) error {
 		if err := sh.printPlans(q); err != nil {
 			return err
 		}
+		// Trace the whole pipeline so the span tree below shows the
+		// rewrite, the plan choice, and every call's est vs actual.
+		cur, err := sh.sys.QueryTraced(q, sh.interactive)
+		if err != nil {
+			return err
+		}
+		if err := sh.drain(cur); err != nil {
+			return err
+		}
+		fmt.Println("query trace (est vs actual):")
+		fmt.Print(indent(obs.Explain(cur.Span().Snapshot())))
+		return nil
 	}
 	plan, cv, err := sh.sys.Optimize(q, sh.interactive)
 	if err != nil {
@@ -215,8 +229,15 @@ func (sh *shell) runQuery(q string) error {
 	if err != nil {
 		return err
 	}
+	return sh.drain(cur)
+}
+
+// drain pulls the cursor (respecting -limit) and prints answers and
+// timings.
+func (sh *shell) drain(cur *engine.Cursor) error {
 	var answers []engine.Answer
 	var metrics engine.Metrics
+	var err error
 	if sh.limit > 0 {
 		answers, metrics, err = engine.CollectFirst(cur, sh.limit)
 	} else {

@@ -8,16 +8,25 @@
 // (cast, crew, inventory), a spatial point store, the terrain path
 // planner, a face gallery, and a flat-file store.
 //
+// Besides the domain protocol, hermesd serves an observability HTTP
+// endpoint (-http): GET /metrics is a Prometheus text exposition, GET
+// /debug/queries the recent-query span ring buffer, and GET /query?q=...
+// runs a query through an embedded mediator over the hosted domains and
+// returns its answers plus EXPLAIN span tree.
+//
 // Usage:
 //
-//	hermesd -addr :7117
+//	hermesd -addr :7117 -http :7118
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"sync"
 
+	"hermes/internal/core"
 	"hermes/internal/domain"
 	"hermes/internal/domains/avis"
 	"hermes/internal/domains/face"
@@ -25,22 +34,114 @@ import (
 	"hermes/internal/domains/relation"
 	"hermes/internal/domains/spatial"
 	"hermes/internal/domains/terrain"
+	"hermes/internal/engine"
+	"hermes/internal/obs"
 	"hermes/internal/remote"
+	"hermes/internal/resilience"
 	"hermes/internal/term"
 )
 
 func main() {
 	addr := flag.String("addr", ":7117", "listen address")
+	httpAddr := flag.String("http", ":7118", "observability HTTP address (/metrics, /debug/queries, /query); empty disables")
 	flag.Parse()
 
+	doms := BuildDomains()
 	reg := domain.NewRegistry()
-	for _, d := range BuildDomains() {
+	for _, d := range doms {
 		reg.Register(d)
 		log.Printf("hermesd: serving domain %q (%d functions)", d.Name(), len(d.Functions()))
+	}
+	if *httpAddr != "" {
+		h, err := newObsHandler(doms)
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() {
+			log.Printf("hermesd: observability HTTP on %s", *httpAddr)
+			log.Fatal(http.ListenAndServe(*httpAddr, h))
+		}()
 	}
 	srv := remote.NewServer(reg)
 	log.Printf("hermesd: listening on %s", *addr)
 	log.Fatal(srv.ListenAndServe(*addr))
+}
+
+// serverProgram gives the embedded mediator rules over the hosted
+// federation, so /query works out of the box.
+const serverProgram = `
+	actors(Actor) :- in(Actor, avis:actors('rope')).
+	objects_between(First, Last, Object) :-
+	    in(Object, avis:frames_to_objects('rope', First, Last)).
+
+	true => avis:frames_to_objects(V, F, L) = avis:objects_in_range(V, F, L).
+	F1 <= G1 & G2 <= F2 => avis:frames_to_objects(V, F1, F2) >= avis:frames_to_objects(V, G1, G2).
+`
+
+// newObsHandler builds the observability endpoint: an embedded mediator
+// (CIM + DCSM + resilient wrappers, all reporting into one observer) over
+// the same domain instances the TCP server hosts, plus the obs HTTP
+// handler for its metrics and query spans.
+func newObsHandler(doms []domain.Domain) (http.Handler, error) {
+	o := obs.NewObserver()
+	pol := resilience.DefaultPolicy()
+	sys := core.NewSystem(core.Options{Obs: o, Resilience: &pol})
+	for _, d := range doms {
+		sys.Register(d)
+	}
+	if err := sys.LoadProgram(serverProgram); err != nil {
+		return nil, err
+	}
+	preRegisterMetrics(o)
+
+	// The embedded mediator shares one virtual clock, so queries are
+	// serialized; the domain TCP protocol is unaffected.
+	var queryMu sync.Mutex
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler(o))
+	mux.Handle("/debug/queries", obs.Handler(o))
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("q")
+		if q == "" {
+			http.Error(w, "missing q parameter, e.g. /query?q=?- actors(A).", http.StatusBadRequest)
+			return
+		}
+		queryMu.Lock()
+		defer queryMu.Unlock()
+		cur, err := sys.QueryTraced(q, false)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		answers, metrics, err := engine.CollectAll(cur)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, a := range answers {
+			fmt.Fprintln(w, a)
+		}
+		fmt.Fprintf(w, "%d answers, first in %dms, all in %dms\n\n",
+			metrics.Answers, metrics.TFirst.Milliseconds(), metrics.TAll.Milliseconds())
+		fmt.Fprint(w, obs.Explain(cur.Span().Snapshot()))
+	})
+	return mux, nil
+}
+
+// preRegisterMetrics touches the federation-level metric families so a
+// scrape before any traffic already reports them (at zero) with help
+// texts. The per-domain breaker-state gauges exist from registration.
+func preRegisterMetrics(o *obs.Observer) {
+	for _, outcome := range []string{"exact", "equality", "partial", "miss", "degraded"} {
+		o.Counter("hermes_cim_lookups_total", "outcome", outcome)
+	}
+	o.Counter("hermes_cim_degraded_total")
+	o.Counter("hermes_queries_total")
+	o.Metrics.SetHelp("hermes_cim_lookups_total", "CIM cache probes by serving outcome")
+	o.Metrics.SetHelp("hermes_cim_degraded_total", "responses served purely from cache because the source was down")
+	o.Metrics.SetHelp("hermes_queries_total", "queries executed by the embedded mediator")
+	o.Metrics.SetHelp("hermes_breaker_state", "per-domain circuit breaker state: 0 closed, 1 open, 2 half-open")
 }
 
 // BuildDomains assembles the full demonstration federation.

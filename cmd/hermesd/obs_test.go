@@ -1,0 +1,80 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// TestObsEndpoints exercises the observability HTTP surface end to end:
+// a query through /query, then /metrics (Prometheus text with CIM and
+// breaker families) and /debug/queries (the span ring buffer).
+func TestObsEndpoints(t *testing.T) {
+	h, err := newObsHandler(BuildDomains())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	// A scrape before any traffic is already non-empty: pre-registered
+	// CIM counters and the per-domain breaker-state gauges.
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	for _, want := range []string{
+		`hermes_cim_lookups_total{outcome="exact"} 0`,
+		`hermes_breaker_state{domain="avis"} 0`,
+		"# TYPE hermes_cim_lookups_total counter",
+		"# TYPE hermes_breaker_state gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+
+	code, body = get("/query?q=" + url.QueryEscape("?- actors(A)."))
+	if code != http.StatusOK {
+		t.Fatalf("/query status = %d: %s", code, body)
+	}
+	if !strings.Contains(body, "A=") || !strings.Contains(body, "answers") {
+		t.Errorf("/query body has no answers:\n%s", body)
+	}
+	if !strings.Contains(body, "plan-choice") || !strings.Contains(body, "call avis:") {
+		t.Errorf("/query body has no span tree:\n%s", body)
+	}
+
+	// The query moved the counters and landed in the span ring buffer.
+	if _, body = get("/metrics"); !strings.Contains(body, "hermes_queries_total 1") {
+		t.Errorf("/metrics after query missing hermes_queries_total 1\n%s", body)
+	}
+	code, body = get("/debug/queries")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/queries status = %d", code)
+	}
+	if !strings.Contains(body, "?- actors(A).") || !strings.Contains(body, "call avis:actors") {
+		t.Errorf("/debug/queries missing the traced query:\n%s", body)
+	}
+
+	if code, _ = get("/query"); code != http.StatusBadRequest {
+		t.Errorf("/query without q = %d, want 400", code)
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"hermes/internal/domain"
 	"hermes/internal/lang"
+	"hermes/internal/obs"
 	"hermes/internal/term"
 )
 
@@ -121,10 +122,10 @@ type Stats struct {
 	// DegradedServes counts responses served purely from cache because
 	// the source was down (subset of UnavailableFallbacks that produced a
 	// degraded-tagged response).
-	DegradedServes int
-	Evictions      int
-	StoredEntries        int
-	ServedFromCache      int // answers served out of the cache
+	DegradedServes  int
+	Evictions       int
+	StoredEntries   int
+	ServedFromCache int // answers served out of the cache
 }
 
 // Entry is one cached call with its answer set.
@@ -161,11 +162,42 @@ type Manager struct {
 	stats      Stats
 	// onMeasure observes completed actual calls (wired to the DCSM).
 	onMeasure func(domain.Measurement)
+	// ob receives CIM metrics and per-call span tags (nil = off).
+	ob *obs.Observer
 }
 
 // New creates a manager that issues actual calls through caller.
 func New(caller Caller, cfg Config) *Manager {
 	return &Manager{caller: caller, cfg: cfg, entries: make(map[string]*Entry)}
+}
+
+// SetObserver installs the observability sink: lookup outcome counters,
+// cache occupancy gauges, and outcome tags (cim=exact|equality|partial|miss,
+// degraded, serving) on the span each call's Ctx carries.
+func (m *Manager) SetObserver(o *obs.Observer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ob = o
+}
+
+// lookupLocked counts one cache probe outcome and tags the call's span
+// with it. Caller holds m.mu (the span has its own lock).
+func (m *Manager) lookupLocked(ctx *domain.Ctx, outcome string) {
+	m.ob.Counter("hermes_cim_lookups_total", "outcome", outcome).Inc()
+	ctx.Span.SetTag("cim", outcome)
+}
+
+// occupancyLocked refreshes the cache-size gauges. Caller holds m.mu.
+func (m *Manager) occupancyLocked() {
+	m.ob.Gauge("hermes_cim_entries").Set(float64(len(m.entries)))
+	m.ob.Gauge("hermes_cim_bytes").Set(float64(m.totalBytes))
+}
+
+// degradedLocked counts a degraded (cache-only, source down) serve and
+// marks the call's span. Caller holds m.mu.
+func (m *Manager) degradedLocked(ctx *domain.Ctx) {
+	m.ob.Counter("hermes_cim_degraded_total").Inc()
+	ctx.Span.SetTag("degraded", "true")
 }
 
 // SetMeasurementObserver installs a hook that receives the measurement of
@@ -224,6 +256,7 @@ func (m *Manager) Clear() {
 	defer m.mu.Unlock()
 	m.entries = make(map[string]*Entry)
 	m.totalBytes = 0
+	m.occupancyLocked()
 }
 
 // Lookup returns the cached entry for a call, if any, without charging any
@@ -257,6 +290,7 @@ func (m *Manager) storeLocked(c domain.Call, answers []term.Value, complete bool
 	m.totalBytes += bytes
 	m.stats.StoredEntries++
 	m.evictLocked()
+	m.occupancyLocked()
 }
 
 // evictLocked enforces the entry/byte budgets.
@@ -281,6 +315,7 @@ func (m *Manager) evictLocked() {
 		m.totalBytes -= victimEntry.Bytes
 		delete(m.entries, victim)
 		m.stats.Evictions++
+		m.ob.Counter("hermes_cim_evictions_total").Inc()
 	}
 }
 
@@ -370,6 +405,7 @@ func (m *Manager) CallThrough(ctx *domain.Ctx, call domain.Call) (*Response, err
 		m.touchLocked(e)
 		m.stats.ExactHits++
 		m.stats.ServedFromCache += len(e.Answers)
+		m.lookupLocked(ctx, "exact")
 		answers := e.Answers
 		m.mu.Unlock()
 		return &Response{
@@ -386,6 +422,8 @@ func (m *Manager) CallThrough(ctx *domain.Ctx, call domain.Call) (*Response, err
 		m.touchLocked(e)
 		m.stats.EqualityHits++
 		m.stats.ServedFromCache += len(e.Answers)
+		m.lookupLocked(ctx, "equality")
+		ctx.Span.SetTag("serving", e.Call.String())
 		answers := e.Answers
 		serving := e.Call
 		m.mu.Unlock()
@@ -403,6 +441,8 @@ func (m *Manager) CallThrough(ctx *domain.Ctx, call domain.Call) (*Response, err
 		m.touchLocked(e)
 		m.stats.PartialHits++
 		m.stats.ServedFromCache += len(e.Answers)
+		m.lookupLocked(ctx, "partial")
+		ctx.Span.SetTag("serving", e.Call.String())
 		resp := m.servePartialThenActual(ctx, call, e)
 		m.mu.Unlock()
 		return resp, nil
@@ -412,6 +452,7 @@ func (m *Manager) CallThrough(ctx *domain.Ctx, call domain.Call) (*Response, err
 	// open circuit breaker, which wraps domain.ErrUnavailable), degrade
 	// to whatever sound answers the cache holds instead of failing.
 	m.stats.Misses++
+	m.lookupLocked(ctx, "miss")
 	m.mu.Unlock()
 	stream, err := m.actualStream(ctx, call)
 	if err != nil {
@@ -449,6 +490,9 @@ func (m *Manager) Degrade(ctx *domain.Ctx, call domain.Call) (*Response, bool) {
 	m.stats.UnavailableFallbacks++
 	m.stats.DegradedServes++
 	m.stats.ServedFromCache += len(e.Answers)
+	m.lookupLocked(ctx, "degraded")
+	m.degradedLocked(ctx)
+	ctx.Span.SetTag("serving", e.Call.String())
 	answers := e.Answers
 	serving := e.Call
 	m.mu.Unlock()
@@ -506,6 +550,7 @@ func (m *Manager) servePartialThenActual(ctx *domain.Ctx, call domain.Call, e *E
 				m.mu.Lock()
 				m.stats.UnavailableFallbacks++
 				m.stats.DegradedServes++
+				m.degradedLocked(ctx)
 				m.mu.Unlock()
 				resp.Degraded = true
 				return nil, false, nil // partial answers are the best we can do
@@ -523,6 +568,7 @@ func (m *Manager) servePartialThenActual(ctx *domain.Ctx, call domain.Call, e *E
 			m.mu.Lock()
 			m.stats.UnavailableFallbacks++
 			m.stats.DegradedServes++
+			m.degradedLocked(ctx)
 			m.mu.Unlock()
 			resp.Degraded = true
 			return nil, false, nil

@@ -11,6 +11,8 @@ package core
 import (
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 	"time"
 
 	"hermes/internal/cim"
@@ -19,6 +21,7 @@ import (
 	"hermes/internal/engine"
 	"hermes/internal/estimate"
 	"hermes/internal/lang"
+	"hermes/internal/obs"
 	"hermes/internal/resilience"
 	"hermes/internal/rewrite"
 	"hermes/internal/vclock"
@@ -55,6 +58,12 @@ type Options struct {
 	// clock from its start; past it, evaluation stops with
 	// domain.ErrDeadlineExceeded. Retries and backoff respect the budget.
 	QueryDeadline time.Duration
+	// Obs, when set, threads an observer through every layer: the engine,
+	// CIM, DCSM, resilience wrappers and remote clients all update its
+	// metrics registry, and QueryTraced builds span trees in its tracer.
+	// The engine's per-call cost estimates (EXPLAIN's est column) are wired
+	// to the DCSM automatically unless Engine.EstimateCall is set.
+	Obs *obs.Observer
 }
 
 // System is a mediator instance.
@@ -64,6 +73,9 @@ type System struct {
 	CIM      *cim.Manager // nil when disabled
 	DCSM     *dcsm.DB
 	Clock    vclock.Clock
+	// Obs is the observer threaded through the layers (nil when the system
+	// was built without one; all uses are nil-safe).
+	Obs *obs.Observer
 
 	engine        *engine.Engine
 	rewriteCfg    rewrite.Config
@@ -84,6 +96,7 @@ func NewSystem(opts Options) *System {
 		Registry:      domain.NewRegistry(),
 		Program:       &lang.Program{},
 		Clock:         clk,
+		Obs:           opts.Obs,
 		resilience:    opts.Resilience,
 		wrappers:      map[string]*resilience.Wrapper{},
 		queryDeadline: opts.QueryDeadline,
@@ -93,6 +106,7 @@ func NewSystem(opts Options) *System {
 		dcfg = *opts.DCSM
 	}
 	s.DCSM = dcsm.New(dcfg, clk.Now)
+	s.DCSM.SetObserver(s.Obs)
 
 	if !opts.DisableCIM {
 		ccfg := cim.DefaultConfig()
@@ -101,11 +115,24 @@ func NewSystem(opts Options) *System {
 		}
 		s.CIM = cim.New(s.Registry, ccfg)
 		s.CIM.SetMeasurementObserver(s.DCSM.Observe)
+		s.CIM.SetObserver(s.Obs)
 	}
 
 	ecfg := engine.DefaultConfig()
 	if opts.Engine != nil {
 		ecfg = *opts.Engine
+	}
+	if ecfg.Obs == nil {
+		ecfg.Obs = s.Obs
+	}
+	if ecfg.EstimateCall == nil && s.Obs != nil {
+		// Price each call as it is issued so EXPLAIN shows est vs actual.
+		// Gated on the observer: the probe updates DCSM access statistics,
+		// which AutoTune reads, so it only runs when someone is watching.
+		ecfg.EstimateCall = func(c domain.Call, _ rewrite.Route) (domain.CostVector, bool) {
+			cv, err := s.DCSM.Cost(domain.PatternOf(c))
+			return cv, err == nil
+		}
 	}
 	s.engine = engine.New(s.Registry, s.CIM, ecfg, s.DCSM.Observe)
 
@@ -145,12 +172,19 @@ func (s *System) Register(d domain.Domain) {
 	if s.cimAll {
 		s.rewriteCfg.CIMDomains[d.Name()] = true
 	}
-	// Estimators may sit behind wrapper layers (resilience, netsim).
+	// Estimators and observable layers may sit behind wrapper layers
+	// (resilience, netsim): walk the unwrap chain, connecting every layer
+	// that participates.
 	type unwrapper interface{ Inner() domain.Domain }
+	type observable interface{ SetObserver(*obs.Observer) }
+	foundEst := false
 	for probe := d; probe != nil; {
-		if est, ok := probe.(domain.Estimator); ok {
+		if est, ok := probe.(domain.Estimator); ok && !foundEst {
 			s.DCSM.RegisterEstimator(d.Name(), est)
-			break
+			foundEst = true
+		}
+		if o, ok := probe.(observable); ok && s.Obs != nil {
+			o.SetObserver(s.Obs)
 		}
 		u, ok := probe.(unwrapper)
 		if !ok {
@@ -252,6 +286,57 @@ func (s *System) Query(query string) (*engine.Cursor, error) {
 		return nil, err
 	}
 	return s.Execute(plan)
+}
+
+// QueryTraced optimizes and executes a query under a root trace span
+// covering the whole pipeline: a rewrite child span (candidate plan
+// count), a plan-choice child span (chosen index, plan, estimated cost),
+// then one child span per domain call added by the engine. The span tree
+// finalizes — and publishes to the tracer — when the cursor is drained or
+// closed; render it with obs.Explain(cursor.Span().Snapshot()). Without a
+// configured observer this is Query with per-plan estimation ranking.
+func (s *System) QueryTraced(query string, interactive bool) (*engine.Cursor, error) {
+	ctx := s.Ctx()
+	root := s.Obs.StartQuery(strings.TrimSpace(query), ctx.Clock.Now())
+
+	rw := root.Child("rewrite", ctx.Clock.Now())
+	plans, err := s.Plans(query)
+	if err != nil {
+		rw.SetTag("error", err.Error())
+		rw.End(ctx.Clock.Now())
+		root.End(ctx.Clock.Now())
+		return nil, err
+	}
+	rw.SetTag("plans", strconv.Itoa(len(plans)))
+	rw.End(ctx.Clock.Now())
+
+	pc := root.Child("plan-choice", ctx.Clock.Now())
+	best, cv, err := s.estimator.Best(plans, interactive)
+	if err != nil {
+		pc.SetTag("error", err.Error())
+		pc.End(ctx.Clock.Now())
+		root.End(ctx.Clock.Now())
+		return nil, err
+	}
+	for i, p := range plans {
+		if p == best {
+			pc.SetTag("chosen", strconv.Itoa(i+1))
+		}
+	}
+	pc.SetTag("plan", planLine(best))
+	pc.SetEstimate(obs.Cost{TFirst: cv.TFirst, TAll: cv.TAll, Card: cv.Card})
+	pc.End(ctx.Clock.Now())
+
+	return s.engine.ExecutePlan(ctx.WithSpan(root), best)
+}
+
+// planLine is a plan's one-line query rendering, used in plan-choice tags.
+func planLine(p *rewrite.Plan) string {
+	line := p.String()
+	if i := strings.IndexByte(line, '\n'); i >= 0 {
+		line = line[:i]
+	}
+	return line
 }
 
 // QueryAll optimizes, executes and drains a query.

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"hermes/internal/domain"
+	"hermes/internal/obs"
 	"hermes/internal/term"
 )
 
@@ -84,6 +85,7 @@ type DB struct {
 	estimators map[string]domain.Estimator
 	now        func() time.Duration
 	access     accessStats // per-table usage counters for AutoTune
+	ob         *obs.Observer
 }
 
 // New creates an empty module. The now function stamps record times; pass
@@ -101,6 +103,14 @@ func New(cfg Config, now func() time.Duration) *DB {
 	}
 }
 
+// SetObserver installs the observability sink: observation and
+// estimate-resolution counters (hermes_dcsm_*).
+func (db *DB) SetObserver(o *obs.Observer) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.ob = o
+}
+
 // RegisterEstimator connects a domain's native cost model: estimates for
 // that domain are directed to it, per the module's extensibility contract.
 func (db *DB) RegisterEstimator(dom string, est domain.Estimator) {
@@ -115,6 +125,7 @@ func (db *DB) RegisterEstimator(dom string, est domain.Estimator) {
 func (db *DB) Observe(m domain.Measurement) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.ob.Counter("hermes_dcsm_observations_total").Inc()
 	rec := Record{
 		Call:       m.Call,
 		Cost:       m.Cost,

@@ -34,6 +34,7 @@ func (db *DB) CostWithTrace(p domain.Pattern) (domain.CostVector, []string, erro
 	db.mu.RUnlock()
 	if hasEst {
 		if cv, missing, ok := est.EstimateCost(p); ok {
+			db.ob.Counter("hermes_dcsm_estimates_total", "source", "native").Inc()
 			trace = append(trace, fmt.Sprintf("native estimator for %s: %s", p.Domain, cv))
 			if len(missing) == 0 {
 				return cv, trace, nil
@@ -108,6 +109,7 @@ func (db *DB) costFromStats(p domain.Pattern) (domain.CostVector, []string, erro
 			if row, hit := t.lookupRow(q); hit {
 				if cv, valid := rowVector(row); valid {
 					db.access.noteTableHit(tk)
+					db.ob.Counter("hermes_dcsm_estimates_total", "source", "summary").Inc()
 					trace = append(trace, fmt.Sprintf("summary table %s hit for %s (l=%d)", dimsKey(dims), q, row.L))
 					return cv, trace, nil
 				}
@@ -116,6 +118,7 @@ func (db *DB) costFromStats(p domain.Pattern) (domain.CostVector, []string, erro
 		} else if db.cfg.AllowRawAggregation && len(recs) > 0 {
 			if cv, ok := db.aggregate(recs, func(r Record) bool { return matchPattern(q, r.Call) }); ok {
 				db.access.noteRawServe(tk, p.Domain, p.Function, arity, dims)
+				db.ob.Counter("hermes_dcsm_estimates_total", "source", "raw").Inc()
 				trace = append(trace, fmt.Sprintf("raw aggregation over cost vector database for %s", q))
 				return cv, trace, nil
 			}
@@ -133,5 +136,6 @@ func (db *DB) costFromStats(p domain.Pattern) (domain.CostVector, []string, erro
 			}
 		}
 	}
+	db.ob.Counter("hermes_dcsm_estimates_total", "source", "none").Inc()
 	return domain.CostVector{}, trace, fmt.Errorf("%w: %s", ErrNoStatistics, p)
 }

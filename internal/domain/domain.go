@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"hermes/internal/obs"
 	"hermes/internal/term"
 	"hermes/internal/vclock"
 )
@@ -206,6 +207,11 @@ type Ctx struct {
 	// clock keeps simulated runs deterministic — a wall-time deadline
 	// would depend on host speed.
 	Deadline time.Duration
+	// Span, when non-nil, is the trace span covering this execution
+	// scope. Layers on the call path (CIM, resilience wrapper, remote
+	// client) annotate it with outcome tags; Span methods are nil-safe,
+	// so they need no tracing-enabled check.
+	Span *obs.Span
 }
 
 // NewCtx returns a context over the given clock. A nil clock gets a fresh
@@ -220,7 +226,7 @@ func NewCtx(c vclock.Clock) *Ctx {
 // Fork returns a context on a forked clock, for modelling concurrent
 // activity. Cancellation and the deadline propagate to the fork.
 func (c *Ctx) Fork() *Ctx {
-	return &Ctx{Clock: c.Clock.Fork(), Context: c.Context, Deadline: c.Deadline}
+	return &Ctx{Clock: c.Clock.Fork(), Context: c.Context, Deadline: c.Deadline, Span: c.Span}
 }
 
 // WithContext returns a copy of the Ctx carrying gc for cancellation.
@@ -235,6 +241,14 @@ func (c *Ctx) WithContext(gc context.Context) *Ctx {
 func (c *Ctx) WithDeadline(d time.Duration) *Ctx {
 	out := *c
 	out.Deadline = d
+	return &out
+}
+
+// WithSpan returns a copy of the Ctx scoped to trace span s, so call-path
+// layers annotate the right node of the query's span tree.
+func (c *Ctx) WithSpan(s *obs.Span) *Ctx {
+	out := *c
+	out.Span = s
 	return &out
 }
 

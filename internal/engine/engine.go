@@ -13,10 +13,13 @@ package engine
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"hermes/internal/cim"
 	"hermes/internal/domain"
+	"hermes/internal/obs"
 	"hermes/internal/rewrite"
 	"hermes/internal/term"
 )
@@ -28,13 +31,18 @@ type TraceEvent struct {
 	Call  domain.Call
 	Route rewrite.Route
 	// Source is the CIM's serving source for CIM-routed calls
-	// ("cache-exact", "cache-partial", ...); "direct" otherwise.
+	// ("cache-exact", "cache-partial", ...); "direct" otherwise. A call
+	// that failed at setup reports "error", or "breaker-open" when an open
+	// circuit breaker short-circuited it before it reached the source.
 	Source string
 	// At is the clock reading when the call was issued.
 	At time.Duration
 	// Degraded marks a call answered purely from cache because its source
 	// was down: the answers are sound but possibly partial.
 	Degraded bool
+	// Err is the setup error for "error"/"breaker-open" events, nil
+	// otherwise.
+	Err error
 }
 
 // Config tunes the engine.
@@ -46,8 +54,18 @@ type Config struct {
 	PerDisplay time.Duration
 	// MaxDepth bounds IDB recursion during evaluation.
 	MaxDepth int
-	// Trace, when set, observes every domain call the engine issues.
+	// Trace, when set, observes every domain call the engine issues,
+	// including calls that fail at setup (an open breaker reports
+	// Source "breaker-open" rather than being skipped silently).
 	Trace func(TraceEvent)
+	// Obs, when set, receives query/call spans and engine metrics. The
+	// legacy Trace hook is independent of it and keeps working; Obs is
+	// its generalization (span trees instead of flat events).
+	Obs *obs.Observer
+	// EstimateCall, when set, prices a domain call as it is issued (the
+	// mediator wires it to the DCSM). The estimate lands on the call's
+	// span so EXPLAIN can show estimated versus actual [Tf, Ta, Card].
+	EstimateCall func(c domain.Call, route rewrite.Route) (domain.CostVector, bool)
 }
 
 // DefaultConfig mirrors the fixed overheads implied by the paper's
@@ -119,6 +137,7 @@ type Cursor struct {
 	metrics  Metrics
 	gotFirst bool
 	done     bool
+	span     *obs.Span
 }
 
 // Next returns the next answer. A cancelled context or an exceeded query
@@ -175,16 +194,43 @@ func (c *Cursor) finish(complete bool) {
 		c.metrics.TFirst = c.metrics.TAll
 	}
 	c.metrics.Complete = complete
+	c.span.SetTag("answers", strconv.Itoa(c.metrics.Answers))
+	c.span.SetTag("complete", strconv.FormatBool(complete))
+	c.span.SetActual(obs.Cost{
+		TFirst: c.metrics.TFirst,
+		TAll:   c.metrics.TAll,
+		Card:   float64(c.metrics.Answers),
+	})
+	// Ending is idempotent, so it is safe whether the span was opened here
+	// or handed in by the mediator; a root span publishes to the tracer.
+	c.span.End(c.ctx.Clock.Now())
+	o := c.eng.cfg.Obs
+	o.Counter("hermes_query_answers_total").Add(int64(c.metrics.Answers))
+	o.Histogram("hermes_query_tfirst_ms").Observe(float64(c.metrics.TFirst) / float64(time.Millisecond))
+	o.Histogram("hermes_query_tall_ms").Observe(float64(c.metrics.TAll) / float64(time.Millisecond))
 }
 
 // Metrics returns the timings observed so far (final after exhaustion or
 // Close).
 func (c *Cursor) Metrics() Metrics { return c.metrics }
 
+// Span returns the query span this cursor annotates (nil when tracing is
+// off). The span is final after exhaustion or Close.
+func (c *Cursor) Span() *obs.Span { return c.span }
+
 // ExecutePlan starts executing a plan, returning a cursor over its
-// answers.
+// answers. If ctx already carries a span (the mediator opens the query
+// root and hangs rewrite/plan-choice spans off it), call spans attach
+// there; otherwise, when Config.Obs is set, the engine opens and later
+// ends its own root span.
 func (e *Engine) ExecutePlan(ctx *domain.Ctx, plan *rewrite.Plan) (*Cursor, error) {
 	start := ctx.Clock.Now()
+	span := ctx.Span
+	if span == nil && e.cfg.Obs != nil {
+		span = e.cfg.Obs.StartQuery(queryLine(plan), start)
+		ctx = ctx.WithSpan(span)
+	}
+	e.cfg.Obs.Counter("hermes_queries_total").Inc()
 	ctx.Clock.Sleep(e.cfg.QueryInit)
 	var vars []string
 	seen := map[string]bool{}
@@ -197,7 +243,17 @@ func (e *Engine) ExecutePlan(ctx *domain.Ctx, plan *rewrite.Plan) (*Cursor, erro
 		}
 	}
 	iter := e.newBodyIter(ctx, plan, plan.Query, term.Subst{}, 0)
-	return &Cursor{eng: e, ctx: ctx, vars: vars, iter: iter, start: start}, nil
+	return &Cursor{eng: e, ctx: ctx, vars: vars, iter: iter, start: start, span: span}, nil
+}
+
+// queryLine is the plan's one-line query rendering, used to name
+// engine-opened root spans.
+func queryLine(p *rewrite.Plan) string {
+	s := p.String()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
 }
 
 // CollectAll drains a cursor (all-answers mode).

@@ -1,10 +1,14 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"hermes/internal/domain"
 	"hermes/internal/lang"
+	"hermes/internal/obs"
+	"hermes/internal/resilience"
 	"hermes/internal/rewrite"
 	"hermes/internal/term"
 )
@@ -190,26 +194,36 @@ func (e *Engine) evalInCall(ctx *domain.Ctx, l *lang.InCall, route rewrite.Route
 	}
 	call := domain.Call{Domain: l.Call.Domain, Function: l.Call.Function, Args: args}
 	issuedAt := ctx.Clock.Now()
+	span := ctx.Span.Child("call "+call.String(), issuedAt)
+	span.SetTag("route", route.String())
+	if e.cfg.EstimateCall != nil {
+		if cv, ok := e.cfg.EstimateCall(call, route); ok {
+			span.SetEstimate(obs.Cost{TFirst: cv.TFirst, TAll: cv.TAll, Card: cv.Card})
+		}
+	}
+	e.cfg.Obs.Counter("hermes_engine_calls_total", "route", route.String()).Inc()
+	cctx := ctx.WithSpan(span)
 	var stream domain.Stream
 	if route == rewrite.RouteCIM && e.cim != nil {
-		resp, err := e.cim.CallThrough(ctx, call)
+		resp, err := e.cim.CallThrough(cctx, call)
 		if err != nil {
-			return nil, err
+			return nil, e.callFailed(ctx, span, call, route, issuedAt, err)
 		}
 		stream = resp.Stream
 		if e.cfg.Trace != nil {
 			e.cfg.Trace(TraceEvent{Call: call, Route: route, Source: resp.Source.String(), At: issuedAt, Degraded: resp.Degraded})
 		}
 	} else {
-		inner, err := e.reg.Call(ctx, call)
+		inner, err := e.reg.Call(cctx, call)
 		if err != nil {
-			return nil, err
+			return nil, e.callFailed(ctx, span, call, route, issuedAt, err)
 		}
 		stream = domain.NewMeasuredStreamAt(inner, ctx.Clock, call, issuedAt, e.onMeasure)
 		if e.cfg.Trace != nil {
 			e.cfg.Trace(TraceEvent{Call: call, Route: route, Source: "direct", At: issuedAt})
 		}
 	}
+	stream = &spanStream{inner: stream, ctx: ctx, span: span, issuedAt: issuedAt}
 	// Membership test: the output is already ground; find one match then
 	// prune (answer sets are sets).
 	if s.Ground(l.Out) {
@@ -225,6 +239,80 @@ func (e *Engine) evalInCall(ctx *domain.Ctx, l *lang.InCall, route rewrite.Route
 		return nil, fmt.Errorf("engine: in() output %s cannot be bound (attribute path on unbound variable)", l.Out)
 	}
 	return &bindStream{inner: stream, v: l.Out.Var, s: s}, nil
+}
+
+// callFailed records a domain call that died at setup: it tags and ends
+// the call span, counts the failure, and — crucially for operators — emits
+// a TraceEvent even though no answers flowed. An open circuit breaker used
+// to skip the call silently; it now reports Source "breaker-open".
+func (e *Engine) callFailed(ctx *domain.Ctx, span *obs.Span, call domain.Call, route rewrite.Route, issuedAt time.Duration, err error) error {
+	source := "error"
+	if errors.Is(err, resilience.ErrBreakerOpen) {
+		source = "breaker-open"
+		span.SetTag("breaker", "open")
+	}
+	span.SetTag("error", err.Error())
+	span.End(ctx.Clock.Now())
+	e.cfg.Obs.Counter("hermes_engine_call_errors_total", "reason", source).Inc()
+	if e.cfg.Trace != nil {
+		e.cfg.Trace(TraceEvent{Call: call, Route: route, Source: source, At: issuedAt, Err: err})
+	}
+	return err
+}
+
+// spanStream meters a call's answer stream onto its span: measured
+// [Tf, Ta, Card] (covering cache-served streams, which produce no
+// domain.Measurement) and the span's end time. The span ends when the
+// stream is exhausted, errors, or is closed early (pruning).
+type spanStream struct {
+	inner    domain.Stream
+	ctx      *domain.Ctx
+	span     *obs.Span
+	issuedAt time.Duration
+	first    time.Duration
+	n        int
+	gotFirst bool
+	finished bool
+}
+
+func (ss *spanStream) Next() (term.Value, bool, error) {
+	v, ok, err := ss.inner.Next()
+	if err != nil {
+		ss.span.SetTag("error", err.Error())
+		ss.finish()
+		return v, ok, err
+	}
+	if !ok {
+		ss.finish()
+		return v, ok, nil
+	}
+	ss.n++
+	if !ss.gotFirst {
+		ss.gotFirst = true
+		ss.first = ss.ctx.Clock.Now() - ss.issuedAt
+	}
+	return v, true, nil
+}
+
+func (ss *spanStream) Close() error {
+	err := ss.inner.Close()
+	ss.finish()
+	return err
+}
+
+func (ss *spanStream) finish() {
+	if ss.finished {
+		return
+	}
+	ss.finished = true
+	now := ss.ctx.Clock.Now()
+	all := now - ss.issuedAt
+	tf := ss.first
+	if !ss.gotFirst {
+		tf = all
+	}
+	ss.span.SetActual(obs.Cost{TFirst: tf, TAll: all, Card: float64(ss.n)})
+	ss.span.End(now)
 }
 
 // bindStream binds each answer to a fresh variable.

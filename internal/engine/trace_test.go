@@ -1,12 +1,17 @@
 package engine
 
 import (
+	"errors"
+	"fmt"
 	"testing"
+	"time"
 
 	"hermes/internal/cim"
 	"hermes/internal/domain"
 	"hermes/internal/domain/domaintest"
 	"hermes/internal/lang"
+	"hermes/internal/obs"
+	"hermes/internal/resilience"
 	"hermes/internal/rewrite"
 	"hermes/internal/term"
 	"hermes/internal/vclock"
@@ -91,5 +96,91 @@ func TestTraceObserverCIMSources(t *testing.T) {
 	}
 	if events[0].Route != rewrite.RouteCIM {
 		t.Errorf("route = %v", events[0].Route)
+	}
+}
+
+// downDomain always fails with a retryable error, so a wrapping breaker
+// trips on the first call.
+type downDomain struct{}
+
+func (downDomain) Name() string { return "down" }
+func (downDomain) Functions() []domain.FuncSpec {
+	return []domain.FuncSpec{{Name: "get", Arity: 0}}
+}
+func (downDomain) Call(*domain.Ctx, string, []term.Value) (domain.Stream, error) {
+	return nil, fmt.Errorf("%w: host down", domain.ErrUnavailable)
+}
+
+// TestTraceObserverBreakerOpen covers the previously-silent path: a call
+// short-circuited by an open circuit breaker must surface as a TraceEvent
+// with Source "breaker-open" and tag its span breaker=open, not vanish.
+func TestTraceObserverBreakerOpen(t *testing.T) {
+	w := resilience.Wrap(downDomain{}, resilience.Policy{
+		MaxAttempts: 1,
+		Breaker:     resilience.BreakerConfig{FailureThreshold: 1, OpenTimeout: time.Hour},
+	})
+	reg := domain.NewRegistry()
+	reg.Register(w)
+	var events []TraceEvent
+	o := obs.NewObserver()
+	cfg := Config{MaxDepth: 8, Obs: o, Trace: func(ev TraceEvent) { events = append(events, ev) }}
+	eng := New(reg, nil, cfg, nil)
+	prog, _ := lang.ParseProgram(`v(X) :- in(X, down:get()).`)
+	q, _ := lang.ParseQuery("?- v(X).")
+	rw := rewrite.New(prog, rewrite.Config{}, reg)
+	plans, err := rw.Plans(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() error {
+		cur, err := eng.ExecutePlan(domain.NewCtx(vclock.NewVirtual(0)), plans[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, err = CollectAll(cur)
+		return err
+	}
+	if err := run(); err == nil {
+		t.Fatal("first query should fail (source down)")
+	}
+	if err := run(); !errors.Is(err, resilience.ErrBreakerOpen) {
+		t.Fatalf("second query error = %v, want ErrBreakerOpen", err)
+	}
+
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	if events[0].Source != "error" || events[0].Err == nil {
+		t.Errorf("first event = %+v, want Source error with Err set", events[0])
+	}
+	if events[1].Source != "breaker-open" {
+		t.Errorf("second event source = %q, want breaker-open", events[1].Source)
+	}
+	if !errors.Is(events[1].Err, resilience.ErrBreakerOpen) {
+		t.Errorf("second event Err = %v, want ErrBreakerOpen", events[1].Err)
+	}
+	if v := o.Counter("hermes_engine_call_errors_total", "reason", "breaker-open").Value(); v != 1 {
+		t.Errorf("breaker-open error counter = %d, want 1", v)
+	}
+
+	// The span tree of the rejected query (newest first) records the
+	// short-circuit on its call span and an incomplete root.
+	recent := o.Tracer.Recent()
+	if len(recent) != 2 {
+		t.Fatalf("retained spans = %d, want 2", len(recent))
+	}
+	root := recent[0]
+	if root.Tags["complete"] != "false" {
+		t.Errorf("root tags = %v, want complete=false", root.Tags)
+	}
+	if len(root.Children) != 1 {
+		t.Fatalf("root children = %d, want 1 call span", len(root.Children))
+	}
+	call := root.Children[0]
+	if call.Tags["breaker"] != "open" {
+		t.Errorf("call span tags = %v, want breaker=open", call.Tags)
+	}
+	if call.Tags["error"] == "" {
+		t.Errorf("call span tags = %v, want error tag", call.Tags)
 	}
 }

@@ -1,0 +1,12 @@
+// Package faultinject wraps a domain.Domain with seeded, deterministic
+// fault injection: per-call transient errors, latency spikes, mid-stream
+// truncation, and scheduled unavailability windows. It is the test
+// harness counterpart of internal/resilience — chaos and soak tests wrap
+// a source with an Injector and assert that the resilience layer and the
+// CIM's cache fallback keep queries sound and live.
+//
+// Every decision is a pure function of (seed, call key, per-key
+// occurrence number), so the same seed and workload produce an identical
+// fault schedule on every run; the Injector records an event log that
+// tests can compare across runs to prove it.
+package faultinject

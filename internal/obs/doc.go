@@ -1,0 +1,30 @@
+// Package obs is the mediator's observability substrate: a dependency-free
+// metrics registry (counters, gauges, bounded histograms with p50/p95/p99
+// quantiles, all safe under the race detector) and hierarchical query-span
+// tracing with an EXPLAIN renderer.
+//
+// The paper's evaluation (Figures 5–7) hinges on seeing what the optimizer
+// did: which plan the rewriter picked, whether the CIM answered from cache,
+// an equality invariant, or a partial subset hit, and what the DCSM
+// estimated versus what the call actually cost. This package makes all of
+// that first-class:
+//
+//   - Registry holds named metrics with label sets and renders them in
+//     Prometheus text exposition format (WritePrometheus, or the /metrics
+//     endpoint from Handler).
+//   - Tracer starts one root Span per query; the engine, CIM, DCSM,
+//     resilience wrapper and remote client hang child spans and outcome
+//     tags off it (cim=exact|equality|partial|miss, degraded=true,
+//     breaker=open, ...). Finished span trees land in a bounded ring
+//     buffer served at /debug/queries.
+//   - Explain renders a finished span tree as a text tree annotating every
+//     node with its estimated versus actual [Tf, Ta, Card] cost vector —
+//     the paper's cost triple of time-to-first-answer, time-to-all-answers
+//     and cardinality.
+//
+// All timestamps are execution-clock readings (time.Duration since clock
+// zero), so traces of simulated runs replay deterministically. The package
+// imports only the standard library; every layer of the system can depend
+// on it without cycles. All Span and Observer methods are nil-receiver
+// safe, so instrumented code needs no "is observability on?" conditionals.
+package obs

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Explain renders a finished query span tree as a text tree, one node per
+// line:
+//
+//	?- actors(A).  answers=9 complete=true  actual=[Tf=231.2ms Ta=243.5ms Card=9]
+//	├─ rewrite  plans=2  (0.0ms)
+//	├─ plan-choice  chosen=1  est=[Tf=233.6ms Ta=246.1ms Card=9.00]
+//	└─ call avis:actors('rope')  cim=exact route=cim  est=[...] actual=[...]
+//
+// Each node shows its name, its sorted outcome tags, the estimated and
+// actual [Tf, Ta, Card] cost vectors when recorded, and otherwise its
+// clock extent. The output is deterministic for deterministic runs (tags
+// sorted, virtual-clock times).
+func Explain(d SpanData) string {
+	var b strings.Builder
+	writeNode(&b, d, "", "", "")
+	return b.String()
+}
+
+func writeNode(b *strings.Builder, d SpanData, firstPrefix, restPrefix, childPrefix string) {
+	b.WriteString(firstPrefix)
+	b.WriteString(d.Name)
+	for _, t := range d.sortedTags() {
+		b.WriteString("  ")
+		b.WriteString(t)
+	}
+	if d.Est != nil {
+		fmt.Fprintf(b, "  est=%s", formatCost(*d.Est))
+	}
+	if d.Actual != nil {
+		fmt.Fprintf(b, "  actual=%s", formatCost(*d.Actual))
+	} else if d.Est == nil {
+		fmt.Fprintf(b, "  (%s)", millis(d.Duration()))
+	}
+	b.WriteByte('\n')
+	_ = restPrefix
+	for i, c := range d.Children {
+		last := i == len(d.Children)-1
+		connector, indent := "├─ ", "│  "
+		if last {
+			connector, indent = "└─ ", "   "
+		}
+		writeNode(b, c, childPrefix+connector, childPrefix+indent, childPrefix+indent)
+	}
+}
+
+// formatCost renders a cost vector the way the paper's tables report it.
+func formatCost(c Cost) string {
+	return fmt.Sprintf("[Tf=%s Ta=%s Card=%.2f]", millis(c.TFirst), millis(c.TAll), c.Card)
+}
+
+// millis renders a duration in execution-clock milliseconds.
+func millis(d time.Duration) string {
+	return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestExplainGolden renders a representative span tree — plan choice, an
+// exact CIM hit, a partial hit completed by an actual call, and a
+// breaker-open short circuit — and compares it against the golden file.
+func TestExplainGolden(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	root := NewTracer(1).StartQuery("?- objects_between(4, 47, O).", 0)
+	root.SetTag("answers", "5")
+	root.SetTag("complete", "true")
+	root.SetActual(Cost{TFirst: ms(231), TAll: ms(462), Card: 5})
+
+	rw := root.Child("rewrite", 0)
+	rw.SetTag("plans", "2")
+	rw.End(0)
+
+	pc := root.Child("plan-choice", 0)
+	pc.SetTag("chosen", "1")
+	pc.SetTag("plan", "?- CIM[in(O, avis:frames_to_objects('rope', 4, 47))].")
+	pc.SetEstimate(Cost{TFirst: ms(233), TAll: ms(470), Card: 6})
+	pc.End(0)
+
+	c1 := root.Child("call avis:frames_to_objects('rope', 4, 47)", ms(230))
+	c1.SetTag("route", "cim")
+	c1.SetTag("cim", "partial")
+	c1.SetTag("serving", "avis:frames_to_objects('rope', 10, 40)")
+	c1.SetEstimate(Cost{TFirst: ms(2), TAll: ms(210), Card: 6})
+	c1.SetActual(Cost{TFirst: ms(1), TAll: ms(190), Card: 5})
+	c1.End(ms(420))
+
+	c2 := root.Child("call avis:actors('rope')", ms(425))
+	c2.SetTag("route", "direct")
+	c2.SetTag("breaker", "open")
+	c2.SetTag("error", "source temporarily unavailable")
+	c2.End(ms(425))
+
+	root.End(ms(462))
+	got := Explain(root.Snapshot())
+
+	golden := filepath.Join("testdata", "explain.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("EXPLAIN output drifted from golden.\n-- got:\n%s\n-- want:\n%s", got, want)
+	}
+}
+
+func TestExplainNestedIndentation(t *testing.T) {
+	root := NewTracer(1).StartQuery("root", 0)
+	a := root.Child("a", 0)
+	a.Child("a1", 0).End(0)
+	a.Child("a2", 0).End(0)
+	a.End(0)
+	b := root.Child("b", 0)
+	b.Child("b1", 0).End(0)
+	b.End(0)
+	root.End(0)
+	got := Explain(root.Snapshot())
+	want := "root  (0.0ms)\n" +
+		"├─ a  (0.0ms)\n" +
+		"│  ├─ a1  (0.0ms)\n" +
+		"│  └─ a2  (0.0ms)\n" +
+		"└─ b  (0.0ms)\n" +
+		"   └─ b1  (0.0ms)\n"
+	if got != want {
+		t.Errorf("tree layout:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

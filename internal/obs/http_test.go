@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHandlerMetricsAndQueries(t *testing.T) {
+	o := NewObserver()
+	o.Counter("cim_hits_total", "kind", "exact").Add(2)
+	s := o.StartQuery("?- q(X).", 0)
+	s.Child("call d:f(1)", time.Millisecond).End(2 * time.Millisecond)
+	s.End(3 * time.Millisecond)
+
+	srv := httptest.NewServer(Handler(o))
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	if !strings.Contains(metrics, `cim_hits_total{kind="exact"} 2`) {
+		t.Errorf("/metrics missing counter:\n%s", metrics)
+	}
+	queries := get("/debug/queries")
+	for _, want := range []string{"1 queries started, 1 finished", "?- q(X).", "call d:f(1)"} {
+		if !strings.Contains(queries, want) {
+			t.Errorf("/debug/queries missing %q:\n%s", want, queries)
+		}
+	}
+}

@@ -1,0 +1,379 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// HistogramWindow is how many of the most recent observations a Histogram
+// retains for quantile estimation. Count and Sum cover every observation;
+// quantiles are computed over this sliding window.
+const HistogramWindow = 1024
+
+// Counter is a monotonically increasing metric. The zero value is unusable;
+// obtain counters from a Registry. All methods are nil-receiver safe.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative n is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. All methods are nil-receiver
+// safe.
+type Gauge struct {
+	bits atomic.Uint64 // math.Float64bits
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add shifts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge reading.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram accumulates observations and answers quantile queries over a
+// bounded window of the most recent HistogramWindow samples. Count and Sum
+// are exact over all observations. All methods are nil-receiver safe.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     float64
+	samples []float64
+	next    int // overwrite cursor once the window is full
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += v
+	if len(h.samples) < HistogramWindow {
+		h.samples = append(h.samples, v)
+		return
+	}
+	h.samples[h.next] = v
+	h.next = (h.next + 1) % HistogramWindow
+}
+
+// Count returns how many samples were observed in total.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) over the retained window,
+// using the nearest-rank method; it returns 0 when nothing was observed.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	sorted := append([]float64(nil), h.samples...)
+	h.mu.Unlock()
+	if len(sorted) == 0 {
+		return 0
+	}
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+// metricKind discriminates the stored metric types.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		// Histograms expose quantiles, so they render as Prometheus
+		// summaries.
+		return "summary"
+	}
+}
+
+// family groups every labeled instance of one metric name.
+type family struct {
+	name    string
+	kind    metricKind
+	help    string
+	byLabel map[string]any // rendered label string -> *Counter | *Gauge | *Histogram
+}
+
+// Registry holds named metrics. It is safe for concurrent use; lookups
+// return the same instance for the same (name, labels), so callers may
+// either cache the returned metric or re-fetch it on every update.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelString renders label pairs canonically ({} sorted by key), e.g.
+// `{domain="avis",route="cim"}`; empty for no labels. labels are k1, v1,
+// k2, v2, ...; an odd count panics (programmer error).
+func labelString(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q", labels))
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// metric returns (creating on first use) the instance for (name, labels),
+// checking that the name is not reused with a different kind.
+func (r *Registry) metric(name string, kind metricKind, labels []string) any {
+	if r == nil {
+		return nil
+	}
+	ls := labelString(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, kind: kind, byLabel: make(map[string]any)}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s registered as %s, requested as %s", name, f.kind, kind))
+	}
+	m, ok := f.byLabel[ls]
+	if !ok {
+		switch kind {
+		case kindCounter:
+			m = &Counter{}
+		case kindGauge:
+			m = &Gauge{}
+		default:
+			m = &Histogram{}
+		}
+		f.byLabel[ls] = m
+	}
+	return m
+}
+
+// Counter returns the counter for (name, labels), creating it at zero on
+// first use. Labels are alternating key, value strings. Nil-receiver safe:
+// a nil registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	m, _ := r.metric(name, kindCounter, labels).(*Counter)
+	return m
+}
+
+// Gauge returns the gauge for (name, labels).
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	m, _ := r.metric(name, kindGauge, labels).(*Gauge)
+	return m
+}
+
+// Histogram returns the histogram for (name, labels).
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	m, _ := r.metric(name, kindHistogram, labels).(*Histogram)
+	return m
+}
+
+// SetHelp attaches a help string rendered as the metric's # HELP line.
+func (r *Registry) SetHelp(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, byLabel: make(map[string]any)}
+		r.families[name] = f
+	}
+	f.help = help
+}
+
+// summaryQuantiles are the quantiles every histogram exports.
+var summaryQuantiles = []struct {
+	label string
+	q     float64
+}{
+	{"0.5", 0.5},
+	{"0.95", 0.95},
+	{"0.99", 0.99},
+}
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format, families and label sets in sorted order so output is stable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	// Snapshot instance pointers under the lock; values are read via their
+	// own synchronization below.
+	type inst struct {
+		labels string
+		m      any
+	}
+	snap := make(map[string][]inst, len(names))
+	metas := make(map[string]*family, len(names))
+	for n, f := range r.families {
+		metas[n] = f
+		for ls, m := range f.byLabel {
+			snap[n] = append(snap[n], inst{ls, m})
+		}
+	}
+	r.mu.Unlock()
+
+	sort.Strings(names)
+	for _, n := range names {
+		f := metas[n]
+		insts := snap[n]
+		sort.Slice(insts, func(i, j int) bool { return insts[i].labels < insts[j].labels })
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", n, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", n, f.kind); err != nil {
+			return err
+		}
+		for _, in := range insts {
+			var err error
+			switch m := in.m.(type) {
+			case *Counter:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", n, in.labels, m.Value())
+			case *Gauge:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", n, in.labels, formatFloat(m.Value()))
+			case *Histogram:
+				for _, sq := range summaryQuantiles {
+					ls := mergeLabel(in.labels, "quantile", sq.label)
+					if _, err = fmt.Fprintf(w, "%s%s %s\n", n, ls, formatFloat(m.Quantile(sq.q))); err != nil {
+						return err
+					}
+				}
+				if _, err = fmt.Fprintf(w, "%s_sum%s %s\n", n, in.labels, formatFloat(m.Sum())); err != nil {
+					return err
+				}
+				_, err = fmt.Fprintf(w, "%s_count%s %d\n", n, in.labels, m.Count())
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// mergeLabel splices an extra label pair into an already-rendered label
+// string.
+func mergeLabel(ls, k, v string) string {
+	extra := fmt.Sprintf("%s=%q", k, v)
+	if ls == "" {
+		return "{" + extra + "}"
+	}
+	return ls[:len(ls)-1] + "," + extra + "}"
+}
+
+func formatFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}

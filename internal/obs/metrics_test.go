@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("calls_total", "route", "cim")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if same := r.Counter("calls_total", "route", "cim"); same != c {
+		t.Error("same (name, labels) did not return the same counter")
+	}
+	if other := r.Counter("calls_total", "route", "direct"); other == c {
+		t.Error("different labels returned the same counter")
+	}
+
+	g := r.Gauge("breaker_state", "domain", "avis")
+	g.Set(2)
+	g.Add(-1.5)
+	if got := g.Value(); got != 0.5 {
+		t.Errorf("gauge = %g, want 0.5", got)
+	}
+}
+
+func TestLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "b", "2", "a", "1")
+	b := r.Counter("x_total", "a", "1", "b", "2")
+	if a != b {
+		t.Error("label order changed metric identity")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.Histogram("z").Observe(1)
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	var o *Observer
+	o.Counter("x").Inc()
+	o.StartQuery("q", 0).SetTag("a", "b")
+	var tr *Tracer
+	tr.StartQuery("q", 0).End(0)
+	if got := tr.Recent(); got != nil {
+		t.Errorf("nil tracer Recent = %v", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram p50 = %g", got)
+	}
+	// 1..100: nearest-rank p50 = 50, p95 = 95, p99 = 99.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	for _, tc := range []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.5, 50}, {0.95, 95}, {0.99, 99}, {1, 100},
+	} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("p%g = %g, want %g", tc.q*100, got, tc.want)
+		}
+	}
+	if h.Count() != 100 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Sum() != 5050 {
+		t.Errorf("sum = %g", h.Sum())
+	}
+}
+
+func TestHistogramWindowBounded(t *testing.T) {
+	h := &Histogram{}
+	// Fill the window with large values, then overwrite it completely with
+	// small ones: quantiles must reflect only the retained window while
+	// Count/Sum stay exact.
+	for i := 0; i < HistogramWindow; i++ {
+		h.Observe(1e6)
+	}
+	for i := 0; i < HistogramWindow; i++ {
+		h.Observe(1)
+	}
+	if got := h.Quantile(0.99); got != 1 {
+		t.Errorf("p99 after overwrite = %g, want 1", got)
+	}
+	if got := h.Count(); got != 2*HistogramWindow {
+		t.Errorf("count = %d, want %d", got, 2*HistogramWindow)
+	}
+	if got := h.Sum(); got != float64(HistogramWindow)*1e6+float64(HistogramWindow) {
+		t.Errorf("sum = %g", got)
+	}
+}
+
+// TestConcurrentUpdates exercises every metric type from many goroutines;
+// run with -race.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 8
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Counter("c_total", "g", "shared").Inc()
+				r.Gauge("g_now").Add(1)
+				r.Histogram("h_ms").Observe(float64(i))
+				if i%100 == 0 {
+					var sb strings.Builder
+					r.WritePrometheus(&sb)
+					r.Histogram("h_ms").Quantile(0.95)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("c_total", "g", "shared").Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Gauge("g_now").Value(); math.Abs(got-goroutines*perG) > 1e-9 {
+		t.Errorf("gauge = %g, want %d", got, goroutines*perG)
+	}
+	if got := r.Histogram("h_ms").Count(); got != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.SetHelp("cim_hits_total", "CIM cache hits by kind.")
+	r.Counter("cim_hits_total", "kind", "exact").Add(3)
+	r.Counter("cim_hits_total", "kind", "partial").Add(1)
+	r.Gauge("breaker_state", "domain", "avis").Set(2)
+	h := r.Histogram("query_ms")
+	h.Observe(10)
+	h.Observe(20)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP cim_hits_total CIM cache hits by kind.",
+		"# TYPE cim_hits_total counter",
+		`cim_hits_total{kind="exact"} 3`,
+		`cim_hits_total{kind="partial"} 1`,
+		"# TYPE breaker_state gauge",
+		`breaker_state{domain="avis"} 2`,
+		"# TYPE query_ms summary",
+		`query_ms{quantile="0.5"} 10`,
+		`query_ms{quantile="0.99"} 20`,
+		"query_ms_sum 30",
+		"query_ms_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Families render in sorted order: breaker_state < cim_hits_total <
+	// query_ms.
+	if bi, ci := strings.Index(out, "breaker_state"), strings.Index(out, "cim_hits_total"); bi > ci {
+		t.Error("families not sorted")
+	}
+}

@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Cost is the paper's [Tf, Ta, Card] cost vector: time to first answer,
+// time to all answers, and answer-set cardinality. Spans carry one as the
+// planner's estimate and one as the measured actual, so EXPLAIN can show
+// estimation error per node.
+type Cost struct {
+	TFirst time.Duration
+	TAll   time.Duration
+	Card   float64
+}
+
+// Span is one node of a query trace: a named, clock-stamped interval with
+// string outcome tags (cim=exact, breaker=open, ...), optional estimated
+// and actual cost vectors, and child spans. Spans are safe for concurrent
+// use and every method is nil-receiver safe, so instrumented code can
+// thread a possibly-nil span without conditionals.
+type Span struct {
+	mu       sync.Mutex
+	name     string
+	start    time.Duration
+	end      time.Duration
+	ended    bool
+	tags     map[string]string
+	est      *Cost
+	actual   *Cost
+	children []*Span
+	onEnd    func(*Span) // set on roots by the Tracer
+}
+
+// Child opens a sub-span starting at execution-clock reading at. On a nil
+// span it returns nil (tracing off).
+func (s *Span) Child(name string, at time.Duration) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: at}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// SetTag records an outcome tag. Later values overwrite earlier ones.
+func (s *Span) SetTag(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.tags == nil {
+		s.tags = make(map[string]string)
+	}
+	s.tags[k] = v
+	s.mu.Unlock()
+}
+
+// Tag returns a tag's value (for tests and renderers).
+func (s *Span) Tag(k string) (string, bool) {
+	if s == nil {
+		return "", false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.tags[k]
+	return v, ok
+}
+
+// SetEstimate attaches the planner's estimated cost vector.
+func (s *Span) SetEstimate(c Cost) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.est = &c
+	s.mu.Unlock()
+}
+
+// SetActual attaches the measured cost vector.
+func (s *Span) SetActual(c Cost) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.actual = &c
+	s.mu.Unlock()
+}
+
+// End closes the span at execution-clock reading at. Ending a span twice
+// is a no-op; ending a root span publishes its snapshot to the Tracer.
+func (s *Span) End(at time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.end = at
+	onEnd := s.onEnd
+	s.mu.Unlock()
+	if onEnd != nil {
+		onEnd(s)
+	}
+}
+
+// Snapshot returns a deep, immutable copy of the span tree for rendering.
+// A still-open span snapshots with End == Start.
+func (s *Span) Snapshot() SpanData {
+	if s == nil {
+		return SpanData{}
+	}
+	s.mu.Lock()
+	d := SpanData{
+		Name:  s.name,
+		Start: s.start,
+		End:   s.end,
+	}
+	if !s.ended {
+		d.End = s.start
+	}
+	if s.est != nil {
+		c := *s.est
+		d.Est = &c
+	}
+	if s.actual != nil {
+		c := *s.actual
+		d.Actual = &c
+	}
+	if len(s.tags) > 0 {
+		d.Tags = make(map[string]string, len(s.tags))
+		for k, v := range s.tags {
+			d.Tags[k] = v
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		d.Children = append(d.Children, c.Snapshot())
+	}
+	return d
+}
+
+// SpanData is an immutable span-tree snapshot.
+type SpanData struct {
+	Name     string            `json:"name"`
+	Start    time.Duration     `json:"start"`
+	End      time.Duration     `json:"end"`
+	Tags     map[string]string `json:"tags,omitempty"`
+	Est      *Cost             `json:"est,omitempty"`
+	Actual   *Cost             `json:"actual,omitempty"`
+	Children []SpanData        `json:"children,omitempty"`
+}
+
+// Duration is the span's clock extent.
+func (d SpanData) Duration() time.Duration { return d.End - d.Start }
+
+// sortedTags returns "k=v" strings in key order.
+func (d SpanData) sortedTags() []string {
+	if len(d.Tags) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(d.Tags))
+	for k := range d.Tags {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = k + "=" + d.Tags[k]
+	}
+	return out
+}
+
+// Tracer creates root query spans and retains the most recent finished
+// span trees in a bounded ring buffer (the /debug/queries feed). It is
+// safe for concurrent use; a nil Tracer disables tracing.
+type Tracer struct {
+	mu       sync.Mutex
+	recent   []SpanData // oldest first
+	capacity int
+	started  int64
+	finished int64
+}
+
+// NewTracer returns a tracer retaining the last capacity finished query
+// spans (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{capacity: capacity}
+}
+
+// StartQuery opens a root span for one query at execution-clock reading
+// at. Ending the returned span publishes its snapshot to the ring buffer.
+// On a nil tracer it returns nil.
+func (t *Tracer) StartQuery(name string, at time.Duration) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.started++
+	t.mu.Unlock()
+	s := &Span{name: name, start: at}
+	s.onEnd = t.publish
+	return s
+}
+
+func (t *Tracer) publish(s *Span) {
+	d := s.Snapshot()
+	t.mu.Lock()
+	t.finished++
+	t.recent = append(t.recent, d)
+	if len(t.recent) > t.capacity {
+		t.recent = t.recent[len(t.recent)-t.capacity:]
+	}
+	t.mu.Unlock()
+}
+
+// Recent returns the retained finished query spans, newest first.
+func (t *Tracer) Recent() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanData, len(t.recent))
+	for i, d := range t.recent {
+		out[len(t.recent)-1-i] = d
+	}
+	return out
+}
+
+// Counts returns how many query spans were started and finished.
+func (t *Tracer) Counts() (started, finished int64) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.started, t.finished
+}
+
+// Observer bundles the two observability facilities the system threads
+// through its layers: a metrics registry and a query tracer. A nil
+// Observer (or nil fields) disables the corresponding facility; every
+// method is nil-receiver safe.
+type Observer struct {
+	Metrics *Registry
+	Tracer  *Tracer
+}
+
+// NewObserver returns an observer with a fresh registry and a tracer
+// retaining the last 64 queries.
+func NewObserver() *Observer {
+	return &Observer{Metrics: NewRegistry(), Tracer: NewTracer(64)}
+}
+
+// StartQuery forwards to the tracer (nil-safe).
+func (o *Observer) StartQuery(name string, at time.Duration) *Span {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer.StartQuery(name, at)
+}
+
+// Counter forwards to the registry (nil-safe; returns a no-op counter).
+func (o *Observer) Counter(name string, labels ...string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Counter(name, labels...)
+}
+
+// Gauge forwards to the registry (nil-safe).
+func (o *Observer) Gauge(name string, labels ...string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Gauge(name, labels...)
+}
+
+// Histogram forwards to the registry (nil-safe).
+func (o *Observer) Histogram(name string, labels ...string) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Histogram(name, labels...)
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"hermes/internal/domain"
+	"hermes/internal/obs"
 	"hermes/internal/term"
 )
 
@@ -23,6 +24,7 @@ type Client struct {
 
 	mu    sync.Mutex
 	specs []domain.FuncSpec
+	ob    *obs.Observer
 }
 
 // NewClient creates a client for the domain `name` served at addr.
@@ -32,6 +34,20 @@ func NewClient(addr, name string) *Client {
 
 // SetDialTimeout overrides the default 5 s dial timeout.
 func (c *Client) SetDialTimeout(d time.Duration) { c.dialTO = d }
+
+// SetObserver installs the observability sink: per-domain dial counters
+// (hermes_remote_dials_total) and the remote=<addr> span tag on calls.
+func (c *Client) SetObserver(o *obs.Observer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ob = o
+}
+
+func (c *Client) obsv() *obs.Observer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ob
+}
 
 // Name implements domain.Domain.
 func (c *Client) Name() string { return c.name }
@@ -84,6 +100,7 @@ func (c *Client) Call(ctx *domain.Ctx, fn string, args []term.Value) (domain.Str
 	if err != nil {
 		return nil, err
 	}
+	ctx.Span.SetTag("remote", c.addr)
 	dialer := net.Dialer{Timeout: c.dialTO}
 	var conn net.Conn
 	if ctx.Context != nil {
@@ -92,8 +109,10 @@ func (c *Client) Call(ctx *domain.Ctx, fn string, args []term.Value) (domain.Str
 		conn, err = dialer.Dial("tcp", c.addr)
 	}
 	if err != nil {
+		c.obsv().Counter("hermes_remote_dials_total", "domain", c.name, "outcome", "error").Inc()
 		return nil, fmt.Errorf("%w: dial %s: %v", domain.ErrUnavailable, c.addr, err)
 	}
+	c.obsv().Counter("hermes_remote_dials_total", "domain", c.name, "outcome", "ok").Inc()
 	if err := json.NewEncoder(conn).Encode(request{
 		Op: "call", Domain: c.name, Function: fn, Args: wargs,
 	}); err != nil {

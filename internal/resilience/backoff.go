@@ -1,17 +1,3 @@
-// Package resilience hardens the mediator's call path against the
-// failure modes the paper's live-Internet sources exhibit: >10× latency
-// variance, transient errors, and temporary unreachability. It provides a
-// policy-driven wrapper around any domain.Domain that adds per-call
-// deadlines, bounded retry with decorrelated exponential backoff, a
-// per-domain circuit breaker with half-open probing, and mid-stream resume
-// after truncated answer streams. Cache degradation — serving stale or
-// partial answers when a source stays down — lives above this layer, in
-// the CIM: the wrapper's job is to fail fast and predictably so the CIM's
-// fallback can take over.
-//
-// All randomness is derived by hashing a seed with the call key, so a
-// given workload observes an identical retry schedule on every run; the
-// deterministic virtual clock does the rest.
 package resilience
 
 import (

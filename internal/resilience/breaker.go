@@ -81,6 +81,9 @@ type Breaker struct {
 	openedAt  time.Duration
 	probing   bool // a half-open probe is in flight
 	metrics   BreakerMetrics
+	// onTransition, when set, observes every state change. It runs with
+	// the breaker's lock held, so it must not call back into the breaker.
+	onTransition func(at time.Duration, from, to BreakerState)
 }
 
 // NewBreaker builds a breaker in the closed state.
@@ -109,12 +112,26 @@ func (b *Breaker) Metrics() BreakerMetrics {
 	return out
 }
 
+// SetTransitionHook installs a state-change observer (the mediator wires
+// it to the breaker-state gauge). The hook runs with the breaker's lock
+// held and must not call back into the breaker; lock-free sinks (atomic
+// gauges, counters) are safe.
+func (b *Breaker) SetTransitionHook(fn func(at time.Duration, from, to BreakerState)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.onTransition = fn
+}
+
 func (b *Breaker) transitionLocked(now time.Duration, to BreakerState) {
 	if b.state == to {
 		return
 	}
-	b.metrics.Transitions = append(b.metrics.Transitions, Transition{At: now, From: b.state, To: to})
+	from := b.state
+	b.metrics.Transitions = append(b.metrics.Transitions, Transition{At: now, From: from, To: to})
 	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(now, from, to)
+	}
 }
 
 // advanceLocked moves open→half-open once the open timeout elapses.

@@ -3,10 +3,12 @@ package resilience
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"hermes/internal/domain"
+	"hermes/internal/obs"
 	"hermes/internal/term"
 )
 
@@ -91,6 +93,7 @@ type Wrapper struct {
 
 	mu      sync.Mutex
 	metrics Metrics
+	ob      *obs.Observer
 }
 
 // Wrap builds a resilient front for d.
@@ -141,6 +144,42 @@ func (w *Wrapper) note(f func(*Metrics)) {
 	w.mu.Unlock()
 }
 
+// breakerStateValue maps states onto the hermes_breaker_state gauge:
+// 0 closed, 1 open, 2 half-open.
+func breakerStateValue(s BreakerState) float64 {
+	switch s {
+	case StateOpen:
+		return 1
+	case StateHalfOpen:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// SetObserver installs the observability sink: retry/rejection/timeout
+// counters and the per-domain breaker-state gauge, kept current by a
+// breaker transition hook.
+func (w *Wrapper) SetObserver(o *obs.Observer) {
+	w.mu.Lock()
+	w.ob = o
+	w.mu.Unlock()
+	name := w.inner.Name()
+	gauge := o.Gauge("hermes_breaker_state", "domain", name)
+	gauge.Set(breakerStateValue(w.breaker.State(0)))
+	w.breaker.SetTransitionHook(func(at time.Duration, from, to BreakerState) {
+		gauge.Set(breakerStateValue(to))
+		o.Counter("hermes_breaker_transitions_total", "domain", name, "to", to.String()).Inc()
+	})
+}
+
+// obsv returns the installed observer (nil-safe to use).
+func (w *Wrapper) obsv() *obs.Observer {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.ob
+}
+
 // attempt runs one call attempt, enforcing the per-call timeout. The
 // returned ctx is the one the stream charges (a clock fork when a timeout
 // is armed); the caller joins it back after every pull.
@@ -160,6 +199,7 @@ func (w *Wrapper) attempt(ctx *domain.Ctx, fn string, args []term.Value) (domain
 		// The caller stopped waiting at the timeout: charge exactly that.
 		ctx.Clock.Sleep(w.policy.CallTimeout)
 		w.note(func(m *Metrics) { m.Timeouts++ })
+		w.obsv().Counter("hermes_call_timeouts_total", "domain", w.inner.Name()).Inc()
 		return nil, ctx, fmt.Errorf("%w: %w: %s:%s setup took %s (budget %s)",
 			domain.ErrUnavailable, ErrCallTimeout, w.inner.Name(), fn, elapsed, w.policy.CallTimeout)
 	}
@@ -195,6 +235,7 @@ func (w *Wrapper) callRaw(ctx *domain.Ctx, call domain.Call, fn string, args []t
 		}
 		if err := w.breaker.Allow(ctx.Clock.Now()); err != nil {
 			w.note(func(m *Metrics) { m.BreakerRejections++ })
+			w.obsv().Counter("hermes_breaker_rejections_total", "domain", call.Domain).Inc()
 			return nil, nil, fmt.Errorf("%w: domain %s: %w", domain.ErrUnavailable, call.Domain, err)
 		}
 		w.note(func(m *Metrics) {
@@ -207,6 +248,10 @@ func (w *Wrapper) callRaw(ctx *domain.Ctx, call domain.Call, fn string, args []t
 		if err == nil {
 			w.breaker.Record(ctx.Clock.Now(), true)
 			w.note(func(m *Metrics) { m.Successes++ })
+			if attempt > 1 {
+				w.obsv().Counter("hermes_call_retries_total", "domain", call.Domain).Add(int64(attempt - 1))
+				ctx.Span.SetTag("retries", strconv.Itoa(attempt-1))
+			}
 			return s, sctx, nil
 		}
 		retryable := domain.IsRetryable(err)
@@ -289,6 +334,8 @@ func (s *resilientStream) Next() (term.Value, bool, error) {
 		}
 		s.resumes++
 		s.w.note(func(m *Metrics) { m.StreamResumes++ })
+		s.w.obsv().Counter("hermes_stream_resumes_total", "domain", s.call.Domain).Inc()
+		s.parent.Span.SetTag("resumed", strconv.Itoa(s.resumes))
 		s.cur.Close()
 		// Re-issue through the full breaker/retry path. callRaw keeps the
 		// resume accounting here, at the top level: the fresh stream

@@ -124,8 +124,8 @@ type domainFunc struct {
 	err  error
 }
 
-func (d domainFunc) Name() string                  { return d.name }
-func (d domainFunc) Functions() []domain.FuncSpec  { return []domain.FuncSpec{{Name: "get"}} }
+func (d domainFunc) Name() string                 { return d.name }
+func (d domainFunc) Functions() []domain.FuncSpec { return []domain.FuncSpec{{Name: "get"}} }
 func (d domainFunc) Call(*domain.Ctx, string, []term.Value) (domain.Stream, error) {
 	return nil, d.err
 }

@@ -1,0 +1,179 @@
+// Command doccheck verifies that the documentation matches the tree: every
+// repo-relative path the docs mention must exist, every markdown link
+// target must resolve, and every CLI flag the docs attribute to one of
+// this repo's binaries must actually be defined by a command under cmd/.
+// CI runs it so README/docs drift fails the build instead of rotting.
+//
+// Usage: go run ./tools/doccheck [-root dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// docFiles are the documents whose references are checked. Meta files
+// (ROADMAP, CHANGES, PAPERS, SNIPPETS, ISSUE) intentionally reference
+// external material and are exempt.
+var docFiles = []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/*.md"}
+
+var (
+	// pathRe matches repo-relative path mentions anywhere in a document.
+	pathRe = regexp.MustCompile(`(?:\./)?(?:cmd|internal|docs|examples|tools)/[A-Za-z0-9_.\-*/]+`)
+	// inlineCode matches `...` spans (flag checks run only inside these).
+	inlineCode = regexp.MustCompile("`([^`\n]+)`")
+	// linkRe matches markdown link targets.
+	linkRe = regexp.MustCompile(`\]\(([^)]+)\)`)
+	// flagDefRe extracts flag names from cmd/*/*.go sources.
+	flagDefRe = regexp.MustCompile(`flag\.(?:String|Bool|Int|Int64|Uint|Float64|Duration)\("([a-z][a-z0-9-]*)"`)
+	// flagUseRe extracts -flag mentions from a code span.
+	flagUseRe = regexp.MustCompile(`(?:^|\s)-([a-z][a-z0-9-]*)`)
+	// binaryRe decides whether a code span is a command line of one of
+	// this repo's binaries (and not, say, curl or go test).
+	binaryRe = regexp.MustCompile(`(?:^|[ /])(?:hermes|hermesd|benchrunner|doccheck)\b`)
+	// symbolRe strips a Go symbol qualifier: internal/core.System → internal/core.
+	symbolRe = regexp.MustCompile(`^(.*?)\.[A-Z].*$`)
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root")
+	flag.Parse()
+
+	flags, err := definedFlags(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+
+	var problems []string
+	for _, pattern := range docFiles {
+		matches, err := filepath.Glob(filepath.Join(*root, pattern))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		for _, file := range matches {
+			p, err := checkFile(*root, file, flags)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "doccheck:", err)
+				os.Exit(2)
+			}
+			problems = append(problems, p...)
+		}
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		fmt.Printf("doccheck: %d broken reference(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: all documentation references resolve")
+}
+
+// definedFlags collects every flag name defined by the commands under
+// cmd/ and tools/, so docs can mention any binary's flags.
+func definedFlags(root string) (map[string]bool, error) {
+	flags := map[string]bool{}
+	for _, pattern := range []string{"cmd/*/*.go", "tools/*/*.go"} {
+		srcs, err := filepath.Glob(filepath.Join(root, pattern))
+		if err != nil {
+			return nil, err
+		}
+		for _, src := range srcs {
+			data, err := os.ReadFile(src)
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range flagDefRe.FindAllStringSubmatch(string(data), -1) {
+				flags[m[1]] = true
+			}
+		}
+	}
+	return flags, nil
+}
+
+func checkFile(root, file string, flags map[string]bool) ([]string, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(root, file)
+	if err != nil {
+		rel = file
+	}
+	var problems []string
+	report := func(line int, format string, args ...any) {
+		problems = append(problems, fmt.Sprintf("%s:%d: %s", rel, line, fmt.Sprintf(format, args...)))
+	}
+
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		n := i + 1
+		// Path mentions, anywhere on the line (prose, tables, diagrams).
+		for _, tok := range pathRe.FindAllString(line, -1) {
+			if !pathExists(root, tok) {
+				report(n, "path %q does not exist", tok)
+			}
+		}
+		// Markdown link targets (relative only).
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := strings.SplitN(m[1], "#", 2)[0]
+			if target == "" || strings.Contains(target, "://") {
+				continue
+			}
+			if !pathExists(root, target) && !pathExists(filepath.Dir(file), target) {
+				report(n, "link target %q does not exist", target)
+			}
+		}
+		// Flag mentions inside code spans attributed to our binaries.
+		for _, m := range inlineCode.FindAllStringSubmatch(line, -1) {
+			span := m[1]
+			if bare := strings.TrimPrefix(span, "-"); span != bare &&
+				flagUseRe.MatchString(" "+span) && !strings.ContainsAny(span, " \t") {
+				if !flags[bare] {
+					report(n, "flag %q is not defined by any command", span)
+				}
+				continue
+			}
+			if !binaryRe.MatchString(span) || strings.Contains(span, "go test") {
+				continue
+			}
+			for _, fm := range flagUseRe.FindAllStringSubmatch(span, -1) {
+				if !flags[fm[1]] {
+					report(n, "flag %q (in %q) is not defined by any command", "-"+fm[1], span)
+				}
+			}
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// pathExists reports whether a documented path resolves in the tree,
+// tolerating the forms docs use: a trailing glob (`internal/domains/*`),
+// a Go symbol qualifier (`internal/core.System`), and trailing sentence
+// punctuation picked up by the matcher.
+func pathExists(root, tok string) bool {
+	tok = strings.TrimPrefix(tok, "./")
+	tok = strings.TrimRight(tok, ".,;:")
+	tok = strings.TrimSuffix(tok, "/*")
+	tok = strings.TrimSuffix(tok, "/")
+	if tok == "" {
+		return false
+	}
+	if _, err := os.Stat(filepath.Join(root, tok)); err == nil {
+		return true
+	}
+	if m := symbolRe.FindStringSubmatch(tok); m != nil {
+		if _, err := os.Stat(filepath.Join(root, m[1])); err == nil {
+			return true
+		}
+	}
+	return false
+}
