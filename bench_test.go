@@ -347,6 +347,48 @@ func BenchmarkFederationQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelFanout measures the real-time overhead of the parallel
+// operator pipeline on a 4-way independent-subgoal query: spool producers,
+// the scheduler, and the vtime-deterministic merge all run for every
+// iteration (the virtual clock makes the simulated latencies free, so the
+// benchmark isolates the machinery itself).
+func BenchmarkParallelFanout(b *testing.B) {
+	d := domaintest.New("d")
+	for _, fn := range []string{"s1", "s2", "s3", "s4"} {
+		d.Define(fn, domaintest.Func{Arity: 0, PerCall: 50 * time.Millisecond,
+			Fn: func([]term.Value) ([]term.Value, error) {
+				out := make([]term.Value, 8)
+				for i := range out {
+					out[i] = term.Int(int64(i))
+				}
+				return out, nil
+			}})
+	}
+	reg := domain.NewRegistry()
+	reg.Register(d)
+	eng := engine.New(reg, nil, engine.Config{MaxDepth: 8}, nil)
+	prog, _ := lang.ParseProgram(
+		`f(A, B, C, D) :- in(A, d:s1()) & in(B, d:s2()) & in(C, d:s3()) & in(D, d:s4()).`)
+	q, _ := lang.ParseQuery("?- f(A, B, C, D).")
+	rw := rewrite.New(prog, rewrite.Config{}, reg)
+	plans, err := rw.Plans(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := domain.NewCtx(vclock.NewVirtual(0))
+		ctx.Sched = domain.NewSched(4)
+		cur, err := eng.ExecutePlan(ctx, plans[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := engine.CollectAll(cur); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkEngineJoin(b *testing.B) {
 	d := domaintest.New("d")
 	d.Define("gen", domaintest.Func{Arity: 0,

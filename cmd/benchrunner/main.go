@@ -9,9 +9,12 @@
 //	benchrunner -fig 6        # utility of the DCSM (lossless vs lossy)
 //	benchrunner -fig plan     # §8 plan-choice claims
 //	benchrunner -fig ablations
+//	benchrunner -fig parallel # intra-query parallelism speedups (also
+//	                          # writes BENCH_parallel.json)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,15 +23,16 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, 6, plan, ablations, hitrate, availability, all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, 6, plan, ablations, hitrate, availability, parallel, all")
+	out := flag.String("out", "BENCH_parallel.json", "where -fig parallel writes its JSON result")
 	flag.Parse()
-	if err := run(*fig); err != nil {
+	if err := run(*fig, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string) error {
+func run(fig, out string) error {
 	section := func(title string) {
 		fmt.Println()
 		fmt.Println("=== " + title + " ===")
@@ -124,6 +128,22 @@ func run(fig string) error {
 			return err
 		}
 		fmt.Println(experiments.FormatHitRate(rows))
+	}
+	if want("parallel") {
+		section("Parallel operator pipeline: speedup vs Parallelism")
+		res, err := experiments.ParallelSpeedup()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatParallel(res))
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", out)
 	}
 	if want("availability") {
 		section("Query result caching under source unavailability")

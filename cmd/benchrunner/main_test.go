@@ -7,14 +7,14 @@ import "testing"
 // here we only verify the command's dispatch and rendering paths.
 func TestRunCheapFigures(t *testing.T) {
 	for _, fig := range []string{"2", "3", "4", "plan", "availability"} {
-		if err := run(fig); err != nil {
+		if err := run(fig, ""); err != nil {
 			t.Errorf("run(%q): %v", fig, err)
 		}
 	}
 }
 
 func TestRunUnknownFigureIsNoop(t *testing.T) {
-	if err := run("nosuchfigure"); err != nil {
+	if err := run("nosuchfigure", ""); err != nil {
 		t.Errorf("unknown figure should print nothing, not fail: %v", err)
 	}
 }

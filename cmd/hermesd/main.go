@@ -44,6 +44,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":7117", "listen address")
 	httpAddr := flag.String("http", ":7118", "observability HTTP address (/metrics, /debug/queries, /query); empty disables")
+	parallelism := flag.Int("parallelism", 0, "intra-query parallelism for the embedded mediator (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	doms := BuildDomains()
@@ -53,7 +54,7 @@ func main() {
 		log.Printf("hermesd: serving domain %q (%d functions)", d.Name(), len(d.Functions()))
 	}
 	if *httpAddr != "" {
-		h, err := newObsHandler(doms)
+		h, err := newObsHandler(doms, *parallelism)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -82,10 +83,10 @@ const serverProgram = `
 // (CIM + DCSM + resilient wrappers, all reporting into one observer) over
 // the same domain instances the TCP server hosts, plus the obs HTTP
 // handler for its metrics and query spans.
-func newObsHandler(doms []domain.Domain) (http.Handler, error) {
+func newObsHandler(doms []domain.Domain, parallelism int) (http.Handler, error) {
 	o := obs.NewObserver()
 	pol := resilience.DefaultPolicy()
-	sys := core.NewSystem(core.Options{Obs: o, Resilience: &pol})
+	sys := core.NewSystem(core.Options{Obs: o, Resilience: &pol, Parallelism: parallelism})
 	for _, d := range doms {
 		sys.Register(d)
 	}
@@ -137,9 +138,19 @@ func preRegisterMetrics(o *obs.Observer) {
 		o.Counter("hermes_cim_lookups_total", "outcome", outcome)
 	}
 	o.Counter("hermes_cim_degraded_total")
+	o.Counter("hermes_cim_singleflight_shares_total")
+	o.Gauge("hermes_cim_inflight_calls")
+	o.Counter("hermes_engine_parallel_unions_total")
+	o.Counter("hermes_engine_parallel_stages_total")
+	o.Gauge("hermes_engine_inflight_branches")
 	o.Counter("hermes_queries_total")
 	o.Metrics.SetHelp("hermes_cim_lookups_total", "CIM cache probes by serving outcome")
 	o.Metrics.SetHelp("hermes_cim_degraded_total", "responses served purely from cache because the source was down")
+	o.Metrics.SetHelp("hermes_cim_singleflight_shares_total", "concurrent identical or invariant-equivalent calls served by one in-flight source fetch")
+	o.Metrics.SetHelp("hermes_cim_inflight_calls", "source calls currently in flight through the CIM")
+	o.Metrics.SetHelp("hermes_engine_parallel_unions_total", "rule unions executed as parallel merges")
+	o.Metrics.SetHelp("hermes_engine_parallel_stages_total", "independent-sibling prefetch stages started")
+	o.Metrics.SetHelp("hermes_engine_inflight_branches", "parallel pipeline branches currently running")
 	o.Metrics.SetHelp("hermes_queries_total", "queries executed by the embedded mediator")
 	o.Metrics.SetHelp("hermes_breaker_state", "per-domain circuit breaker state: 0 closed, 1 open, 2 half-open")
 }

@@ -13,7 +13,7 @@ import (
 // a query through /query, then /metrics (Prometheus text with CIM and
 // breaker families) and /debug/queries (the span ring buffer).
 func TestObsEndpoints(t *testing.T) {
-	h, err := newObsHandler(BuildDomains())
+	h, err := newObsHandler(BuildDomains(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,12 +10,20 @@
 // The CIM also realizes the paper's availability story: when the source is
 // temporarily unreachable, cached (possibly partial) results are served
 // instead of failing the query.
+//
+// The manager is safe for concurrent use by parallel query branches. The
+// cache map is sharded (shard.go) so lookups from different branches do
+// not serialize behind one lock, and concurrent misses on the same call
+// coalesce into a single source fetch (flight.go). Locks are split by
+// concern — stats, invariants, hooks, eviction, flights — and none is held
+// while clock time is charged or a source is called.
 package cim
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hermes/internal/domain"
@@ -126,9 +134,15 @@ type Stats struct {
 	Evictions       int
 	StoredEntries   int
 	ServedFromCache int // answers served out of the cache
+	// SingleFlightShares counts calls that attached to an identical (or
+	// invariant-equivalent) call already in flight instead of issuing
+	// their own source fetch.
+	SingleFlightShares int
 }
 
-// Entry is one cached call with its answer set.
+// Entry is one cached call with its answer set. Entries are immutable
+// once stored (replacement swaps the whole entry) except for the recency
+// stamp, which is atomic.
 type Entry struct {
 	Call    domain.Call
 	Answers []term.Value
@@ -141,7 +155,7 @@ type Entry struct {
 	Cost  domain.CostVector
 	Bytes int
 
-	lastUsed int64
+	lastUsed atomic.Int64
 }
 
 // Caller executes actual source calls; satisfied by *domain.Registry.
@@ -154,49 +168,89 @@ type Manager struct {
 	caller Caller
 	cfg    Config
 
-	mu         sync.Mutex
-	entries    map[string]*Entry
+	// store is the sharded cache map; counter stamps recency.
+	store   *store
+	counter atomic.Int64
+
+	statsMu sync.Mutex
+	stats   Stats
+
+	invMu      sync.RWMutex
 	invariants []*lang.Invariant
-	counter    int64
-	totalBytes int
-	stats      Stats
+
+	// hookMu guards the optional hooks, set once at wiring time.
+	hookMu sync.RWMutex
 	// onMeasure observes completed actual calls (wired to the DCSM).
 	onMeasure func(domain.Measurement)
 	// ob receives CIM metrics and per-call span tags (nil = off).
 	ob *obs.Observer
+
+	// evictMu serializes budget enforcement (one evictor at a time).
+	evictMu sync.Mutex
+
+	// flightMu guards the in-flight call index (flight.go).
+	flightMu sync.Mutex
+	flights  map[string]*flight
 }
 
 // New creates a manager that issues actual calls through caller.
 func New(caller Caller, cfg Config) *Manager {
-	return &Manager{caller: caller, cfg: cfg, entries: make(map[string]*Entry)}
+	return &Manager{
+		caller:  caller,
+		cfg:     cfg,
+		store:   newStore(),
+		flights: make(map[string]*flight),
+	}
 }
 
 // SetObserver installs the observability sink: lookup outcome counters,
 // cache occupancy gauges, and outcome tags (cim=exact|equality|partial|miss,
 // degraded, serving) on the span each call's Ctx carries.
 func (m *Manager) SetObserver(o *obs.Observer) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.hookMu.Lock()
+	defer m.hookMu.Unlock()
 	m.ob = o
 }
 
-// lookupLocked counts one cache probe outcome and tags the call's span
-// with it. Caller holds m.mu (the span has its own lock).
-func (m *Manager) lookupLocked(ctx *domain.Ctx, outcome string) {
-	m.ob.Counter("hermes_cim_lookups_total", "outcome", outcome).Inc()
+// obs returns the installed observer (nil-safe: a nil Observer's methods
+// are no-ops).
+func (m *Manager) obs() *obs.Observer {
+	m.hookMu.RLock()
+	defer m.hookMu.RUnlock()
+	return m.ob
+}
+
+// measureHook returns the installed measurement observer.
+func (m *Manager) measureHook() func(domain.Measurement) {
+	m.hookMu.RLock()
+	defer m.hookMu.RUnlock()
+	return m.onMeasure
+}
+
+// bumpStats applies one update to the activity counters.
+func (m *Manager) bumpStats(fn func(*Stats)) {
+	m.statsMu.Lock()
+	fn(&m.stats)
+	m.statsMu.Unlock()
+}
+
+// lookup counts one cache probe outcome and tags the call's span with it.
+func (m *Manager) lookup(ctx *domain.Ctx, outcome string) {
+	m.obs().Counter("hermes_cim_lookups_total", "outcome", outcome).Inc()
 	ctx.Span.SetTag("cim", outcome)
 }
 
-// occupancyLocked refreshes the cache-size gauges. Caller holds m.mu.
-func (m *Manager) occupancyLocked() {
-	m.ob.Gauge("hermes_cim_entries").Set(float64(len(m.entries)))
-	m.ob.Gauge("hermes_cim_bytes").Set(float64(m.totalBytes))
+// occupancy refreshes the cache-size gauges.
+func (m *Manager) occupancy() {
+	o := m.obs()
+	o.Gauge("hermes_cim_entries").Set(float64(m.store.count.Load()))
+	o.Gauge("hermes_cim_bytes").Set(float64(m.store.bytes.Load()))
 }
 
-// degradedLocked counts a degraded (cache-only, source down) serve and
-// marks the call's span. Caller holds m.mu.
-func (m *Manager) degradedLocked(ctx *domain.Ctx) {
-	m.ob.Counter("hermes_cim_degraded_total").Inc()
+// degraded counts a degraded (cache-only, source down) serve and marks the
+// call's span.
+func (m *Manager) degraded(ctx *domain.Ctx) {
+	m.obs().Counter("hermes_cim_degraded_total").Inc()
 	ctx.Span.SetTag("degraded", "true")
 }
 
@@ -204,8 +258,8 @@ func (m *Manager) degradedLocked(ctx *domain.Ctx) {
 // every actual source call the CIM issues; the mediator wires this to the
 // DCSM statistics cache.
 func (m *Manager) SetMeasurementObserver(fn func(domain.Measurement)) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.hookMu.Lock()
+	defer m.hookMu.Unlock()
 	m.onMeasure = fn
 }
 
@@ -216,106 +270,103 @@ func (m *Manager) AddInvariant(inv *lang.Invariant) error {
 	if err := inv.Validate(); err != nil {
 		return err
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.invMu.Lock()
+	defer m.invMu.Unlock()
 	m.invariants = append(m.invariants, inv)
 	return nil
 }
 
+// invariantList returns the registered invariants for iteration. The
+// slice header is a consistent snapshot (registration appends under the
+// write lock); callers must not mutate it.
+func (m *Manager) invariantList() []*lang.Invariant {
+	m.invMu.RLock()
+	defer m.invMu.RUnlock()
+	return m.invariants
+}
+
 // Invariants returns the registered invariants.
 func (m *Manager) Invariants() []*lang.Invariant {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.invMu.RLock()
+	defer m.invMu.RUnlock()
 	return append([]*lang.Invariant(nil), m.invariants...)
 }
 
 // Stats returns a snapshot of the activity counters.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
 	return m.stats
 }
 
 // Len returns the number of cached entries.
-func (m *Manager) Len() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.entries)
-}
+func (m *Manager) Len() int { return int(m.store.count.Load()) }
 
 // Bytes returns the total cached answer bytes.
-func (m *Manager) Bytes() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.totalBytes
-}
+func (m *Manager) Bytes() int { return int(m.store.bytes.Load()) }
 
 // Clear drops all cached entries (invariants are kept).
 func (m *Manager) Clear() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.entries = make(map[string]*Entry)
-	m.totalBytes = 0
-	m.occupancyLocked()
+	m.store.clear()
+	m.occupancy()
 }
 
 // Lookup returns the cached entry for a call, if any, without charging any
 // clock cost (introspection for tests and tools).
 func (m *Manager) Lookup(c domain.Call) (*Entry, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	e, ok := m.entries[c.Key()]
-	return e, ok
+	return m.store.get(c.Key())
 }
 
 // Store inserts (or replaces) a cache entry for a call.
 func (m *Manager) Store(c domain.Call, answers []term.Value, complete bool, cost domain.CostVector) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.storeLocked(c, answers, complete, cost)
+	m.storeEntry(c, answers, complete, cost)
 }
 
-func (m *Manager) storeLocked(c domain.Call, answers []term.Value, complete bool, cost domain.CostVector) {
-	key := c.Key()
-	if old, ok := m.entries[key]; ok {
-		m.totalBytes -= old.Bytes
-	}
+func (m *Manager) storeEntry(c domain.Call, answers []term.Value, complete bool, cost domain.CostVector) {
 	bytes := 0
 	for _, v := range answers {
 		bytes += term.SizeBytes(v)
 	}
-	m.counter++
-	e := &Entry{Call: c, Answers: answers, Complete: complete, Cost: cost, Bytes: bytes, lastUsed: m.counter}
-	m.entries[key] = e
-	m.totalBytes += bytes
-	m.stats.StoredEntries++
-	m.evictLocked()
-	m.occupancyLocked()
+	e := &Entry{Call: c, Answers: answers, Complete: complete, Cost: cost, Bytes: bytes}
+	e.lastUsed.Store(m.counter.Add(1))
+	m.store.put(c.Key(), e)
+	m.bumpStats(func(st *Stats) { st.StoredEntries++ })
+	m.evict()
+	m.occupancy()
 }
 
-// evictLocked enforces the entry/byte budgets.
-func (m *Manager) evictLocked() {
+// evict enforces the entry/byte budgets. Victim selection scans a
+// snapshot, so no shard lock is held across the scan; removal re-checks
+// the entry is still current.
+func (m *Manager) evict() {
 	over := func() bool {
-		if m.cfg.MaxEntries > 0 && len(m.entries) > m.cfg.MaxEntries {
+		if m.cfg.MaxEntries > 0 && int(m.store.count.Load()) > m.cfg.MaxEntries {
 			return true
 		}
-		if m.cfg.MaxBytes > 0 && m.totalBytes > m.cfg.MaxBytes {
+		if m.cfg.MaxBytes > 0 && int(m.store.bytes.Load()) > m.cfg.MaxBytes {
 			return true
 		}
 		return false
 	}
-	for over() && len(m.entries) > 0 {
-		var victim string
-		var victimEntry *Entry
-		for k, e := range m.entries {
-			if victimEntry == nil || m.evictBefore(e, victimEntry) {
-				victim, victimEntry = k, e
+	if !over() {
+		return
+	}
+	m.evictMu.Lock()
+	defer m.evictMu.Unlock()
+	for over() {
+		var victim *Entry
+		for _, e := range m.store.snapshot() {
+			if victim == nil || m.evictBefore(e, victim) {
+				victim = e
 			}
 		}
-		m.totalBytes -= victimEntry.Bytes
-		delete(m.entries, victim)
-		m.stats.Evictions++
-		m.ob.Counter("hermes_cim_evictions_total").Inc()
+		if victim == nil {
+			return
+		}
+		if m.store.removeIf(victim.Call.Key(), victim) {
+			m.bumpStats(func(st *Stats) { st.Evictions++ })
+			m.obs().Counter("hermes_cim_evictions_total").Inc()
+		}
 	}
 }
 
@@ -327,15 +378,14 @@ func (m *Manager) evictBefore(a, b *Entry) bool {
 		if a.Cost.TAll != b.Cost.TAll {
 			return a.Cost.TAll < b.Cost.TAll
 		}
-		return a.lastUsed < b.lastUsed
+		return a.lastUsed.Load() < b.lastUsed.Load()
 	default: // EvictLRU
-		return a.lastUsed < b.lastUsed
+		return a.lastUsed.Load() < b.lastUsed.Load()
 	}
 }
 
-func (m *Manager) touchLocked(e *Entry) {
-	m.counter++
-	e.lastUsed = m.counter
+func (m *Manager) touch(e *Entry) {
+	e.lastUsed.Store(m.counter.Add(1))
 }
 
 // Response is the result of routing a call through the CIM.
@@ -365,95 +415,65 @@ func (m *Manager) cacheStream(ctx *domain.Ctx, answers []term.Value) domain.Stre
 	})
 }
 
-// actualStream issues the real source call, measured; the measurement is
-// stored in the cache and forwarded to the observer.
-func (m *Manager) actualStream(ctx *domain.Ctx, call domain.Call) (domain.Stream, error) {
-	start := ctx.Clock.Now()
-	inner, err := m.caller.Call(ctx, call)
-	if err != nil {
-		return nil, err
-	}
-	var collected []term.Value
-	tap := domain.NewFuncStream(func() (term.Value, bool, error) {
-		v, ok, err := inner.Next()
-		if ok {
-			collected = append(collected, v)
-		}
-		return v, ok, err
-	}, inner.Close)
-	return domain.NewMeasuredStreamAt(tap, ctx.Clock, call, start, func(meas domain.Measurement) {
-		m.mu.Lock()
-		m.storeLocked(call, collected, meas.Complete, meas.Cost)
-		obs := m.onMeasure
-		m.mu.Unlock()
-		if obs != nil {
-			obs(meas)
-		}
-	}), nil
-}
-
 // CallThrough routes a ground call through the cache. The returned stream
 // is lazy: for partial hits the actual source call starts only if the
 // consumer drains past the cached answers, so interactive queries that stop
 // early never pay for it (§4.1).
 func (m *Manager) CallThrough(ctx *domain.Ctx, call domain.Call) (*Response, error) {
-	m.mu.Lock()
 	ctx.Clock.Sleep(m.cfg.LookupCost)
 
 	// 1. Exact hit on a complete entry.
-	if e, ok := m.entries[call.Key()]; ok && e.Complete {
-		m.touchLocked(e)
-		m.stats.ExactHits++
-		m.stats.ServedFromCache += len(e.Answers)
-		m.lookupLocked(ctx, "exact")
-		answers := e.Answers
-		m.mu.Unlock()
+	if e, ok := m.store.get(call.Key()); ok && e.Complete {
+		m.touch(e)
+		m.bumpStats(func(st *Stats) {
+			st.ExactHits++
+			st.ServedFromCache += len(e.Answers)
+		})
+		m.lookup(ctx, "exact")
 		return &Response{
-			Stream:        m.cacheStream(ctx, answers),
+			Stream:        m.cacheStream(ctx, e.Answers),
 			Source:        SourceCacheExact,
-			CachedAnswers: len(answers),
+			CachedAnswers: len(e.Answers),
 			ServingCall:   call,
 		}, nil
 	}
 
 	// 2. Equality invariants: a different cached call with a provably
 	// identical answer set.
-	if e := m.findEqualityLocked(ctx, call); e != nil {
-		m.touchLocked(e)
-		m.stats.EqualityHits++
-		m.stats.ServedFromCache += len(e.Answers)
-		m.lookupLocked(ctx, "equality")
+	if e := m.findEquality(ctx, call); e != nil {
+		m.touch(e)
+		m.bumpStats(func(st *Stats) {
+			st.EqualityHits++
+			st.ServedFromCache += len(e.Answers)
+		})
+		m.lookup(ctx, "equality")
 		ctx.Span.SetTag("serving", e.Call.String())
-		answers := e.Answers
-		serving := e.Call
-		m.mu.Unlock()
 		return &Response{
-			Stream:        m.cacheStream(ctx, answers),
+			Stream:        m.cacheStream(ctx, e.Answers),
 			Source:        SourceCacheEquality,
-			CachedAnswers: len(answers),
-			ServingCall:   serving,
+			CachedAnswers: len(e.Answers),
+			ServingCall:   e.Call,
 		}, nil
 	}
 
 	// 3. Subset invariants (or an incomplete exact entry): a cached call
 	// whose answers are a sound partial answer for ours.
-	if e := m.findPartialLocked(ctx, call); e != nil {
-		m.touchLocked(e)
-		m.stats.PartialHits++
-		m.stats.ServedFromCache += len(e.Answers)
-		m.lookupLocked(ctx, "partial")
+	if e := m.findPartial(ctx, call); e != nil {
+		m.touch(e)
+		m.bumpStats(func(st *Stats) {
+			st.PartialHits++
+			st.ServedFromCache += len(e.Answers)
+		})
+		m.lookup(ctx, "partial")
 		ctx.Span.SetTag("serving", e.Call.String())
-		resp := m.servePartialThenActual(ctx, call, e)
-		m.mu.Unlock()
-		return resp, nil
+		return m.servePartialThenActual(ctx, call, e), nil
 	}
 
 	// 4. Miss: actual call. When the source is unreachable (including an
 	// open circuit breaker, which wraps domain.ErrUnavailable), degrade
 	// to whatever sound answers the cache holds instead of failing.
-	m.stats.Misses++
-	m.lookupLocked(ctx, "miss")
-	m.mu.Unlock()
+	m.bumpStats(func(st *Stats) { st.Misses++ })
+	m.lookup(ctx, "miss")
 	stream, err := m.actualStream(ctx, call)
 	if err != nil {
 		if m.cfg.FallbackOnUnavailable && isUnavailable(err) {
@@ -472,35 +492,32 @@ func (m *Manager) CallThrough(ctx *domain.Ctx, call domain.Call) (*Response, err
 // holds nothing sound for the call. The response is tagged Degraded; its
 // answers are always a subset of the true answer set.
 func (m *Manager) Degrade(ctx *domain.Ctx, call domain.Call) (*Response, bool) {
-	m.mu.Lock()
 	ctx.Clock.Sleep(m.cfg.LookupCost)
 	var e *Entry
-	if ex, ok := m.entries[call.Key()]; ok {
+	if ex, ok := m.store.get(call.Key()); ok {
 		e = ex
-	} else if eq := m.findEqualityLocked(ctx, call); eq != nil {
+	} else if eq := m.findEquality(ctx, call); eq != nil {
 		e = eq
-	} else if pe := m.findPartialLocked(ctx, call); pe != nil {
+	} else if pe := m.findPartial(ctx, call); pe != nil {
 		e = pe
 	}
 	if e == nil {
-		m.mu.Unlock()
 		return nil, false
 	}
-	m.touchLocked(e)
-	m.stats.UnavailableFallbacks++
-	m.stats.DegradedServes++
-	m.stats.ServedFromCache += len(e.Answers)
-	m.lookupLocked(ctx, "degraded")
-	m.degradedLocked(ctx)
+	m.touch(e)
+	m.bumpStats(func(st *Stats) {
+		st.UnavailableFallbacks++
+		st.DegradedServes++
+		st.ServedFromCache += len(e.Answers)
+	})
+	m.lookup(ctx, "degraded")
+	m.degraded(ctx)
 	ctx.Span.SetTag("serving", e.Call.String())
-	answers := e.Answers
-	serving := e.Call
-	m.mu.Unlock()
 	return &Response{
-		Stream:        m.cacheStream(ctx, answers),
+		Stream:        m.cacheStream(ctx, e.Answers),
 		Source:        SourceCacheDegraded,
-		CachedAnswers: len(answers),
-		ServingCall:   serving,
+		CachedAnswers: len(e.Answers),
+		ServingCall:   e.Call,
 		Degraded:      true,
 	}, true
 }
@@ -509,7 +526,8 @@ func (m *Manager) Degrade(ctx *domain.Ctx, call domain.Call) (*Response, bool) {
 // (fast first answers), then the actual call's remaining answers
 // deduplicated against them. With ParallelActual the actual call is
 // accounted on a clock forked at request time, so its latency overlaps the
-// cached phase.
+// cached phase. No manager lock is held anywhere in the stream path — the
+// stats counters have their own mutex.
 func (m *Manager) servePartialThenActual(ctx *domain.Ctx, call domain.Call, e *Entry) *Response {
 	cached := e.Answers
 	seed := make(map[string]struct{}, len(cached))
@@ -547,11 +565,11 @@ func (m *Manager) servePartialThenActual(ctx *domain.Ctx, call domain.Call, e *E
 		}
 		if actualErr != nil {
 			if unavailableOK && isUnavailable(actualErr) {
-				m.mu.Lock()
-				m.stats.UnavailableFallbacks++
-				m.stats.DegradedServes++
-				m.degradedLocked(ctx)
-				m.mu.Unlock()
+				m.bumpStats(func(st *Stats) {
+					st.UnavailableFallbacks++
+					st.DegradedServes++
+				})
+				m.degraded(ctx)
 				resp.Degraded = true
 				return nil, false, nil // partial answers are the best we can do
 			}
@@ -565,11 +583,11 @@ func (m *Manager) servePartialThenActual(ctx *domain.Ctx, call domain.Call, e *E
 			// The source died mid-completion: everything emitted so far
 			// (cached prefix + actual answers) is sound, so degrade to a
 			// partial result instead of failing the query.
-			m.mu.Lock()
-			m.stats.UnavailableFallbacks++
-			m.stats.DegradedServes++
-			m.degradedLocked(ctx)
-			m.mu.Unlock()
+			m.bumpStats(func(st *Stats) {
+				st.UnavailableFallbacks++
+				st.DegradedServes++
+			})
+			m.degraded(ctx)
 			resp.Degraded = true
 			return nil, false, nil
 		}

@@ -1,0 +1,353 @@
+package cim
+
+// Single-flight source calls. N concurrent identical (or
+// invariant-equivalent) cache misses stampeding the same slow source is
+// exactly the failure mode a mediator cache exists to prevent, so the CIM
+// coalesces them: the first caller becomes the flight leader and issues
+// the one actual call; every later caller attaches to the in-flight fetch,
+// replays the answers already received, then co-consumes the remainder.
+// Whoever needs the next answer first pulls the shared source stream (the
+// pull advances the leader's clock, which meters the call); everyone else
+// is woken by the broadcast. The flight's answers are stored in the cache
+// once, with the same measurement semantics as an unshared call.
+
+import (
+	"sync"
+	"time"
+
+	"hermes/internal/domain"
+	"hermes/internal/lang"
+	"hermes/internal/term"
+	"hermes/internal/vclock"
+)
+
+// flightItem is one shared answer with its availability reading on the
+// leader's clock.
+type flightItem struct {
+	v  term.Value
+	at time.Duration
+}
+
+// flight is one in-flight actual source call with its attached readers.
+type flight struct {
+	m    *Manager
+	call domain.Call
+	key  string
+
+	// ready is closed once setup finished (src usable or setupErr set).
+	ready    chan struct{}
+	setupErr error
+
+	mu       sync.Mutex
+	wake     chan struct{} // closed and replaced on every state change
+	src      domain.Stream // the measured actual stream; pulled under the pulling flag
+	srcClock vclock.Clock  // the leader's clock, advanced by whoever pulls
+	items    []flightItem
+	done     bool
+	err      error
+	endAt    time.Duration
+	readers  int
+	pulling  bool
+	// closeOnIdle defers the last reader's early close while a pull is in
+	// progress (the stream must not be closed under a concurrent Next).
+	closeOnIdle bool
+	// abandoned marks a flight ended by an early close rather than source
+	// exhaustion: its item list may be incomplete, so late joiners must
+	// start their own call instead of attaching.
+	abandoned bool
+}
+
+func newFlight(m *Manager, call domain.Call) *flight {
+	return &flight{
+		m: m, call: call, key: call.Key(),
+		ready: make(chan struct{}),
+		wake:  make(chan struct{}),
+	}
+}
+
+func (f *flight) broadcastLocked() {
+	close(f.wake)
+	f.wake = make(chan struct{})
+}
+
+// lead issues the actual call as the flight's one source fetch. On setup
+// failure the flight is dissolved so a later caller may retry.
+func (f *flight) lead(ctx *domain.Ctx) (domain.Stream, error) {
+	start := ctx.Clock.Now()
+	inner, err := f.m.caller.Call(ctx, f.call)
+	if err != nil {
+		f.setupErr = err
+		close(f.ready)
+		f.m.removeFlight(f)
+		return nil, err
+	}
+	f.mu.Lock()
+	f.srcClock = ctx.Clock
+	f.src = domain.NewMeasuredStreamAt(inner, ctx.Clock, f.call, start, f.onMeasured)
+	f.mu.Unlock()
+	close(f.ready)
+	return &flightReader{f: f, ctx: ctx}, nil
+}
+
+// onMeasured stores the flight's collected answers and forwards the
+// measurement (DCSM). Called from inside src.Next/src.Close, so f.mu is
+// never held here.
+func (f *flight) onMeasured(meas domain.Measurement) {
+	f.mu.Lock()
+	vals := make([]term.Value, len(f.items))
+	for i, it := range f.items {
+		vals[i] = it.v
+	}
+	f.mu.Unlock()
+	f.m.storeEntry(f.call, vals, meas.Complete, meas.Cost)
+	if hook := f.m.measureHook(); hook != nil {
+		hook(meas)
+	}
+}
+
+// detach drops a reader that never consumed (context cancelled while
+// waiting for setup, or a failed join).
+func (f *flight) detach() {
+	f.mu.Lock()
+	f.readers--
+	f.mu.Unlock()
+}
+
+// flightReader is one consumer's view of a flight: it replays the shared
+// answer list from its own cursor, advancing its clock to each answer's
+// availability time, and co-consumes the source past the end of the list.
+type flightReader struct {
+	f      *flight
+	ctx    *domain.Ctx
+	idx    int
+	closed bool
+}
+
+func (r *flightReader) Next() (term.Value, bool, error) {
+	f := r.f
+	f.mu.Lock()
+	for {
+		if r.idx < len(f.items) {
+			it := f.items[r.idx]
+			r.idx++
+			f.mu.Unlock()
+			vclock.AdvanceTo(r.ctx.Clock, it.at)
+			return it.v, true, nil
+		}
+		if f.done {
+			err := f.err
+			end := f.endAt
+			f.mu.Unlock()
+			if err != nil {
+				return nil, false, err
+			}
+			vclock.AdvanceTo(r.ctx.Clock, end)
+			return nil, false, nil
+		}
+		if !f.pulling {
+			// This reader is the most caught-up: pull the source on behalf
+			// of everyone. The pull advances the leader's clock.
+			f.pulling = true
+			src := f.src
+			f.mu.Unlock()
+			v, ok, err := src.Next()
+			at := f.srcClock.Now()
+			f.mu.Lock()
+			f.pulling = false
+			switch {
+			case err != nil:
+				f.done, f.err, f.endAt = true, err, at
+			case !ok:
+				f.done, f.endAt = true, at
+			default:
+				f.items = append(f.items, flightItem{v: v, at: at})
+			}
+			if !f.done && f.closeOnIdle && f.readers == 0 {
+				f.done, f.abandoned, f.endAt = true, true, at
+			}
+			finished := f.done
+			needClose := f.done && f.abandoned && err == nil
+			f.broadcastLocked()
+			f.mu.Unlock()
+			if finished {
+				f.m.removeFlight(f)
+				if needClose {
+					src.Close()
+				}
+			}
+			f.mu.Lock()
+			continue
+		}
+		// Someone else is pulling: wait for the broadcast (or our own
+		// cancellation — a parallel branch being torn down must not hang
+		// on a flight other branches keep feeding).
+		wake := f.wake
+		f.mu.Unlock()
+		select {
+		case <-wake:
+		case <-doneCh(r.ctx):
+			return nil, false, r.ctx.Err()
+		}
+		f.mu.Lock()
+	}
+}
+
+func (r *flightReader) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	f := r.f
+	f.mu.Lock()
+	f.readers--
+	if f.readers > 0 || f.done {
+		f.mu.Unlock()
+		return nil
+	}
+	if f.pulling {
+		// A pull we cannot interrupt is in progress; the puller finishes
+		// the close when it returns.
+		f.closeOnIdle = true
+		f.mu.Unlock()
+		return nil
+	}
+	// Last reader leaving an unfinished flight: close the source. The
+	// measured stream records an incomplete entry, exactly like an
+	// unshared early close (interactive pruning).
+	f.done = true
+	f.abandoned = true
+	f.endAt = f.srcClock.Now()
+	src := f.src
+	f.broadcastLocked()
+	f.mu.Unlock()
+	f.m.removeFlight(f)
+	return src.Close()
+}
+
+// doneCh returns the Ctx's cancellation channel (nil blocks forever in a
+// select, which is the desired behavior for uncancellable contexts).
+func doneCh(ctx *domain.Ctx) <-chan struct{} {
+	if ctx.Context != nil {
+		return ctx.Context.Done()
+	}
+	return nil
+}
+
+// actualStream issues the real source call with single-flight semantics:
+// if an identical (or equality-invariant-equivalent) call is already in
+// flight, attach to it instead of stampeding the source.
+func (m *Manager) actualStream(ctx *domain.Ctx, call domain.Call) (domain.Stream, error) {
+	key := call.Key()
+	for {
+		m.flightMu.Lock()
+		f := m.flights[key]
+		shared := "shared"
+		if f == nil {
+			f = m.equivalentFlightLocked(ctx, call)
+			shared = "shared-equality"
+		}
+		if f != nil {
+			f.mu.Lock()
+			if f.abandoned {
+				// The flight ended with an early close while we were looking
+				// it up: its answers may be partial. Clear the dead index
+				// entry ourselves (we hold flightMu) and start fresh.
+				f.mu.Unlock()
+				if cur, ok := m.flights[f.key]; ok && cur == f {
+					delete(m.flights, f.key)
+					m.obs().Gauge("hermes_cim_inflight_calls").Add(-1)
+				}
+				m.flightMu.Unlock()
+				continue
+			}
+			f.readers++
+			f.mu.Unlock()
+			m.flightMu.Unlock()
+			select {
+			case <-f.ready:
+			case <-doneCh(ctx):
+				f.detach()
+				return nil, ctx.Err()
+			}
+			if f.setupErr != nil {
+				// The leader's call died at setup; retry as leader (the
+				// failed flight was removed).
+				f.detach()
+				continue
+			}
+			m.obs().Counter("hermes_cim_singleflight_shares_total").Inc()
+			ctx.Span.SetTag("singleflight", shared)
+			if shared == "shared-equality" {
+				ctx.Span.SetTag("serving", f.call.String())
+			}
+			m.bumpStats(func(st *Stats) { st.SingleFlightShares++ })
+			return &flightReader{f: f, ctx: ctx}, nil
+		}
+		f = newFlight(m, call)
+		f.readers = 1
+		m.flights[key] = f
+		m.obs().Gauge("hermes_cim_inflight_calls").Add(1)
+		m.flightMu.Unlock()
+		return f.lead(ctx)
+	}
+}
+
+// equivalentFlightLocked scans the (small) in-flight set for a call an
+// equality invariant proves has the identical answer set. Caller holds
+// m.flightMu.
+func (m *Manager) equivalentFlightLocked(ctx *domain.Ctx, call domain.Call) *flight {
+	if len(m.flights) == 0 {
+		return nil
+	}
+	for _, f := range m.flights {
+		if m.provesEqual(ctx, call, f.call) {
+			return f
+		}
+	}
+	return nil
+}
+
+// provesEqual reports whether some equality invariant proves
+// answers(a) = answers(b).
+func (m *Manager) provesEqual(ctx *domain.Ctx, a, b domain.Call) bool {
+	for _, inv := range m.invariantList() {
+		if inv.Rel != lang.RelEqual {
+			continue
+		}
+		if !relevant(&inv.Left, a) && !relevant(&inv.Right, a) {
+			continue
+		}
+		ctx.Clock.Sleep(m.cfg.InvariantMatch)
+		sides := [2][2]*lang.CallTemplate{
+			{&inv.Left, &inv.Right},
+			{&inv.Right, &inv.Left},
+		}
+		for _, pair := range sides {
+			mine, other := pair[0], pair[1]
+			theta, ok := unifyTemplate(term.Subst{}, mine, a)
+			if !ok {
+				continue
+			}
+			oc, ok := groundTemplate(other, theta)
+			if !ok || !condHolds(inv.Cond, theta) {
+				continue
+			}
+			if oc.Key() == b.Key() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// removeFlight detaches a flight from the index once it completed,
+// failed, or was abandoned, so later identical calls hit the cache (or
+// start a fresh fetch) instead of a dead flight.
+func (m *Manager) removeFlight(f *flight) {
+	m.flightMu.Lock()
+	if cur, ok := m.flights[f.key]; ok && cur == f {
+		delete(m.flights, f.key)
+		m.obs().Gauge("hermes_cim_inflight_calls").Add(-1)
+	}
+	m.flightMu.Unlock()
+}

@@ -1,0 +1,188 @@
+package cim
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hermes/internal/domain"
+	"hermes/internal/lang"
+	"hermes/internal/term"
+)
+
+// gateDomain blocks every source call on a release channel so the test
+// controls exactly when the in-flight call completes.
+type gateDomain struct {
+	name    string
+	started chan struct{} // signalled when a call reaches the source
+	release chan struct{} // closed to let blocked calls return
+	calls   atomic.Int64
+}
+
+func (g *gateDomain) Name() string { return g.name }
+
+func (g *gateDomain) Functions() []domain.FuncSpec {
+	return []domain.FuncSpec{{Name: "slow", Arity: 1}, {Name: "slow2", Arity: 1}}
+}
+
+func (g *gateDomain) Call(ctx *domain.Ctx, fn string, args []term.Value) (domain.Stream, error) {
+	g.calls.Add(1)
+	select {
+	case g.started <- struct{}{}:
+	default:
+	}
+	<-g.release
+	return domain.NewSliceStream(strs("x", "y", "z")), nil
+}
+
+// waitReaders polls until the flight for key has at least n attached
+// readers (leader included).
+func waitReaders(t *testing.T, m *Manager, key string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m.flightMu.Lock()
+		r := 0
+		if f := m.flights[key]; f != nil {
+			f.mu.Lock()
+			r = f.readers
+			f.mu.Unlock()
+		}
+		m.flightMu.Unlock()
+		if r >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flight %q has %d readers, want >= %d", key, r, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSingleFlightConcurrentIdenticalCalls(t *testing.T) {
+	g := &gateDomain{name: "g", started: make(chan struct{}, 1), release: make(chan struct{})}
+	reg := domain.NewRegistry()
+	reg.Register(g)
+	m := New(reg, testCfg())
+
+	const n = 8
+	c := call("g", "slow", term.Str("a"))
+	type result struct {
+		vals []term.Value
+		err  error
+	}
+	results := make(chan result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := m.CallThrough(newCtx(), c)
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			vals, err := domain.Collect(resp.Stream)
+			results <- result{vals: vals, err: err}
+		}()
+	}
+
+	<-g.started // the leader reached the source
+	// Wait for all n callers to attach to the one flight, then let the
+	// source answer.
+	waitReaders(t, m, c.Key(), n)
+	close(g.release)
+	wg.Wait()
+	close(results)
+
+	for r := range results {
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if len(r.vals) != 3 {
+			t.Fatalf("answers = %v, want 3 values", r.vals)
+		}
+		for i, want := range []string{"x", "y", "z"} {
+			if r.vals[i].Key() != term.Str(want).Key() {
+				t.Fatalf("answers = %v, want [x y z]", r.vals)
+			}
+		}
+	}
+	if got := g.calls.Load(); got != 1 {
+		t.Errorf("source called %d times, want 1", got)
+	}
+	if st := m.Stats(); st.SingleFlightShares != n-1 {
+		t.Errorf("SingleFlightShares = %d, want %d", st.SingleFlightShares, n-1)
+	}
+	// The one measured call was cached; a later identical call is an exact
+	// hit.
+	resp, err := m.CallThrough(newCtx(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Source != SourceCacheExact {
+		t.Errorf("post-flight call source = %v, want exact hit", resp.Source)
+	}
+	if got := drain(t, resp); len(got) != 3 {
+		t.Fatalf("cached answers = %v", got)
+	}
+	if got := g.calls.Load(); got != 1 {
+		t.Errorf("source called %d times after cache hit, want 1", got)
+	}
+}
+
+func TestSingleFlightEqualityEquivalentCalls(t *testing.T) {
+	g := &gateDomain{name: "g", started: make(chan struct{}, 1), release: make(chan struct{})}
+	reg := domain.NewRegistry()
+	reg.Register(g)
+	m := New(reg, testCfg())
+	inv, err := lang.ParseInvariant("true => g:slow(V) = g:slow2(V).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddInvariant(inv); err != nil {
+		t.Fatal(err)
+	}
+
+	leaderCall := call("g", "slow", term.Str("a"))
+	joinerCall := call("g", "slow2", term.Str("a"))
+
+	type result struct {
+		vals []term.Value
+		err  error
+	}
+	results := make(chan result, 2)
+	run := func(c domain.Call) {
+		resp, err := m.CallThrough(newCtx(), c)
+		if err != nil {
+			results <- result{err: err}
+			return
+		}
+		vals, err := domain.Collect(resp.Stream)
+		results <- result{vals: vals, err: err}
+	}
+	go run(leaderCall)
+	<-g.started // slow('a') is in flight
+	go run(joinerCall)
+	// The joiner attaches to the slow('a') flight via the equality
+	// invariant: its key never appears in the flight index.
+	waitReaders(t, m, leaderCall.Key(), 2)
+	close(g.release)
+
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if len(r.vals) != 3 {
+			t.Fatalf("answers = %v, want 3 values", r.vals)
+		}
+	}
+	if got := g.calls.Load(); got != 1 {
+		t.Errorf("source called %d times, want 1", got)
+	}
+	if st := m.Stats(); st.SingleFlightShares != 1 {
+		t.Errorf("SingleFlightShares = %d, want 1", st.SingleFlightShares)
+	}
+}

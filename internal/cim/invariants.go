@@ -44,26 +44,27 @@ func condHolds(cond []lang.Comparison, s term.Subst) bool {
 	return true
 }
 
-// findCandidatesLocked finds cache entries that `other` (under θ extending
+// findCandidates finds cache entries that `other` (under θ extending
 // the unification of our call with `mine`) matches, with the condition
 // holding. If `other` is ground under θ this is a direct probe; otherwise
-// the cache is scanned (charged per entry examined). requireComplete
+// a snapshot of the cache is scanned (charged per entry examined) — no
+// shard lock is held while the clock is charged. requireComplete
 // restricts to complete entries.
-func (m *Manager) findCandidatesLocked(ctx *domain.Ctx, theta term.Subst, cond []lang.Comparison, other *lang.CallTemplate, requireComplete bool) []*Entry {
+func (m *Manager) findCandidates(ctx *domain.Ctx, theta term.Subst, cond []lang.Comparison, other *lang.CallTemplate, requireComplete bool) []*Entry {
 	// Fast path: other side fully determined by our call's bindings.
 	if oc, ok := groundTemplate(other, theta); ok {
 		if !condHolds(cond, theta) {
 			return nil
 		}
 		ctx.Clock.Sleep(m.cfg.LookupCost)
-		if e, found := m.entries[oc.Key()]; found && (e.Complete || !requireComplete) {
+		if e, found := m.store.get(oc.Key()); found && (e.Complete || !requireComplete) {
 			return []*Entry{e}
 		}
 		return nil
 	}
 	// Slow path: scan cached calls to the other side's domain:function.
 	var out []*Entry
-	for _, e := range m.entries {
+	for _, e := range m.store.snapshot() {
 		if e.Call.Domain != other.Domain || e.Call.Function != other.Function {
 			continue
 		}
@@ -88,11 +89,11 @@ func relevant(t *lang.CallTemplate, c domain.Call) bool {
 	return t.Domain == c.Domain && t.Function == c.Function && len(t.Args) == len(c.Args)
 }
 
-// findEqualityLocked looks for a cached call that an equality invariant
+// findEquality looks for a cached call that an equality invariant
 // proves has the identical answer set (§4.1, case 2). Equality is
 // symmetric, so both orientations are tried.
-func (m *Manager) findEqualityLocked(ctx *domain.Ctx, call domain.Call) *Entry {
-	for _, inv := range m.invariants {
+func (m *Manager) findEquality(ctx *domain.Ctx, call domain.Call) *Entry {
+	for _, inv := range m.invariantList() {
 		if inv.Rel != lang.RelEqual {
 			continue
 		}
@@ -111,10 +112,10 @@ func (m *Manager) findEqualityLocked(ctx *domain.Ctx, call domain.Call) *Entry {
 				continue
 			}
 			// An equality hit requires a complete cached answer set.
-			if cands := m.findCandidatesLocked(ctx, theta, inv.Cond, other, true); len(cands) > 0 {
+			if cands := m.findCandidates(ctx, theta, inv.Cond, other, true); len(cands) > 0 {
 				best := cands[0]
 				for _, c := range cands[1:] {
-					if c.lastUsed > best.lastUsed {
+					if c.lastUsed.Load() > best.lastUsed.Load() {
 						best = c
 					}
 				}
@@ -125,11 +126,11 @@ func (m *Manager) findEqualityLocked(ctx *domain.Ctx, call domain.Call) *Entry {
 	return nil
 }
 
-// findPartialLocked looks for the best sound partial answer for a call
+// findPartial looks for the best sound partial answer for a call
 // (§4.1, case 3): a cached call C such that some superset invariant proves
 // answers(call) ⊇ answers(C), or an incomplete exact entry for the call
 // itself. "Best" is the candidate with the most cached answers.
-func (m *Manager) findPartialLocked(ctx *domain.Ctx, call domain.Call) *Entry {
+func (m *Manager) findPartial(ctx *domain.Ctx, call domain.Call) *Entry {
 	var best *Entry
 	consider := func(e *Entry) {
 		if best == nil || len(e.Answers) > len(best.Answers) {
@@ -137,10 +138,10 @@ func (m *Manager) findPartialLocked(ctx *domain.Ctx, call domain.Call) *Entry {
 		}
 	}
 	// An incomplete exact entry is itself a sound partial answer.
-	if e, ok := m.entries[call.Key()]; ok && !e.Complete {
+	if e, ok := m.store.get(call.Key()); ok && !e.Complete {
 		consider(e)
 	}
-	for _, inv := range m.invariants {
+	for _, inv := range m.invariantList() {
 		if inv.Rel != lang.RelSuperset {
 			continue
 		}
@@ -154,7 +155,7 @@ func (m *Manager) findPartialLocked(ctx *domain.Ctx, call domain.Call) *Entry {
 		if !ok {
 			continue
 		}
-		for _, e := range m.findCandidatesLocked(ctx, theta, inv.Cond, &inv.Right, false) {
+		for _, e := range m.findCandidates(ctx, theta, inv.Cond, &inv.Right, false) {
 			if len(e.Answers) > 0 {
 				consider(e)
 			}

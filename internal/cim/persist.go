@@ -37,10 +37,8 @@ type cacheSnapshot struct {
 
 // Save writes the cache contents as JSON.
 func (m *Manager) Save(w io.Writer) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	snap := cacheSnapshot{Version: cacheSnapshotVersion, Counter: m.counter}
-	for _, e := range m.entries {
+	snap := cacheSnapshot{Version: cacheSnapshotVersion, Counter: m.counter.Load()}
+	for _, e := range m.store.snapshot() {
 		args, err := term.EncodeJSONs(e.Call.Args)
 		if err != nil {
 			return fmt.Errorf("cim: save: %w", err)
@@ -53,7 +51,7 @@ func (m *Manager) Save(w io.Writer) error {
 			Domain: e.Call.Domain, Function: e.Call.Function, Args: args,
 			Answers: answers, Complete: e.Complete,
 			TfNs: int64(e.Cost.TFirst), TaNs: int64(e.Cost.TAll), Card: e.Cost.Card,
-			LastUsed: e.lastUsed,
+			LastUsed: e.lastUsed.Load(),
 		})
 	}
 	return json.NewEncoder(w).Encode(&snap)
@@ -70,7 +68,6 @@ func (m *Manager) Load(r io.Reader) error {
 		return fmt.Errorf("cim: load: unsupported snapshot version %d", snap.Version)
 	}
 	entries := make(map[string]*Entry, len(snap.Entries))
-	totalBytes := 0
 	for _, es := range snap.Entries {
 		args, err := term.DecodeJSONs(es.Args)
 		if err != nil {
@@ -91,19 +88,19 @@ func (m *Manager) Load(r io.Reader) error {
 			Cost: domain.CostVector{
 				TFirst: time.Duration(es.TfNs), TAll: time.Duration(es.TaNs), Card: es.Card,
 			},
-			Bytes:    bytes,
-			lastUsed: es.LastUsed,
+			Bytes: bytes,
 		}
+		e.lastUsed.Store(es.LastUsed)
 		entries[e.Call.Key()] = e
-		totalBytes += bytes
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.entries = entries
-	m.totalBytes = totalBytes
-	if snap.Counter > m.counter {
-		m.counter = snap.Counter
+	m.store.replace(entries)
+	for {
+		cur := m.counter.Load()
+		if snap.Counter <= cur || m.counter.CompareAndSwap(cur, snap.Counter) {
+			break
+		}
 	}
-	m.evictLocked()
+	m.evict()
+	m.occupancy()
 	return nil
 }

@@ -27,18 +27,17 @@ func (m *Manager) CostModel() CostModel {
 // Probe reports, without side effects on the cache, stats, or any clock,
 // how a ground call would be served right now: the source kind and the
 // number of answers the cache would contribute. It backs the estimator's
-// CIM-aware costing.
+// CIM-aware costing. Probes are read-only and run concurrently with
+// lookups and stores (shard read-locks only).
 func (m *Manager) Probe(call domain.Call) (Source, int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	scratch := domain.NewCtx(vclock.NewVirtual(0)) // absorbs matching costs
-	if e, ok := m.entries[call.Key()]; ok && e.Complete {
+	if e, ok := m.store.get(call.Key()); ok && e.Complete {
 		return SourceCacheExact, len(e.Answers)
 	}
-	if e := m.findEqualityLocked(scratch, call); e != nil {
+	if e := m.findEquality(scratch, call); e != nil {
 		return SourceCacheEquality, len(e.Answers)
 	}
-	if e := m.findPartialLocked(scratch, call); e != nil {
+	if e := m.findPartial(scratch, call); e != nil {
 		return SourceCachePartial, len(e.Answers)
 	}
 	return SourceActual, 0

@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -64,6 +65,14 @@ type Options struct {
 	// The engine's per-call cost estimates (EXPLAIN's est column) are wired
 	// to the DCSM automatically unless Engine.EstimateCall is set.
 	Obs *obs.Observer
+	// Parallelism bounds how many operator branches one query may run
+	// concurrently: parallel rule unions, prefetched independent source
+	// calls. 0 defaults to runtime.GOMAXPROCS(0); 1 disables intra-query
+	// parallelism (strictly sequential evaluation, byte-identical to the
+	// pre-parallel engine). On a virtual clock parallel execution stays
+	// deterministic (answers merge in virtual-time order); on a wall clock
+	// union answers arrive in completion order.
+	Parallelism int
 }
 
 // System is a mediator instance.
@@ -84,6 +93,7 @@ type System struct {
 	resilience    *resilience.Policy
 	wrappers      map[string]*resilience.Wrapper
 	queryDeadline time.Duration
+	parallelism   int
 }
 
 // NewSystem builds a system from options.
@@ -100,6 +110,10 @@ func NewSystem(opts Options) *System {
 		resilience:    opts.Resilience,
 		wrappers:      map[string]*resilience.Wrapper{},
 		queryDeadline: opts.QueryDeadline,
+		parallelism:   opts.Parallelism,
+	}
+	if s.parallelism == 0 {
+		s.parallelism = runtime.GOMAXPROCS(0)
 	}
 	dcfg := dcsm.DefaultConfig()
 	if opts.DCSM != nil {
@@ -131,6 +145,16 @@ func NewSystem(opts Options) *System {
 		// which AutoTune reads, so it only runs when someone is watching.
 		ecfg.EstimateCall = func(c domain.Call, _ rewrite.Route) (domain.CostVector, bool) {
 			cv, err := s.DCSM.Cost(domain.PatternOf(c))
+			return cv, err == nil
+		}
+	}
+	if ecfg.EstimateRule == nil && s.parallelism > 1 {
+		// Rank a union predicate's rules cheapest-estimated-Tf-first before
+		// launching them in parallel. Only wired when parallelism is on: the
+		// estimate probes the DCSM (whose access statistics AutoTune reads),
+		// and sequential runs never consult it.
+		ecfg.EstimateRule = func(plan *rewrite.Plan, pr *rewrite.PlanRule, bound map[string]bool) (domain.CostVector, bool) {
+			cv, err := s.estimator.RuleCost(plan, pr, bound)
 			return cv, err == nil
 		}
 	}
@@ -228,12 +252,15 @@ func (s *System) LoadProgram(src string) error {
 }
 
 // Ctx returns a fresh execution context over the system clock. A
-// configured query deadline is armed relative to the current reading.
+// configured query deadline is armed relative to the current reading, and
+// the context carries a fresh per-query scheduler bounding intra-query
+// parallelism.
 func (s *System) Ctx() *domain.Ctx {
 	ctx := domain.NewCtx(s.Clock)
 	if s.queryDeadline > 0 {
 		ctx.Deadline = s.Clock.Now() + s.queryDeadline
 	}
+	ctx.Sched = domain.NewSched(s.parallelism)
 	return ctx
 }
 

@@ -212,6 +212,10 @@ type Ctx struct {
 	// client) annotate it with outcome tags; Span methods are nil-safe,
 	// so they need no tracing-enabled check.
 	Span *obs.Span
+	// Sched, when non-nil, is the per-query parallelism budget the
+	// engine's parallel operators draw evaluation lanes from. Nil means
+	// strictly sequential evaluation.
+	Sched *Sched
 }
 
 // NewCtx returns a context over the given clock. A nil clock gets a fresh
@@ -226,7 +230,7 @@ func NewCtx(c vclock.Clock) *Ctx {
 // Fork returns a context on a forked clock, for modelling concurrent
 // activity. Cancellation and the deadline propagate to the fork.
 func (c *Ctx) Fork() *Ctx {
-	return &Ctx{Clock: c.Clock.Fork(), Context: c.Context, Deadline: c.Deadline, Span: c.Span}
+	return &Ctx{Clock: c.Clock.Fork(), Context: c.Context, Deadline: c.Deadline, Span: c.Span, Sched: c.Sched}
 }
 
 // WithContext returns a copy of the Ctx carrying gc for cancellation.

@@ -6,6 +6,7 @@ package domaintest
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"hermes/internal/domain"
@@ -28,6 +29,9 @@ type Func struct {
 type Domain struct {
 	name  string
 	funcs map[string]Func
+	// mu guards Calls: parallel query branches invoke the domain
+	// concurrently. Read Calls directly only after execution finished.
+	mu sync.Mutex
 	// Calls records every invocation, in order.
 	Calls []domain.Call
 }
@@ -63,6 +67,8 @@ func (d *Domain) Key(fn string, args ...term.Value) string {
 
 // CallCount returns how many times fn was invoked.
 func (d *Domain) CallCount(fn string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	n := 0
 	for _, c := range d.Calls {
 		if c.Function == fn {
@@ -93,7 +99,9 @@ func (d *Domain) Call(ctx *domain.Ctx, fn string, args []term.Value) (domain.Str
 	if len(args) != f.Arity {
 		return nil, fmt.Errorf("%s:%s/%d called with %d args", d.name, fn, f.Arity, len(args))
 	}
+	d.mu.Lock()
 	d.Calls = append(d.Calls, domain.Call{Domain: d.name, Function: fn, Args: args})
+	d.mu.Unlock()
 	ctx.Clock.Sleep(f.PerCall)
 	vals, err := f.Fn(args)
 	if err != nil {

@@ -1,0 +1,68 @@
+package domain
+
+import "sync/atomic"
+
+// Sched is the per-query parallelism budget: a bounded semaphore of
+// "extra" evaluation lanes beyond the query's own thread. A query with
+// Parallelism = P holds one implicit lane and may acquire up to P-1 extra
+// ones; parallel operators (the engine's rule unions and independent
+// sibling stages) try to acquire lanes at launch and fall back to
+// sequential evaluation when none are free, so nested parallelism degrades
+// gracefully instead of deadlocking.
+//
+// All methods are safe on a nil receiver (nil = sequential execution,
+// nothing ever acquired), which is how engine contexts built outside the
+// mediator behave.
+type Sched struct {
+	limit int
+	free  atomic.Int64
+}
+
+// NewSched returns a scheduler allowing `limit` concurrent lanes in total
+// (one implicit + limit-1 acquirable). limit < 2 yields a scheduler that
+// never grants an extra lane.
+func NewSched(limit int) *Sched {
+	s := &Sched{limit: limit}
+	if limit > 1 {
+		s.free.Store(int64(limit - 1))
+	}
+	return s
+}
+
+// TryAcquire attempts to take up to n extra lanes without blocking and
+// returns how many it got (possibly 0). Never blocking is what makes
+// nested parallel operators safe: a starved operator runs sequentially.
+func (s *Sched) TryAcquire(n int) int {
+	if s == nil || n <= 0 {
+		return 0
+	}
+	for {
+		free := s.free.Load()
+		if free <= 0 {
+			return 0
+		}
+		take := int64(n)
+		if take > free {
+			take = free
+		}
+		if s.free.CompareAndSwap(free, free-take) {
+			return int(take)
+		}
+	}
+}
+
+// Release returns n extra lanes to the budget.
+func (s *Sched) Release(n int) {
+	if s == nil || n <= 0 {
+		return
+	}
+	s.free.Add(int64(n))
+}
+
+// Limit returns the total lane budget (0 on a nil scheduler).
+func (s *Sched) Limit() int {
+	if s == nil {
+		return 0
+	}
+	return s.limit
+}

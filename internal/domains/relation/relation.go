@@ -88,6 +88,10 @@ type Row []term.Value
 type Table struct {
 	schema Schema
 	rows   []Row
+	// idxMu guards the lazily built indexes: index construction happens
+	// inside Call, which holds only the DB's read lock, so parallel query
+	// branches probing the same cold column would otherwise race.
+	idxMu sync.Mutex
 	// hashIdx[col][valueKey] lists row indices with that column value.
 	hashIdx map[int]map[string][]int
 	// sortedIdx[col] lists row indices ordered by column value.
@@ -114,8 +118,10 @@ func (t *Table) Insert(vals ...term.Value) error {
 		}
 	}
 	t.rows = append(t.rows, Row(vals))
+	t.idxMu.Lock()
 	t.hashIdx = nil
 	t.sortedIdx = nil
+	t.idxMu.Unlock()
 	return nil
 }
 
@@ -136,6 +142,8 @@ func (t *Table) record(r Row) term.Record {
 }
 
 func (t *Table) ensureHashIdx(col int) map[string][]int {
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
 	if t.hashIdx == nil {
 		t.hashIdx = make(map[int]map[string][]int)
 	}
@@ -152,6 +160,8 @@ func (t *Table) ensureHashIdx(col int) map[string][]int {
 }
 
 func (t *Table) ensureSortedIdx(col int) []int {
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
 	if t.sortedIdx == nil {
 		t.sortedIdx = make(map[int][]int)
 	}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"hermes/internal/cim"
@@ -66,6 +67,11 @@ type Config struct {
 	// mediator wires it to the DCSM). The estimate lands on the call's
 	// span so EXPLAIN can show estimated versus actual [Tf, Ta, Card].
 	EstimateCall func(c domain.Call, route rewrite.Route) (domain.CostVector, bool)
+	// EstimateRule, when set, prices one plan rule body given its
+	// head-bound variables (the mediator wires it to the rule cost
+	// estimator over the DCSM). The parallel union uses it to launch a
+	// union predicate's alternatives cheapest-estimated-Tf-first.
+	EstimateRule func(plan *rewrite.Plan, pr *rewrite.PlanRule, bound map[string]bool) (domain.CostVector, bool)
 }
 
 // DefaultConfig mirrors the fixed overheads implied by the paper's
@@ -84,6 +90,21 @@ type Engine struct {
 	cim       *cim.Manager // nil when no CIM is deployed
 	cfg       Config
 	onMeasure func(domain.Measurement)
+	// traceMu serializes Config.Trace callbacks: under Parallelism > 1
+	// several branches issue calls concurrently, and trace collectors
+	// (appending to slices, printing) must not need their own locking.
+	traceMu sync.Mutex
+}
+
+// trace delivers a TraceEvent to the configured collector, serialized
+// across parallel branches.
+func (e *Engine) trace(ev TraceEvent) {
+	if e.cfg.Trace == nil {
+		return
+	}
+	e.traceMu.Lock()
+	defer e.traceMu.Unlock()
+	e.cfg.Trace(ev)
 }
 
 // New builds an engine. cimMgr may be nil; onMeasure (may be nil) observes
@@ -231,6 +252,9 @@ func (e *Engine) ExecutePlan(ctx *domain.Ctx, plan *rewrite.Plan) (*Cursor, erro
 		ctx = ctx.WithSpan(span)
 	}
 	e.cfg.Obs.Counter("hermes_queries_total").Inc()
+	if n := ctx.Sched.Limit(); n > 1 {
+		span.SetTag("parallel", strconv.Itoa(n))
+	}
 	ctx.Clock.Sleep(e.cfg.QueryInit)
 	var vars []string
 	seen := map[string]bool{}

@@ -54,10 +54,24 @@ type bodyIter struct {
 	streams []substStream
 	inited  bool
 	done    bool
+
+	// indep lists the execution positions of independent in() literals
+	// (nil when none, or when the query runs sequentially); stage holds
+	// their spool producers once evaluation reaches the first of them.
+	indep []int
+	stage *stage
 }
 
 func (e *Engine) newBodyIter(ctx *domain.Ctx, plan *rewrite.Plan, pr *rewrite.PlanRule, base term.Subst, depth int) *bodyIter {
-	return &bodyIter{eng: e, ctx: ctx, plan: plan, pr: pr, base: base, depth: depth}
+	b := &bodyIter{eng: e, ctx: ctx, plan: plan, pr: pr, base: base, depth: depth}
+	if ctx.Sched.Limit() > 1 {
+		bound := make(map[string]bool, len(base))
+		for v := range base {
+			bound[v] = true
+		}
+		b.indep = rewrite.IndependentInCalls(pr, bound)
+	}
+	return b
 }
 
 func (b *bodyIter) next() (term.Subst, bool, error) {
@@ -86,7 +100,7 @@ func (b *bodyIter) next() (term.Subst, bool, error) {
 			return nil, false, err
 		}
 		if i < 0 {
-			b.done = true
+			b.shutdown()
 			return nil, false, nil
 		}
 		v, ok, err := b.streams[i].next()
@@ -115,6 +129,18 @@ func (b *bodyIter) next() (term.Subst, bool, error) {
 
 func (b *bodyIter) openLevel(level int, s term.Subst) (substStream, error) {
 	bi := b.pr.Order[level]
+	if b.indep != nil && level == b.indep[0] && b.stage == nil {
+		// First entry into the independent-sibling region: launch the
+		// producers that prefetch the later independent literals' streams.
+		b.stage = b.eng.newStage(b.ctx, b.pr, b.base, b.indep)
+	}
+	if b.stage != nil {
+		if in, ok := b.pr.Rule.Body[bi].(*lang.InCall); ok {
+			if ss, ok := b.stage.open(level, in.Out.Var, s, b.ctx); ok {
+				return ss, nil
+			}
+		}
+	}
 	return b.eng.evalLiteral(b.ctx, b.plan, b.pr.Rule.Body[bi], b.pr.Routes[bi], s, b.depth)
 }
 
@@ -123,6 +149,9 @@ func (b *bodyIter) shutdown() {
 		b.streams[i].close()
 	}
 	b.streams = nil
+	if b.stage != nil {
+		b.stage.close()
+	}
 	b.done = true
 }
 
@@ -181,6 +210,32 @@ func (e *Engine) evalComparison(c *lang.Comparison, s term.Subst) (substStream, 
 // evalInCall executes a domain call (direct or through the CIM) and binds
 // or tests the output term.
 func (e *Engine) evalInCall(ctx *domain.Ctx, l *lang.InCall, route rewrite.Route, s term.Subst) (substStream, error) {
+	stream, err := e.openCallStream(ctx, l, route, s)
+	if err != nil {
+		return nil, err
+	}
+	// Membership test: the output is already ground; find one match then
+	// prune (answer sets are sets).
+	if s.Ground(l.Out) {
+		want, err := s.Eval(l.Out)
+		if err != nil {
+			stream.Close()
+			return nil, err
+		}
+		return &membershipStream{inner: stream, want: want, s: s}, nil
+	}
+	if !l.Out.IsVar() {
+		stream.Close()
+		return nil, fmt.Errorf("engine: in() output %s cannot be bound (attribute path on unbound variable)", l.Out)
+	}
+	return &bindStream{inner: stream, v: l.Out.Var, s: s}, nil
+}
+
+// openCallStream grounds an in() literal's arguments under s and issues
+// the domain call (direct or through the CIM), returning the raw answer
+// stream metered onto a fresh call span. It is the shared lower half of
+// evalInCall and the parallel stage's spool producers.
+func (e *Engine) openCallStream(ctx *domain.Ctx, l *lang.InCall, route rewrite.Route, s term.Subst) (domain.Stream, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -210,35 +265,16 @@ func (e *Engine) evalInCall(ctx *domain.Ctx, l *lang.InCall, route rewrite.Route
 			return nil, e.callFailed(ctx, span, call, route, issuedAt, err)
 		}
 		stream = resp.Stream
-		if e.cfg.Trace != nil {
-			e.cfg.Trace(TraceEvent{Call: call, Route: route, Source: resp.Source.String(), At: issuedAt, Degraded: resp.Degraded})
-		}
+		e.trace(TraceEvent{Call: call, Route: route, Source: resp.Source.String(), At: issuedAt, Degraded: resp.Degraded})
 	} else {
 		inner, err := e.reg.Call(cctx, call)
 		if err != nil {
 			return nil, e.callFailed(ctx, span, call, route, issuedAt, err)
 		}
 		stream = domain.NewMeasuredStreamAt(inner, ctx.Clock, call, issuedAt, e.onMeasure)
-		if e.cfg.Trace != nil {
-			e.cfg.Trace(TraceEvent{Call: call, Route: route, Source: "direct", At: issuedAt})
-		}
+		e.trace(TraceEvent{Call: call, Route: route, Source: "direct", At: issuedAt})
 	}
-	stream = &spanStream{inner: stream, ctx: ctx, span: span, issuedAt: issuedAt}
-	// Membership test: the output is already ground; find one match then
-	// prune (answer sets are sets).
-	if s.Ground(l.Out) {
-		want, err := s.Eval(l.Out)
-		if err != nil {
-			stream.Close()
-			return nil, err
-		}
-		return &membershipStream{inner: stream, want: want, s: s}, nil
-	}
-	if !l.Out.IsVar() {
-		stream.Close()
-		return nil, fmt.Errorf("engine: in() output %s cannot be bound (attribute path on unbound variable)", l.Out)
-	}
-	return &bindStream{inner: stream, v: l.Out.Var, s: s}, nil
+	return &spanStream{inner: stream, ctx: ctx, span: span, issuedAt: issuedAt}, nil
 }
 
 // callFailed records a domain call that died at setup: it tags and ends
@@ -254,9 +290,7 @@ func (e *Engine) callFailed(ctx *domain.Ctx, span *obs.Span, call domain.Call, r
 	span.SetTag("error", err.Error())
 	span.End(ctx.Clock.Now())
 	e.cfg.Obs.Counter("hermes_engine_call_errors_total", "reason", source).Inc()
-	if e.cfg.Trace != nil {
-		e.cfg.Trace(TraceEvent{Call: call, Route: route, Source: source, At: issuedAt, Err: err})
-	}
+	e.trace(TraceEvent{Call: call, Route: route, Source: source, At: issuedAt, Err: err})
 	return err
 }
 
@@ -382,6 +416,14 @@ func (e *Engine) evalAtom(ctx *domain.Ctx, plan *rewrite.Plan, a *lang.Atom, s t
 	rules, ok := plan.Rules[key]
 	if !ok || len(rules) == 0 {
 		return nil, fmt.Errorf("engine: plan has no rules for %s", key)
+	}
+	if len(rules) >= 2 {
+		// Union predicate: evaluate the alternatives concurrently when the
+		// scheduler grants lanes; otherwise fall through to the sequential
+		// union below.
+		if pu := e.newParallelUnion(ctx, plan, a, s, rules, depth); pu != nil {
+			return pu, nil
+		}
 	}
 	return &atomStream{eng: e, ctx: ctx, plan: plan, atom: a, s: s, rules: rules, depth: depth}, nil
 }

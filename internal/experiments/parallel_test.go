@@ -1,0 +1,49 @@
+package experiments
+
+import "testing"
+
+// TestParallelSpeedup checks the headline acceptance numbers of the
+// parallel operator pipeline: a 4-way independent-subgoal query runs at
+// least 2x faster at Parallelism=4 than sequentially, the 4-rule union
+// parallelizes too, and the whole experiment is deterministic on the
+// virtual clock.
+func TestParallelSpeedup(t *testing.T) {
+	res, err := ParallelSpeedup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(res.Points))
+	}
+	byP := map[int]ParallelPoint{}
+	for _, p := range res.Points {
+		byP[p.Parallelism] = p
+	}
+	if byP[1].FanoutSpeedup != 1 || byP[1].UnionSpeedup != 1 {
+		t.Errorf("P=1 speedups = %v/%v, want 1/1", byP[1].FanoutSpeedup, byP[1].UnionSpeedup)
+	}
+	if byP[4].FanoutSpeedup < 2 {
+		t.Errorf("fanout speedup at P=4 = %.2fx, want >= 2x (Tall %0.f ms vs %0.f ms)",
+			byP[4].FanoutSpeedup, byP[1].FanoutTAllMs, byP[4].FanoutTAllMs)
+	}
+	if byP[4].UnionSpeedup < 2 {
+		t.Errorf("union speedup at P=4 = %.2fx, want >= 2x (Tall %0.f ms vs %0.f ms)",
+			byP[4].UnionSpeedup, byP[1].UnionTAllMs, byP[4].UnionTAllMs)
+	}
+	// Monotone non-degrading: more parallelism never slows the query.
+	if byP[2].FanoutTAllMs < byP[4].FanoutTAllMs-1 || byP[4].FanoutTAllMs < byP[8].FanoutTAllMs-1 {
+		t.Errorf("fanout Tall not monotone: P2=%.0f P4=%.0f P8=%.0f",
+			byP[2].FanoutTAllMs, byP[4].FanoutTAllMs, byP[8].FanoutTAllMs)
+	}
+
+	// Determinism: the virtual clock makes the parallel runs reproducible.
+	res2, err := ParallelSpeedup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Points {
+		if res.Points[i] != res2.Points[i] {
+			t.Errorf("run 2 point %d = %+v, want %+v (nondeterministic)", i, res2.Points[i], res.Points[i])
+		}
+	}
+}

@@ -138,6 +138,11 @@ type TestbedOptions struct {
 	Resilience *resilience.Policy
 	// QueryDeadline bounds each query's execution-clock budget.
 	QueryDeadline time.Duration
+	// Parallelism bounds intra-query parallel branches. 0 defaults to 1
+	// (strictly sequential): the paper's experiments ran a sequential
+	// engine, and the reproduced figures are calibrated to it. The parallel
+	// speedup experiment raises it explicitly.
+	Parallelism int
 }
 
 // Testbed is a fully wired federation: the mediator system plus direct
@@ -230,6 +235,10 @@ func NewTestbed(opts TestbedOptions) (*Testbed, error) {
 	}
 	sysOpts.Resilience = opts.Resilience
 	sysOpts.QueryDeadline = opts.QueryDeadline
+	sysOpts.Parallelism = opts.Parallelism
+	if sysOpts.Parallelism == 0 {
+		sysOpts.Parallelism = 1
+	}
 	sys := core.NewSystem(sysOpts)
 
 	var hostOpts []netsim.Option

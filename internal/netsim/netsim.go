@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"hermes/internal/domain"
@@ -94,12 +95,13 @@ type Host struct {
 	load    func(time.Duration) float64
 	// warm is set after the first call: the persistent connection is up
 	// and later calls skip the Connect charge. ResetConnection cools it.
-	warm bool
+	// Atomic: parallel query branches call the same host concurrently.
+	warm atomic.Bool
 }
 
 // ResetConnection drops the persistent connection: the next call pays the
 // full setup cost again.
-func (h *Host) ResetConnection() { h.warm = false }
+func (h *Host) ResetConnection() { h.warm.Store(false) }
 
 // Wrap places d behind the network described by p.
 func Wrap(d domain.Domain, p Profile, opts ...Option) *Host {
@@ -166,9 +168,8 @@ func (h *Host) Call(ctx *domain.Ctx, fn string, args []term.Value) (domain.Strea
 		return time.Duration(float64(d) * jitter * load)
 	}
 	setup := h.profile.RTT
-	if !h.warm {
+	if h.warm.CompareAndSwap(false, true) {
 		setup += h.profile.Connect
-		h.warm = true
 	}
 	ctx.Clock.Sleep(scale(setup))
 	inner, err := h.inner.Call(ctx, fn, args)

@@ -236,3 +236,52 @@ func constPossibleVars(r *lang.Rule, headConstPos []bool) map[string]bool {
 	}
 	return cp
 }
+
+// IndependentInCalls returns the execution-order positions (indexes into
+// pr.Order) of the in() literals that are mutually independent given the
+// head-bound variables: every call argument is ground under `bound` alone
+// (no data flows into it from any other body literal), and the output is a
+// distinct fresh bare variable. Such literals form the paper's
+// independent-subgoal set — their source calls can be launched
+// concurrently at body start without changing the answer set, because no
+// binding produced by the body reaches them.
+//
+// The engine uses this to overlap sibling source calls: each independent
+// literal's answer stream depends only on the head bindings, so it can be
+// spooled once and replayed for every outer binding. Fewer than two
+// qualifying literals yields nil (nothing to overlap).
+func IndependentInCalls(pr *PlanRule, bound map[string]bool) []int {
+	var out []int
+	seen := map[string]bool{} // variables occurring in earlier literals
+	for pos, bi := range pr.Order {
+		lit := pr.Rule.Body[bi]
+		in, ok := lit.(*lang.InCall)
+		if !ok {
+			for _, v := range lit.Vars(nil) {
+				seen[v] = true
+			}
+			continue
+		}
+		ground := true
+		for _, a := range in.Call.Args {
+			if !groundUnder(a, bound) {
+				ground = false
+				break
+			}
+		}
+		// Output must be a fresh bare variable no earlier literal could
+		// have bound (an earlier occurrence makes this a membership test
+		// or a join at run time, which orders the calls).
+		if ground && in.Out.IsVar() && len(in.Out.Path) == 0 &&
+			!bound[in.Out.Var] && !seen[in.Out.Var] {
+			out = append(out, pos)
+		}
+		for _, v := range lit.Vars(nil) {
+			seen[v] = true
+		}
+	}
+	if len(out) < 2 {
+		return nil
+	}
+	return out
+}

@@ -114,6 +114,29 @@ func (w *Wall) Fork() Clock { return &Wall{start: w.start} }
 // Join is a no-op for wall clocks; real time already advanced.
 func (w *Wall) Join(children ...Clock) {}
 
+// RealTime marks Wall clocks: their readings track real elapsed time, so
+// arrival order across goroutines is already meaningful and deterministic
+// merges are unnecessary. See IsReal.
+func (w *Wall) RealTime() bool { return true }
+
+// IsReal reports whether a clock's readings track real elapsed time (a
+// Wall clock or a wrapper exposing RealTime). Virtual clocks are
+// deterministic: parallel operators merge their branches by simulated
+// timestamp so runs stay reproducible; real-time clocks merge by arrival.
+func IsReal(c Clock) bool {
+	r, ok := c.(interface{ RealTime() bool })
+	return ok && r.RealTime()
+}
+
+// AdvanceTo advances c to the absolute reading t, sleeping the difference.
+// It is a no-op when c already reads t or later. Parallel consumers use it
+// to account for waiting on a branch whose (forked) clock is ahead.
+func AdvanceTo(c Clock, t time.Duration) {
+	if d := t - c.Now(); d > 0 {
+		c.Sleep(d)
+	}
+}
+
 // Stopwatch measures an interval on any Clock.
 type Stopwatch struct {
 	clock Clock
