@@ -11,6 +11,8 @@
 //	benchrunner -fig ablations
 //	benchrunner -fig parallel # intra-query parallelism speedups (also
 //	                          # writes BENCH_parallel.json)
+//	benchrunner -fig admission # inter-query admission control fairness
+//	                           # (also writes BENCH_admission.json)
 package main
 
 import (
@@ -23,8 +25,8 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, 6, plan, ablations, hitrate, availability, parallel, all")
-	out := flag.String("out", "BENCH_parallel.json", "where -fig parallel writes its JSON result")
+	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, 6, plan, ablations, hitrate, availability, parallel, admission, all")
+	out := flag.String("out", "", "where the JSON-writing figures (parallel, admission) put their result; default BENCH_<fig>.json")
 	flag.Parse()
 	if err := run(*fig, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
@@ -129,6 +131,21 @@ func run(fig, out string) error {
 		}
 		fmt.Println(experiments.FormatHitRate(rows))
 	}
+	writeJSON := func(def string, v any) error {
+		path := out
+		if path == "" {
+			path = def
+		}
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+		return nil
+	}
 	if want("parallel") {
 		section("Parallel operator pipeline: speedup vs Parallelism")
 		res, err := experiments.ParallelSpeedup()
@@ -136,14 +153,20 @@ func run(fig, out string) error {
 			return err
 		}
 		fmt.Println(experiments.FormatParallel(res))
-		data, err := json.MarshalIndent(res, "", "  ")
+		if err := writeJSON("BENCH_parallel.json", res); err != nil {
+			return err
+		}
+	}
+	if want("admission") {
+		section("Inter-query admission control: fairness under concurrent sessions")
+		res, err := experiments.AdmissionFairness()
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fmt.Println(experiments.FormatAdmission(res))
+		if err := writeJSON("BENCH_admission.json", res); err != nil {
 			return err
 		}
-		fmt.Println("wrote", out)
 	}
 	if want("availability") {
 		section("Query result caching under source unavailability")

@@ -24,8 +24,8 @@ import (
 	"fmt"
 	"log"
 	"net/http"
-	"sync"
 
+	"hermes/internal/admission"
 	"hermes/internal/core"
 	"hermes/internal/domain"
 	"hermes/internal/domains/avis"
@@ -44,8 +44,15 @@ import (
 func main() {
 	addr := flag.String("addr", ":7117", "listen address")
 	httpAddr := flag.String("http", ":7118", "observability HTTP address (/metrics, /debug/queries, /query); empty disables")
-	parallelism := flag.Int("parallelism", 0, "intra-query parallelism for the embedded mediator (0 = GOMAXPROCS, 1 = sequential)")
+	parallelism := flag.Int("parallelism", 0, "intra-query parallelism for the embedded mediator (<=0 = GOMAXPROCS, 1 = sequential)")
+	maxInflight := flag.Int("max-inflight", 0, "server-wide bound on in-flight source calls across all /query sessions (0 = unbounded)")
+	shedPolicy := flag.String("shed-policy", "wait", "behaviour at a saturated admission pool: wait (queue FIFO) or shed (503 + Retry-After)")
 	flag.Parse()
+
+	shed, err := admission.ParsePolicy(*shedPolicy)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	doms := BuildDomains()
 	reg := domain.NewRegistry()
@@ -54,7 +61,7 @@ func main() {
 		log.Printf("hermesd: serving domain %q (%d functions)", d.Name(), len(d.Functions()))
 	}
 	if *httpAddr != "" {
-		h, err := newObsHandler(doms, *parallelism)
+		h, _, err := newObsHandler(doms, *parallelism, *maxInflight, shed)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -82,22 +89,32 @@ const serverProgram = `
 // newObsHandler builds the observability endpoint: an embedded mediator
 // (CIM + DCSM + resilient wrappers, all reporting into one observer) over
 // the same domain instances the TCP server hosts, plus the obs HTTP
-// handler for its metrics and query spans.
-func newObsHandler(doms []domain.Domain, parallelism int) (http.Handler, error) {
+// handler for its metrics and query spans. The System is returned for
+// tests that need to hold admission lanes around HTTP requests.
+//
+// Each /query request runs as its own admitted session on a fork of the
+// system clock, so concurrent requests proceed in parallel while the
+// admission pool (when -max-inflight is set) bounds their total source
+// concurrency; a saturated pool under -shed-policy shed answers 503 with
+// Retry-After before any source sees the query.
+func newObsHandler(doms []domain.Domain, parallelism, maxInflight int, shed admission.Policy) (http.Handler, *core.System, error) {
 	o := obs.NewObserver()
 	pol := resilience.DefaultPolicy()
-	sys := core.NewSystem(core.Options{Obs: o, Resilience: &pol, Parallelism: parallelism})
+	sys := core.NewSystem(core.Options{
+		Obs:              o,
+		Resilience:       &pol,
+		Parallelism:      parallelism,
+		MaxInflightCalls: maxInflight,
+		ShedPolicy:       shed,
+	})
 	for _, d := range doms {
 		sys.Register(d)
 	}
 	if err := sys.LoadProgram(serverProgram); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	preRegisterMetrics(o)
 
-	// The embedded mediator shares one virtual clock, so queries are
-	// serialized; the domain TCP protocol is unaffected.
-	var queryMu sync.Mutex
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.Handler(o))
 	mux.Handle("/debug/queries", obs.Handler(o))
@@ -107,9 +124,18 @@ func newObsHandler(doms []domain.Domain, parallelism int) (http.Handler, error) 
 			http.Error(w, "missing q parameter, e.g. /query?q=?- actors(A).", http.StatusBadRequest)
 			return
 		}
-		queryMu.Lock()
-		defer queryMu.Unlock()
-		cur, err := sys.QueryTraced(q, false)
+		ctx, release, err := sys.AdmitCtx(r.Context(), 1)
+		if err != nil {
+			if domain.IsOverloaded(err) {
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		defer release()
+		cur, err := sys.QueryTracedCtx(ctx, q, false)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
@@ -127,7 +153,7 @@ func newObsHandler(doms []domain.Domain, parallelism int) (http.Handler, error) 
 			metrics.Answers, metrics.TFirst.Milliseconds(), metrics.TAll.Milliseconds())
 		fmt.Fprint(w, obs.Explain(cur.Span().Snapshot()))
 	})
-	return mux, nil
+	return mux, sys, nil
 }
 
 // preRegisterMetrics touches the federation-level metric families so a

@@ -1,19 +1,23 @@
 package main
 
 import (
+	"context"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"strings"
 	"testing"
+
+	"hermes/internal/admission"
 )
 
 // TestObsEndpoints exercises the observability HTTP surface end to end:
 // a query through /query, then /metrics (Prometheus text with CIM and
 // breaker families) and /debug/queries (the span ring buffer).
 func TestObsEndpoints(t *testing.T) {
-	h, err := newObsHandler(BuildDomains(), 0)
+	h, _, err := newObsHandler(BuildDomains(), 0, 0, admission.PolicyWait)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,5 +80,104 @@ func TestObsEndpoints(t *testing.T) {
 
 	if code, _ = get("/query"); code != http.StatusBadRequest {
 		t.Errorf("/query without q = %d, want 400", code)
+	}
+}
+
+// TestQueryAdmissionShed: with -max-inflight 1 and -shed-policy shed, a
+// /query arriving while the only lane is held answers 503 with a
+// Retry-After header — before any source sees it — and serves normally
+// once the lane frees.
+func TestQueryAdmissionShed(t *testing.T) {
+	h, sys, err := newObsHandler(BuildDomains(), 1, 1, admission.PolicyShed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	// Hold the pool's only lane, as a long-running query session would.
+	_, release, err := sys.AdmitCtx(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/query?q=" + url.QueryEscape("?- actors(A)."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated /query status = %d, want 503: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 response missing Retry-After header")
+	}
+	if !strings.Contains(string(body), "overloaded") {
+		t.Errorf("503 body does not mention overload: %s", body)
+	}
+
+	// Metrics recorded the shed.
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), "hermes_admission_shed_total 1") {
+		t.Errorf("/metrics missing hermes_admission_shed_total 1:\n%s", metrics)
+	}
+
+	// Lane freed: the same query now succeeds.
+	release()
+	resp, err = http.Get(srv.URL + "/query?q=" + url.QueryEscape("?- actors(A)."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-release /query status = %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "A=") {
+		t.Errorf("post-release /query has no answers:\n%s", body)
+	}
+}
+
+// TestQueryConcurrentSessions: without the old global query mutex,
+// concurrent /query requests all succeed on their own forked clocks.
+func TestQueryConcurrentSessions(t *testing.T) {
+	h, _, err := newObsHandler(BuildDomains(), 2, 4, admission.PolicyWait)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			resp, err := http.Get(srv.URL + "/query?q=" + url.QueryEscape("?- actors(A)."))
+			if err != nil {
+				errs <- err
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d: %s", resp.StatusCode, body)
+				return
+			}
+			if !strings.Contains(string(body), "A=") {
+				errs <- fmt.Errorf("no answers: %s", body)
+				return
+			}
+			errs <- nil
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
 	}
 }

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -16,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"hermes/internal/admission"
 	"hermes/internal/cim"
 	"hermes/internal/dcsm"
 	"hermes/internal/domain"
@@ -67,12 +69,27 @@ type Options struct {
 	Obs *obs.Observer
 	// Parallelism bounds how many operator branches one query may run
 	// concurrently: parallel rule unions, prefetched independent source
-	// calls. 0 defaults to runtime.GOMAXPROCS(0); 1 disables intra-query
+	// calls. <= 0 defaults to runtime.GOMAXPROCS(0); 1 disables intra-query
 	// parallelism (strictly sequential evaluation, byte-identical to the
 	// pre-parallel engine). On a virtual clock parallel execution stays
 	// deterministic (answers merge in virtual-time order); on a wall clock
 	// union answers arrive in completion order.
 	Parallelism int
+	// MaxInflightCalls, when positive, bounds evaluation lanes — and hence
+	// in-flight source calls — server-wide across every concurrent query
+	// session, via a shared admission pool. Parallelism still caps each
+	// query individually; the pool caps their sum, with weighted fair
+	// sharing so no session can starve the others. 0 means unbounded
+	// (no pool): each session gets a free-standing scheduler.
+	MaxInflightCalls int
+	// ShedPolicy selects what happens to a session arriving at a saturated
+	// pool: admission.PolicyWait queues it FIFO (the default),
+	// admission.PolicyShed rejects it immediately with a fast error
+	// wrapping domain.ErrOverloaded. Ignored without MaxInflightCalls.
+	ShedPolicy admission.Policy
+	// AdmissionQueue bounds the PolicyWait queue; arrivals beyond it are
+	// shed even under PolicyWait. 0 means unbounded.
+	AdmissionQueue int
 }
 
 // System is a mediator instance.
@@ -85,6 +102,11 @@ type System struct {
 	// Obs is the observer threaded through the layers (nil when the system
 	// was built without one; all uses are nil-safe).
 	Obs *obs.Observer
+	// Admission is the server-wide lane pool bounding in-flight source
+	// calls across all sessions (nil when the system was built without
+	// Options.MaxInflightCalls; sessions then use free-standing
+	// schedulers).
+	Admission *admission.Pool
 
 	engine        *engine.Engine
 	rewriteCfg    rewrite.Config
@@ -112,8 +134,20 @@ func NewSystem(opts Options) *System {
 		queryDeadline: opts.QueryDeadline,
 		parallelism:   opts.Parallelism,
 	}
-	if s.parallelism == 0 {
+	// Normalize here, in one place, for every entry point (library callers,
+	// hermesd flags, experiments): zero and negative both mean "default".
+	// A raw negative used to slip through and yield a scheduler that could
+	// never grant lanes while the docs promised GOMAXPROCS.
+	if s.parallelism <= 0 {
 		s.parallelism = runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxInflightCalls > 0 {
+		s.Admission = admission.NewPool(admission.Config{
+			MaxInflight: opts.MaxInflightCalls,
+			Policy:      opts.ShedPolicy,
+			MaxQueue:    opts.AdmissionQueue,
+		})
+		s.Admission.SetObserver(opts.Obs)
 	}
 	dcfg := dcsm.DefaultConfig()
 	if opts.DCSM != nil {
@@ -255,6 +289,13 @@ func (s *System) LoadProgram(src string) error {
 // configured query deadline is armed relative to the current reading, and
 // the context carries a fresh per-query scheduler bounding intra-query
 // parallelism.
+//
+// Ctx bypasses the admission pool: its scheduler is free-standing, so
+// calls made through it are not counted against MaxInflightCalls. It is
+// the right entry point for sequential embedding (one query at a time,
+// the pre-admission behaviour) and for maintenance traffic
+// (WarmStatistics, PrimeCache) that must not be shed; concurrent serving
+// paths should admit sessions with AdmitCtx instead.
 func (s *System) Ctx() *domain.Ctx {
 	ctx := domain.NewCtx(s.Clock)
 	if s.queryDeadline > 0 {
@@ -262,6 +303,59 @@ func (s *System) Ctx() *domain.Ctx {
 	}
 	ctx.Sched = domain.NewSched(s.parallelism)
 	return ctx
+}
+
+// AdmitCtx admits a query session of the given weight (≤ 0 means 1) into
+// the server-wide admission pool and returns its execution context plus a
+// release function that MUST be called when the session ends (it returns
+// the session's lanes to the pool and folds its clock back into the
+// system clock). The context runs on a fork of the system clock, so
+// concurrent sessions accrue virtual time independently, and its
+// scheduler leases every extra lane from the pool — Options.Parallelism
+// still caps the session individually, the pool caps all sessions
+// together.
+//
+// Saturation behaviour follows Options.ShedPolicy: under PolicyWait the
+// call blocks until a lane frees (gc, when non-nil, can abandon the
+// wait), with the wait charged to the session's clock in virtual time;
+// under PolicyShed it fails fast with an error wrapping
+// domain.ErrOverloaded — no source ever sees the request.
+//
+// Without a configured pool (Options.MaxInflightCalls == 0), AdmitCtx
+// still forks the clock and arms the deadline but uses a free-standing
+// scheduler and never fails.
+func (s *System) AdmitCtx(gc context.Context, weight int) (*domain.Ctx, func(), error) {
+	clk := s.Clock.Fork()
+	ctx := domain.NewCtx(clk)
+	ctx.Context = gc
+	if s.queryDeadline > 0 {
+		ctx.Deadline = clk.Now() + s.queryDeadline
+	}
+	if s.Admission == nil {
+		ctx.Sched = domain.NewSched(s.parallelism)
+		return ctx, func() { s.Clock.Join(clk) }, nil
+	}
+	var cancel <-chan struct{}
+	if gc != nil {
+		cancel = gc.Done()
+	}
+	lease, err := s.Admission.Admit(weight, clk.Now, cancel)
+	if err != nil {
+		if gc != nil && gc.Err() != nil {
+			return nil, nil, gc.Err()
+		}
+		return nil, nil, err
+	}
+	// A queued session's lane freed at GrantedAt on another session's
+	// clock: advance ours to it, so waiting for admission costs this
+	// session virtual time exactly like waiting on a slow source.
+	vclock.AdvanceTo(clk, lease.GrantedAt())
+	ctx.Sched = domain.NewLeasedSched(s.parallelism, lease)
+	release := func() {
+		lease.Close()
+		s.Clock.Join(clk)
+	}
+	return ctx, release, nil
 }
 
 // Plans parses a query and returns the rewriter's candidate plans.
@@ -323,8 +417,19 @@ func (s *System) Query(query string) (*engine.Cursor, error) {
 // closed; render it with obs.Explain(cursor.Span().Snapshot()). Without a
 // configured observer this is Query with per-plan estimation ranking.
 func (s *System) QueryTraced(query string, interactive bool) (*engine.Cursor, error) {
-	ctx := s.Ctx()
+	return s.QueryTracedCtx(s.Ctx(), query, interactive)
+}
+
+// QueryTracedCtx is QueryTraced under a caller-supplied execution context
+// — typically one from AdmitCtx, so the whole optimize-and-execute
+// pipeline runs on the admitted session's clock and scheduler. When the
+// context's scheduler leases lanes from the admission pool, the root span
+// is tagged with the session's admission wait.
+func (s *System) QueryTracedCtx(ctx *domain.Ctx, query string, interactive bool) (*engine.Cursor, error) {
 	root := s.Obs.StartQuery(strings.TrimSpace(query), ctx.Clock.Now())
+	if lease, ok := ctx.Sched.Lease().(*admission.Lease); ok {
+		root.SetTag("admission.wait_ms", vclock.Millis(lease.Waited()))
+	}
 
 	rw := root.Child("rewrite", ctx.Clock.Now())
 	plans, err := s.Plans(query)

@@ -31,7 +31,22 @@ var (
 	// query deadline carried by the Ctx. It is distinct from
 	// context.DeadlineExceeded, which is measured against wall time.
 	ErrDeadlineExceeded = errors.New("query deadline exceeded")
+	// ErrOverloaded reports that the mediator shed the request before any
+	// source saw it: the server-wide admission pool was saturated. Shed
+	// sites wrap it together with ErrUnavailable so unavailability-aware
+	// layers (the CIM's degrade-to-cache fallback) handle it, but the
+	// resilience wrapper recognizes it specially and fails fast instead of
+	// retrying — retrying into an overloaded server only deepens the
+	// overload.
+	ErrOverloaded = errors.New("server overloaded")
 )
+
+// IsOverloaded reports whether an error is an admission-control shed: the
+// mediator refused the work before contacting any source. Callers should
+// fail fast (or serve from cache) rather than retry immediately.
+func IsOverloaded(err error) bool {
+	return errors.Is(err, ErrOverloaded)
+}
 
 // Call is a ground domain call: domain:function(arg1, ..., argN). Per the
 // paper all domain calls are ground when executed.

@@ -110,3 +110,102 @@ func (d *Domain) Call(ctx *domain.Ctx, fn string, args []term.Value) (domain.Str
 	per := f.PerAnswer
 	return domain.NewTimedSliceStream(vals, ctx.Clock, func(term.Value) time.Duration { return per }), nil
 }
+
+// Meter wraps a domain and measures source-observed concurrency: how many
+// calls are open — Call entered, answer stream neither exhausted nor
+// closed — at each moment, with a lifetime high-water mark. Admission
+// tests wrap every source in a Meter and assert Peak never exceeds the
+// pool capacity, no matter how many sessions ran.
+type Meter struct {
+	inner domain.Domain
+
+	mu    sync.Mutex
+	cur   int
+	peak  int
+	total int
+}
+
+// Metered wraps d in a concurrency meter.
+func Metered(d domain.Domain) *Meter { return &Meter{inner: d} }
+
+// Name implements domain.Domain.
+func (m *Meter) Name() string { return m.inner.Name() }
+
+// Functions implements domain.Domain.
+func (m *Meter) Functions() []domain.FuncSpec { return m.inner.Functions() }
+
+// Inner returns the wrapped domain, composing with the registry's
+// unwrap-chain walks.
+func (m *Meter) Inner() domain.Domain { return m.inner }
+
+// Call implements domain.Domain, counting the call as open until its
+// stream is exhausted, errors, or is closed.
+func (m *Meter) Call(ctx *domain.Ctx, fn string, args []term.Value) (domain.Stream, error) {
+	m.mu.Lock()
+	m.cur++
+	m.total++
+	if m.cur > m.peak {
+		m.peak = m.cur
+	}
+	m.mu.Unlock()
+	s, err := m.inner.Call(ctx, fn, args)
+	if err != nil {
+		m.release()
+		return nil, err
+	}
+	return &meteredStream{inner: s, m: m}, nil
+}
+
+func (m *Meter) release() {
+	m.mu.Lock()
+	m.cur--
+	m.mu.Unlock()
+}
+
+// Current returns how many calls are open right now.
+func (m *Meter) Current() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cur
+}
+
+// Peak returns the lifetime high-water mark of concurrently open calls.
+func (m *Meter) Peak() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peak
+}
+
+// Total returns how many calls were issued in total.
+func (m *Meter) Total() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}
+
+type meteredStream struct {
+	inner domain.Stream
+	m     *Meter
+	done  bool
+}
+
+func (s *meteredStream) finish() {
+	if !s.done {
+		s.done = true
+		s.m.release()
+	}
+}
+
+func (s *meteredStream) Next() (term.Value, bool, error) {
+	v, ok, err := s.inner.Next()
+	if err != nil || !ok {
+		s.finish()
+	}
+	return v, ok, err
+}
+
+func (s *meteredStream) Close() error {
+	err := s.inner.Close()
+	s.finish()
+	return err
+}

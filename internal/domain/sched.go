@@ -1,6 +1,23 @@
 package domain
 
-import "sync/atomic"
+import "sync"
+
+// LaneLease is a session's claim on a server-wide admission pool. A leased
+// Sched forwards every extra-lane acquisition through it, so the pool — not
+// the per-query budget alone — bounds how many evaluation lanes (and hence
+// in-flight source calls) exist across all concurrent queries. The
+// implementation lives in internal/admission; this interface keeps the
+// dependency pointing pool → domain, never the reverse.
+//
+// TryLease must never block (lane acquisition degrades to sequential
+// evaluation, it never waits), and Return must tolerate being handed back
+// at most what was leased — the Sched clamps before calling it.
+type LaneLease interface {
+	// TryLease grants up to n extra lanes, returning how many (possibly 0).
+	TryLease(n int) int
+	// Return gives n extra lanes back to the pool.
+	Return(n int)
+}
 
 // Sched is the per-query parallelism budget: a bounded semaphore of
 // "extra" evaluation lanes beyond the query's own thread. A query with
@@ -10,12 +27,20 @@ import "sync/atomic"
 // sequential evaluation when none are free, so nested parallelism degrades
 // gracefully instead of deadlocking.
 //
+// A Sched built with NewLeasedSched is the lower tier of the two-tier
+// scheduler: its local budget still caps intra-query parallelism, but
+// every extra lane must also be granted by the session's LaneLease on the
+// server-wide admission pool. Acquisition stays non-blocking end to end —
+// a pool that grants nothing simply means sequential evaluation.
+//
 // All methods are safe on a nil receiver (nil = sequential execution,
 // nothing ever acquired), which is how engine contexts built outside the
 // mediator behave.
 type Sched struct {
+	mu    sync.Mutex
 	limit int
-	free  atomic.Int64
+	free  int
+	lease LaneLease
 }
 
 // NewSched returns a scheduler allowing `limit` concurrent lanes in total
@@ -24,8 +49,17 @@ type Sched struct {
 func NewSched(limit int) *Sched {
 	s := &Sched{limit: limit}
 	if limit > 1 {
-		s.free.Store(int64(limit - 1))
+		s.free = limit - 1
 	}
+	return s
+}
+
+// NewLeasedSched returns a scheduler whose extra lanes are additionally
+// leased from a server-wide admission pool. A nil lease is equivalent to
+// NewSched.
+func NewLeasedSched(limit int, lease LaneLease) *Sched {
+	s := NewSched(limit)
+	s.lease = lease
 	return s
 }
 
@@ -36,27 +70,47 @@ func (s *Sched) TryAcquire(n int) int {
 	if s == nil || n <= 0 {
 		return 0
 	}
-	for {
-		free := s.free.Load()
-		if free <= 0 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	take := n
+	if take > s.free {
+		take = s.free
+	}
+	if take <= 0 {
+		return 0
+	}
+	if s.lease != nil {
+		take = s.lease.TryLease(take)
+		if take <= 0 {
 			return 0
 		}
-		take := int64(n)
-		if take > free {
-			take = free
-		}
-		if s.free.CompareAndSwap(free, free-take) {
-			return int(take)
-		}
 	}
+	s.free -= take
+	return take
 }
 
-// Release returns n extra lanes to the budget.
+// Release returns n extra lanes to the budget. Releases are clamped to
+// what is actually outstanding: a double release (or a release of lanes
+// never acquired, on an error path) must not inflate the budget past
+// limit-1 — and, on a leased scheduler, must not hand the admission pool
+// tokens it never granted.
 func (s *Sched) Release(n int) {
 	if s == nil || n <= 0 {
 		return
 	}
-	s.free.Add(int64(n))
+	s.mu.Lock()
+	give := n
+	if max := s.limit - 1; s.free+give > max {
+		give = max - s.free
+	}
+	if give > 0 {
+		s.free += give
+	}
+	lease := s.lease
+	s.mu.Unlock()
+	if lease != nil && give > 0 {
+		lease.Return(give)
+	}
 }
 
 // Limit returns the total lane budget (0 on a nil scheduler).
@@ -65,4 +119,13 @@ func (s *Sched) Limit() int {
 		return 0
 	}
 	return s.limit
+}
+
+// Lease returns the admission-pool lease the scheduler draws extra lanes
+// from (nil for a free-standing scheduler or a nil receiver).
+func (s *Sched) Lease() LaneLease {
+	if s == nil {
+		return nil
+	}
+	return s.lease
 }

@@ -1,0 +1,146 @@
+package domain
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSchedBasics(t *testing.T) {
+	s := NewSched(4)
+	if s.Limit() != 4 {
+		t.Fatalf("Limit = %d, want 4", s.Limit())
+	}
+	if got := s.TryAcquire(2); got != 2 {
+		t.Fatalf("TryAcquire(2) = %d, want 2", got)
+	}
+	if got := s.TryAcquire(5); got != 1 {
+		t.Fatalf("TryAcquire(5) = %d, want 1 (budget exhausted)", got)
+	}
+	if got := s.TryAcquire(1); got != 0 {
+		t.Fatalf("TryAcquire(1) = %d, want 0", got)
+	}
+	s.Release(3)
+	if got := s.TryAcquire(4); got != 3 {
+		t.Fatalf("after release TryAcquire(4) = %d, want 3", got)
+	}
+}
+
+func TestSchedNilAndSequential(t *testing.T) {
+	var s *Sched
+	if s.TryAcquire(3) != 0 || s.Limit() != 0 || s.Lease() != nil {
+		t.Fatal("nil scheduler must grant nothing")
+	}
+	s.Release(2) // must not panic
+	seq := NewSched(1)
+	if got := seq.TryAcquire(1); got != 0 {
+		t.Fatalf("limit-1 scheduler granted %d extra lanes", got)
+	}
+}
+
+// TestSchedOverReleaseClamped is the regression test for the budget
+// inflation bug: releasing more lanes than were acquired (a double release
+// or a release on an error path) must not let TryAcquire exceed the
+// configured parallelism budget.
+func TestSchedOverReleaseClamped(t *testing.T) {
+	s := NewSched(3) // 2 acquirable extra lanes
+	if got := s.TryAcquire(2); got != 2 {
+		t.Fatalf("TryAcquire(2) = %d, want 2", got)
+	}
+	s.Release(2)
+	s.Release(2) // double release: must be ignored
+	if got := s.TryAcquire(10); got != 2 {
+		t.Fatalf("after double release TryAcquire(10) = %d, want 2 (budget %d)", got, s.Limit())
+	}
+	s.Release(100) // over-release while 2 are outstanding: restores exactly 2
+	if got := s.TryAcquire(10); got != 2 {
+		t.Fatalf("after over-release TryAcquire(10) = %d, want 2", got)
+	}
+
+	// Release of lanes never acquired on a fresh scheduler.
+	fresh := NewSched(2)
+	fresh.Release(7)
+	if got := fresh.TryAcquire(10); got != 1 {
+		t.Fatalf("fresh over-released scheduler granted %d, want 1", got)
+	}
+}
+
+// countingLease records pool traffic so the tests can assert a leased
+// scheduler never returns more to the pool than it leased.
+type countingLease struct {
+	mu       sync.Mutex
+	grant    int // how many TryLease may still grant
+	leased   int
+	returned int
+}
+
+func (l *countingLease) TryLease(n int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n > l.grant {
+		n = l.grant
+	}
+	l.grant -= n
+	l.leased += n
+	return n
+}
+
+func (l *countingLease) Return(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.grant += n
+	l.returned += n
+}
+
+func TestLeasedSchedPoolBound(t *testing.T) {
+	lease := &countingLease{grant: 1}
+	s := NewLeasedSched(4, lease) // local budget 3, pool grants only 1
+	if got := s.TryAcquire(3); got != 1 {
+		t.Fatalf("TryAcquire(3) = %d, want 1 (pool-bounded)", got)
+	}
+	if got := s.TryAcquire(1); got != 0 {
+		t.Fatalf("TryAcquire(1) with drained pool = %d, want 0", got)
+	}
+	s.Release(1)
+	if lease.returned != 1 {
+		t.Fatalf("pool saw %d returns, want 1", lease.returned)
+	}
+	// Over-release must not inflate the pool either.
+	s.Release(5)
+	if lease.returned != 1 {
+		t.Fatalf("over-release leaked %d lanes to the pool, want 1 total", lease.returned)
+	}
+	if s.Lease() != LaneLease(lease) {
+		t.Fatal("Lease() accessor lost the pool lease")
+	}
+}
+
+func TestLeasedSchedLocalBudgetStillCaps(t *testing.T) {
+	lease := &countingLease{grant: 100}
+	s := NewLeasedSched(3, lease) // local budget 2 binds before the pool
+	if got := s.TryAcquire(10); got != 2 {
+		t.Fatalf("TryAcquire(10) = %d, want 2 (local cap)", got)
+	}
+	if lease.leased != 2 {
+		t.Fatalf("pool leased %d, want 2", lease.leased)
+	}
+}
+
+func TestSchedConcurrentAcquireRelease(t *testing.T) {
+	s := NewSched(8)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if got := s.TryAcquire(3); got > 0 {
+					s.Release(got)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.TryAcquire(100); got != 7 {
+		t.Fatalf("after churn TryAcquire(100) = %d, want 7", got)
+	}
+}

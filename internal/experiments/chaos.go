@@ -1,17 +1,23 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"hermes/internal/admission"
 	"hermes/internal/cim"
 	"hermes/internal/domain"
 	"hermes/internal/engine"
 	"hermes/internal/faultinject"
 	"hermes/internal/netsim"
+	"hermes/internal/obs"
 	"hermes/internal/resilience"
+	"hermes/internal/rewrite"
 	"hermes/internal/term"
 	"hermes/internal/vclock"
 )
@@ -287,4 +293,192 @@ func FormatChaos(truth, faulted *ChaosReport) string {
 		faulted.CIM.DegradedServes, faulted.CIM.UnavailableFallbacks,
 		faulted.CIM.ExactHits, faulted.CIM.PartialHits)
 	return b.String()
+}
+
+// ChaosConcurrentReport is what the K-session soak observed.
+type ChaosConcurrentReport struct {
+	// Sessions and MaxInflight echo the configuration.
+	Sessions    int
+	MaxInflight int
+	// Completed counts queries collected to the end; Stopped counts
+	// sessions abandoned mid-stream via Session.Stop after one batch.
+	Completed int
+	Stopped   int
+	// PoolPeak is the admission pool's lane high-water mark; GaugePeak the
+	// same reading scraped from the observer's gauge. Both must stay
+	// within MaxInflight.
+	PoolPeak  int
+	GaugePeak int
+	// Queued and Shed are the pool's waiter counters: under PolicyWait the
+	// overflow sessions queue, none shed.
+	Queued int64
+	Shed   int64
+	// FaultEvents is the injector's event count: the soak must actually
+	// have been under fire.
+	FaultEvents int
+	// Errors collects per-query failures (empty on a passing run).
+	Errors []string
+}
+
+// RunChaosConcurrent soaks one mediator under K concurrent query sessions
+// while the fault injector degrades the source, with the admission pool
+// bounding server-wide source concurrency. Each session holds one
+// admission for its whole workload. The first maxInflight sessions are
+// admitted up front; the overflow wave then queues on the pool (PolicyWait)
+// before the first wave starts executing, so pool contention is a
+// certainty, not a race. Every second session abandons its range queries
+// after one answer batch via Session.Stop — the mid-stream cancellation
+// path must return its lanes too.
+//
+// Outage windows are omitted: sessions run on forked clocks, so a shared
+// wall-clock window has no single meaning; the per-call faults (errors,
+// truncation, spikes) carry the chaos.
+func RunChaosConcurrent(opts ChaosOptions, sessions, maxInflight int) (*ChaosConcurrentReport, error) {
+	policy := ChaosPolicy(opts.Seed)
+	o := obs.NewObserver()
+	cfg := &faultinject.Config{
+		Seed:         opts.Seed,
+		ErrorRate:    opts.ErrorRate,
+		FailLatency:  60 * time.Millisecond,
+		SpikeRate:    opts.SpikeRate,
+		SpikeLatency: opts.SpikeLatency,
+		TruncateRate: opts.TruncateRate,
+	}
+	tb, err := NewTestbed(TestbedOptions{
+		Site:             opts.Site,
+		WithInvariants:   true,
+		RouteViaCIM:      true,
+		Seed:             opts.Seed,
+		Resilience:       &policy,
+		QueryDeadline:    opts.QueryDeadline,
+		Faults:           cfg,
+		Parallelism:      4,
+		MaxInflightCalls: maxInflight,
+		ShedPolicy:       admission.PolicyWait,
+		Obs:              o,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := chaosPrime(tb); err != nil {
+		return nil, fmt.Errorf("chaos: prime: %w", err)
+	}
+
+	// Plan the workload once, sequentially; plans are immutable and shared
+	// across the sessions.
+	queries := chaosWorkload(opts.Rounds)
+	plans := make([]*rewrite.Plan, len(queries))
+	for i, q := range queries {
+		p, err := originalOrderPlan(tb.Sys, q)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: plan %s: %w", q, err)
+		}
+		plans[i] = p
+	}
+
+	report := &ChaosConcurrentReport{Sessions: sessions, MaxInflight: maxInflight}
+	errs := make([][]string, sessions)
+	var stopped, completed atomic.Int64
+
+	// One session's workload, run under an already-admitted ctx.
+	runSession := func(si int, ctx *domain.Ctx, release func()) {
+		defer release()
+		for qi, plan := range plans {
+			cur, err := tb.Sys.ExecuteCtx(ctx, plan)
+			if err != nil {
+				errs[si] = append(errs[si], fmt.Sprintf("session %d %s: %v", si, queries[qi], err))
+				continue
+			}
+			// Odd sessions abandon the (multi-answer) range query after
+			// one batch: Stop must drain branches and free lanes.
+			if si%2 == 1 && qi%2 == 1 {
+				sess := engine.NewSession(cur, 1)
+				if _, _, err := sess.More(); err != nil {
+					errs[si] = append(errs[si], fmt.Sprintf("session %d %s: More: %v", si, queries[qi], err))
+				} else if err := sess.Stop(); err != nil {
+					errs[si] = append(errs[si], fmt.Sprintf("session %d %s: Stop: %v", si, queries[qi], err))
+				} else {
+					stopped.Add(1)
+				}
+				continue
+			}
+			answers, _, err := engine.CollectAll(cur)
+			if err != nil {
+				errs[si] = append(errs[si], fmt.Sprintf("session %d %s: collect: %v", si, queries[qi], err))
+				continue
+			}
+			if len(answers) == 0 {
+				errs[si] = append(errs[si], fmt.Sprintf("session %d %s: no answers", si, queries[qi]))
+				continue
+			}
+			completed.Add(1)
+		}
+	}
+
+	// First wave: admitted immediately (the pool has free lanes).
+	firstWave := sessions
+	if firstWave > maxInflight {
+		firstWave = maxInflight
+	}
+	type admittedSession struct {
+		ctx     *domain.Ctx
+		release func()
+	}
+	first := make([]admittedSession, 0, firstWave)
+	for si := 0; si < firstWave; si++ {
+		ctx, release, err := tb.Sys.AdmitCtx(context.Background(), 1)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: admit session %d: %w", si, err)
+		}
+		first = append(first, admittedSession{ctx, release})
+	}
+
+	// Overflow wave: their AdmitCtx calls block in the pool's waiter queue
+	// until a first-wave session releases. Wait until all of them are
+	// queued before letting the first wave run, so the soak always
+	// exercises the contended path.
+	var wg sync.WaitGroup
+	for si := firstWave; si < sessions; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			ctx, release, err := tb.Sys.AdmitCtx(context.Background(), 1)
+			if err != nil {
+				errs[si] = append(errs[si], fmt.Sprintf("session %d admit: %v", si, err))
+				return
+			}
+			runSession(si, ctx, release)
+		}(si)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for tb.Sys.Admission.Stats().Waiting != sessions-firstWave {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("chaos: overflow wave never queued: %+v", tb.Sys.Admission.Stats())
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	for si, s := range first {
+		wg.Add(1)
+		go func(si int, s admittedSession) {
+			defer wg.Done()
+			runSession(si, s.ctx, s.release)
+		}(si, s)
+	}
+	wg.Wait()
+
+	report.Completed = int(completed.Load())
+	report.Stopped = int(stopped.Load())
+	for _, e := range errs {
+		report.Errors = append(report.Errors, e...)
+	}
+	st := tb.Sys.Admission.Stats()
+	report.PoolPeak = st.Peak
+	report.GaugePeak = int(o.Gauge("hermes_admission_peak_lanes").Value())
+	report.Queued = st.Queued
+	report.Shed = st.Shed
+	if st.Occupancy != 0 || st.Waiting != 0 {
+		report.Errors = append(report.Errors, fmt.Sprintf("pool not drained after soak: %+v", st))
+	}
+	report.FaultEvents = len(tb.Faults.EventLog())
+	return report, nil
 }

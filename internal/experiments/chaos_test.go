@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
+	"time"
 
 	"hermes/internal/resilience"
 )
@@ -153,5 +155,84 @@ func TestChaosDeterminism(t *testing.T) {
 	}
 	if reflect.DeepEqual(run1.FaultLog, run3.FaultLog) && len(run1.FaultLog) > 0 {
 		t.Errorf("different seeds produced identical fault schedules")
+	}
+}
+
+// TestChaosConcurrentSoak runs the satellite acceptance soak: 8 concurrent
+// sessions under 20% injected faults against a 4-lane admission pool. The
+// pool must bound the server-wide source concurrency (asserted from the
+// observer's gauge), overflow sessions must queue rather than shed, the
+// mid-stream Session.Stop path must not leak goroutines, and no query may
+// fail — resilience retries and cache degradation absorb the faults.
+func TestChaosConcurrentSoak(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	opts := DefaultChaosOptions()
+	opts.Rounds = 3
+	const (
+		sessions    = 8
+		maxInflight = 4
+	)
+	rep, err := RunChaosConcurrent(opts, sessions, maxInflight)
+	if err != nil {
+		t.Fatalf("RunChaosConcurrent: %v", err)
+	}
+	for _, e := range rep.Errors {
+		t.Error(e)
+	}
+
+	// The global in-flight bound held, and the obs gauge agrees with the
+	// pool's own accounting.
+	if rep.PoolPeak > maxInflight {
+		t.Errorf("pool peak %d exceeds the %d-lane bound", rep.PoolPeak, maxInflight)
+	}
+	if rep.GaugePeak != rep.PoolPeak {
+		t.Errorf("gauge peak %d disagrees with pool peak %d", rep.GaugePeak, rep.PoolPeak)
+	}
+	if rep.GaugePeak == 0 {
+		t.Error("gauge peak 0: the soak never held a lane")
+	}
+
+	// PolicyWait: the overflow sessions queued, none were shed.
+	if rep.Shed != 0 {
+		t.Errorf("wait policy shed %d sessions", rep.Shed)
+	}
+	if rep.Queued != sessions-maxInflight {
+		t.Errorf("queued sessions = %d, want the %d-session overflow wave", rep.Queued, sessions-maxInflight)
+	}
+
+	// Every session made progress and the Stop path was exercised.
+	wantStopped := (sessions / 2) * opts.Rounds
+	if rep.Stopped != wantStopped {
+		t.Errorf("stopped sessions = %d, want %d", rep.Stopped, wantStopped)
+	}
+	wantCompleted := sessions*opts.Rounds*2 - wantStopped
+	if rep.Completed != wantCompleted {
+		t.Errorf("completed queries = %d, want %d", rep.Completed, wantCompleted)
+	}
+	if rep.FaultEvents == 0 {
+		t.Error("fault injector recorded no events; the soak ran fault-free")
+	}
+
+	// No goroutine leaked from abandoned sessions or queued waiters.
+	expectGoroutines(t, base+2)
+}
+
+// expectGoroutines waits for the goroutine count to drop back to the
+// baseline (small slack for runtime bookkeeping).
+func expectGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines = %d, want <= %d; stacks:\n%s", n, base, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

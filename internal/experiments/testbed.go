@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"time"
 
+	"hermes/internal/admission"
 	"hermes/internal/cim"
 	"hermes/internal/core"
 	"hermes/internal/dcsm"
@@ -20,6 +21,7 @@ import (
 	"hermes/internal/engine"
 	"hermes/internal/faultinject"
 	"hermes/internal/netsim"
+	"hermes/internal/obs"
 	"hermes/internal/resilience"
 	"hermes/internal/rewrite"
 	"hermes/internal/term"
@@ -143,6 +145,15 @@ type TestbedOptions struct {
 	// engine, and the reproduced figures are calibrated to it. The parallel
 	// speedup experiment raises it explicitly.
 	Parallelism int
+	// MaxInflightCalls, when positive, bounds in-flight source calls
+	// server-wide across every concurrent session via the admission pool
+	// (the admission and concurrent-chaos experiments).
+	MaxInflightCalls int
+	// ShedPolicy selects the pool's saturation behaviour.
+	ShedPolicy admission.Policy
+	// Obs, when set, threads an observer through every layer, including
+	// the admission pool's gauges.
+	Obs *obs.Observer
 }
 
 // Testbed is a fully wired federation: the mediator system plus direct
@@ -239,6 +250,9 @@ func NewTestbed(opts TestbedOptions) (*Testbed, error) {
 	if sysOpts.Parallelism == 0 {
 		sysOpts.Parallelism = 1
 	}
+	sysOpts.MaxInflightCalls = opts.MaxInflightCalls
+	sysOpts.ShedPolicy = opts.ShedPolicy
+	sysOpts.Obs = opts.Obs
 	sys := core.NewSystem(sysOpts)
 
 	var hostOpts []netsim.Option

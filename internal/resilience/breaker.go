@@ -64,6 +64,10 @@ type BreakerMetrics struct {
 	// Rejections counts calls rejected while open (or while another
 	// half-open probe was in flight).
 	Rejections int
+	// AbandonedProbes counts half-open probes that ended without a source
+	// verdict (context cancellation, query deadline, admission shed) and
+	// freed the probe slot without closing or re-opening the breaker.
+	AbandonedProbes int
 	// Transitions is the full state-change history in clock order.
 	Transitions []Transition
 }
@@ -195,6 +199,9 @@ func (b *Breaker) Record(now time.Duration, ok bool) {
 			b.metrics.Trips++
 		}
 	case StateHalfOpen:
+		if !b.probing {
+			return // the probe was abandoned; this verdict is stale
+		}
 		b.probing = false
 		if ok {
 			b.successes++
@@ -210,5 +217,26 @@ func (b *Breaker) Record(now time.Duration, ok bool) {
 		b.metrics.Trips++
 		b.metrics.ProbeFailures++
 	default: // StateOpen: a straggler from before the trip; ignore.
+	}
+}
+
+// Abandon reports that a call admitted by Allow ended without a source
+// verdict: cancelled by its context, cut off by the query deadline, or
+// shed by admission control before any source was contacted. Nothing is
+// recorded as success or failure — the source never answered — but in the
+// half-open state the probe slot is freed so the next caller may probe.
+// Without Abandon, a probe abandoned by cancellation would leave
+// probing=true forever, wedging the breaker half-open and rejecting every
+// subsequent call.
+func (b *Breaker) Abandon(now time.Duration) {
+	if b.cfg.FailureThreshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked(now)
+	if b.state == StateHalfOpen && b.probing {
+		b.probing = false
+		b.metrics.AbandonedProbes++
 	}
 }

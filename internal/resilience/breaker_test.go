@@ -176,3 +176,64 @@ func TestBreakerStragglerAfterTrip(t *testing.T) {
 		t.Errorf("straggler Record changed open state to %s", got)
 	}
 }
+
+// TestBreakerAbandonFreesProbeSlot is the regression test for the
+// half-open wedge: a probe whose caller gave up (context cancellation,
+// query deadline, admission shed) used to leave probing=true forever,
+// rejecting every subsequent call. Abandon must free the slot without
+// recording a verdict either way.
+func TestBreakerAbandonFreesProbeSlot(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, OpenTimeout: sec(5)})
+	b.Allow(0)
+	b.Record(0, false) // trip
+
+	if err := b.Allow(sec(6)); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	b.Abandon(sec(6)) // probe cancelled before the source answered
+	if got := b.State(sec(6)); got != StateHalfOpen {
+		t.Fatalf("state after abandoned probe = %s, want half-open", got)
+	}
+	// The slot must be free: the next caller is admitted as a fresh probe
+	// instead of being rejected forever.
+	if err := b.Allow(sec(7)); err != nil {
+		t.Fatalf("breaker wedged: post-abandon probe rejected: %v", err)
+	}
+	b.Record(sec(7), true)
+	if got := b.State(sec(7)); got != StateClosed {
+		t.Fatalf("state after successful fresh probe = %s, want closed", got)
+	}
+	m := b.Metrics()
+	if m.AbandonedProbes != 1 || m.Probes != 2 || m.ProbeFailures != 0 {
+		t.Errorf("metrics = %+v, want 1 abandoned of 2 probes, 0 failures", m)
+	}
+}
+
+// TestBreakerStaleVerdictAfterAbandon: once a probe is abandoned, a
+// straggling Record for it (or for a call admitted while closed, arriving
+// after the open→half-open advance) must not move the state machine —
+// only an admitted, un-abandoned probe's verdict counts.
+func TestBreakerStaleVerdictAfterAbandon(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, OpenTimeout: sec(5)})
+	b.Allow(0)
+	b.Record(0, false)
+
+	if err := b.Allow(sec(6)); err != nil {
+		t.Fatal(err)
+	}
+	b.Abandon(sec(6))
+	b.Record(sec(6), true) // stale success: must not close the breaker
+	if got := b.State(sec(6)); got != StateHalfOpen {
+		t.Fatalf("stale success closed the breaker: %s", got)
+	}
+	b.Record(sec(6), false) // stale failure: must not re-open either
+	if got := b.State(sec(6)); got != StateHalfOpen {
+		t.Fatalf("stale failure moved the breaker: %s", got)
+	}
+	// Abandon outside half-open (closed breaker) is a no-op.
+	b2 := NewBreaker(BreakerConfig{FailureThreshold: 3, OpenTimeout: sec(5)})
+	b2.Abandon(0)
+	if got := b2.State(0); got != StateClosed {
+		t.Fatalf("abandon on closed breaker moved it: %s", got)
+	}
+}

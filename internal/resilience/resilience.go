@@ -254,6 +254,24 @@ func (w *Wrapper) callRaw(ctx *domain.Ctx, call domain.Call, fn string, args []t
 			}
 			return s, sctx, nil
 		}
+		if ctx.Err() != nil {
+			// The attempt ended because the caller's context was cancelled
+			// or the query deadline passed mid-call: the source never gave a
+			// verdict, so neither success nor failure is recorded — a
+			// half-open probe abandoned this way must free its slot rather
+			// than wedge the breaker.
+			w.breaker.Abandon(ctx.Clock.Now())
+			w.note(func(m *Metrics) { m.Failures++ })
+			return nil, nil, err
+		}
+		if domain.IsOverloaded(err) {
+			// Admission shed: mediator state, not a source outcome. Fail
+			// fast — retrying into an overloaded server only deepens the
+			// overload — and don't charge the breaker either way.
+			w.breaker.Abandon(ctx.Clock.Now())
+			w.note(func(m *Metrics) { m.Failures++ })
+			return nil, nil, err
+		}
 		retryable := domain.IsRetryable(err)
 		// A non-retryable error means the source answered (wrong
 		// function, type error, ...): not a breaker failure.
@@ -325,6 +343,12 @@ func (s *resilientStream) Next() (term.Value, bool, error) {
 				s.seen[k] = struct{}{}
 			}
 			return v, true, nil
+		}
+		if s.parent.Err() != nil || domain.IsOverloaded(err) {
+			// Cancelled mid-stream or shed by admission: no source verdict.
+			s.w.breaker.Abandon(s.parent.Clock.Now())
+			s.done = true
+			return nil, false, err
 		}
 		retryable := domain.IsRetryable(err)
 		s.w.breaker.Record(s.parent.Clock.Now(), !retryable)

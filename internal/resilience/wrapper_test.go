@@ -1,6 +1,7 @@
 package resilience
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -276,5 +277,120 @@ func TestWrapperTransparency(t *testing.T) {
 	specs, err := w.FunctionsErr()
 	if err != nil || len(specs) != 1 {
 		t.Errorf("FunctionsErr = %v, %v", specs, err)
+	}
+}
+
+// moodyDomain fails, succeeds, or cancels the caller's context depending
+// on its mode, so a test can walk the breaker through trip → probe →
+// verdict with full control of each call's outcome.
+type moodyDomain struct {
+	mode   string // "fail", "ok", "cancel", "overload"
+	cancel context.CancelFunc
+	calls  int
+}
+
+func (d *moodyDomain) Name() string { return "moody" }
+func (d *moodyDomain) Functions() []domain.FuncSpec {
+	return []domain.FuncSpec{{Name: "get", Arity: 0}}
+}
+
+func (d *moodyDomain) Call(ctx *domain.Ctx, fn string, args []term.Value) (domain.Stream, error) {
+	d.calls++
+	switch d.mode {
+	case "fail":
+		return nil, fmt.Errorf("%w: moody outage", domain.ErrUnavailable)
+	case "cancel":
+		// The caller hangs up mid-call: cancel the context and surface its
+		// error, exactly what a remote dial aborted by cancellation does.
+		d.cancel()
+		return nil, ctx.Context.Err()
+	case "overload":
+		return nil, fmt.Errorf("admission shed: %w (%w)", domain.ErrOverloaded, domain.ErrUnavailable)
+	default:
+		return domain.NewSliceStream(vals(1)), nil
+	}
+}
+
+// TestWrapperAbandonedProbeDoesNotWedgeBreaker is the vclock regression
+// test for the half-open wedge: a probe call abandoned by context
+// cancellation must neither close the breaker (the old behaviour — the
+// cancellation error is non-retryable, so it was recorded as a success)
+// nor leave the probe slot taken forever. The breaker stays half-open
+// with a free slot, and the next call probes normally.
+func TestWrapperAbandonedProbeDoesNotWedgeBreaker(t *testing.T) {
+	src := &moodyDomain{mode: "fail"}
+	p := Policy{
+		MaxAttempts: 1,
+		Breaker:     BreakerConfig{FailureThreshold: 1, OpenTimeout: 5 * time.Second},
+	}
+	w := Wrap(src, p)
+	clk := vclock.NewVirtual(0)
+
+	// Trip the breaker.
+	if _, err := w.Call(domain.NewCtx(clk), "get", nil); err == nil {
+		t.Fatal("tripping call should fail")
+	}
+	if got := w.Breaker().State(clk.Now()); got != StateOpen {
+		t.Fatalf("state = %s, want open", got)
+	}
+
+	// Past the open timeout, issue the probe — and cancel it mid-call.
+	clk.Sleep(6 * time.Second)
+	gc, cancel := context.WithCancel(context.Background())
+	src.mode, src.cancel = "cancel", cancel
+	if _, err := w.Call(domain.NewCtx(clk).WithContext(gc), "get", nil); err == nil {
+		t.Fatal("cancelled probe should fail")
+	}
+
+	// Old bug #1: the cancellation was recorded as success, closing the
+	// breaker off a probe that never reached the source.
+	if got := w.Breaker().State(clk.Now()); got != StateHalfOpen {
+		t.Fatalf("state after abandoned probe = %s, want half-open", got)
+	}
+	// Old bug #2 (the wedge): probing stayed true, so every later call
+	// was rejected. A fresh caller must be admitted as the new probe.
+	src.mode = "ok"
+	s, err := w.Call(domain.NewCtx(clk), "get", nil)
+	if err != nil {
+		t.Fatalf("breaker wedged half-open: %v", err)
+	}
+	if _, err := domain.Collect(s); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Breaker().State(clk.Now()); got != StateClosed {
+		t.Fatalf("state after successful fresh probe = %s, want closed", got)
+	}
+	if m := w.Breaker().Metrics(); m.AbandonedProbes != 1 {
+		t.Errorf("AbandonedProbes = %d, want 1", m.AbandonedProbes)
+	}
+}
+
+// TestWrapperOverloadFailsFast: an admission shed (ErrOverloaded) must
+// not be retried — retrying into an overloaded server deepens the
+// overload — and must not charge the breaker, even though the error also
+// wraps ErrUnavailable for the CIM's degrade-to-cache path.
+func TestWrapperOverloadFailsFast(t *testing.T) {
+	src := &moodyDomain{mode: "overload"}
+	p := testPolicy()
+	w := Wrap(src, p)
+	ctx := domain.NewCtx(vclock.NewVirtual(0))
+
+	start := ctx.Clock.Now()
+	_, err := w.Call(ctx, "get", nil)
+	if !domain.IsOverloaded(err) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if src.calls != 1 {
+		t.Fatalf("overloaded call attempted %d times, want 1 (no retry)", src.calls)
+	}
+	if ctx.Clock.Now() != start {
+		t.Fatalf("overload charged %s of backoff, want none", ctx.Clock.Now()-start)
+	}
+	if got := w.Breaker().State(ctx.Clock.Now()); got != StateClosed {
+		t.Fatalf("overload affected the breaker: %s", got)
+	}
+	m := w.Metrics()
+	if m.Attempts != 1 || m.Retries != 0 || m.Failures != 1 {
+		t.Errorf("metrics = %+v", m)
 	}
 }
