@@ -13,6 +13,9 @@
 //	                          # writes BENCH_parallel.json)
 //	benchrunner -fig admission # inter-query admission control fairness
 //	                           # (also writes BENCH_admission.json)
+//	benchrunner -fig calibration # DCSM estimate error shrinking as the
+//	                             # statistics warm (also writes
+//	                             # BENCH_calibration.json)
 package main
 
 import (
@@ -25,8 +28,8 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, 6, plan, ablations, hitrate, availability, parallel, admission, all")
-	out := flag.String("out", "", "where the JSON-writing figures (parallel, admission) put their result; default BENCH_<fig>.json")
+	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, 6, plan, ablations, optquality, hitrate, availability, parallel, admission, calibration, all")
+	out := flag.String("out", "", "where the JSON-writing figures (parallel, admission, calibration) put their result; default BENCH_<fig>.json")
 	flag.Parse()
 	if err := run(*fig, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
@@ -165,6 +168,17 @@ func run(fig, out string) error {
 		}
 		fmt.Println(experiments.FormatAdmission(res))
 		if err := writeJSON("BENCH_admission.json", res); err != nil {
+			return err
+		}
+	}
+	if want("calibration") {
+		section("DCSM calibration: estimate q-error as statistics warm")
+		res, err := experiments.CalibrationWarmup()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatCalibration(res))
+		if err := writeJSON("BENCH_calibration.json", res); err != nil {
 			return err
 		}
 	}

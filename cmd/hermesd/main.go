@@ -10,20 +10,35 @@
 //
 // Besides the domain protocol, hermesd serves an observability HTTP
 // endpoint (-http): GET /metrics is a Prometheus text exposition, GET
-// /debug/queries the recent-query span ring buffer, and GET /query?q=...
-// runs a query through an embedded mediator over the hosted domains and
-// returns its answers plus EXPLAIN span tree.
+// /debug/queries the recent-query span ring buffer, GET /debug/calibration
+// the DCSM cost-model calibration table (worst-estimated functions first,
+// joined with their statistics footprint), GET /debug/cim the cache
+// savings ledger, GET /debug/flightrecorder the flight-recorder ring as
+// JSONL, and GET /query?q=... runs a query through an embedded mediator
+// over the hosted domains and returns its answers plus EXPLAIN span tree.
+// With -pprof the Go profiling handlers appear under /debug/pprof/.
+//
+// The flight recorder keeps the last finished query span trees in a
+// bounded ring; -slow-query-ms skips queries that finished faster than
+// the threshold (0 records every query). SIGQUIT dumps the ring to the
+// -flight-snapshot path without stopping the server.
 //
 // Usage:
 //
-//	hermesd -addr :7117 -http :7118
+//	hermesd -addr :7117 -http :7118 -slow-query-ms 250 -flight-snapshot flight.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"hermes/internal/admission"
 	"hermes/internal/core"
@@ -47,6 +62,9 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "intra-query parallelism for the embedded mediator (<=0 = GOMAXPROCS, 1 = sequential)")
 	maxInflight := flag.Int("max-inflight", 0, "server-wide bound on in-flight source calls across all /query sessions (0 = unbounded)")
 	shedPolicy := flag.String("shed-policy", "wait", "behaviour at a saturated admission pool: wait (queue FIFO) or shed (503 + Retry-After)")
+	slowQueryMS := flag.Int("slow-query-ms", 0, "flight recorder threshold: skip queries that finished faster than this many milliseconds (0 = record every query)")
+	pprofOn := flag.Bool("pprof", false, "serve Go profiling handlers under /debug/pprof/ on the observability address")
+	flightSnapshot := flag.String("flight-snapshot", "", "file to dump the flight-recorder ring to (JSONL) on SIGQUIT; empty disables")
 	flag.Parse()
 
 	shed, err := admission.ParsePolicy(*shedPolicy)
@@ -61,9 +79,18 @@ func main() {
 		log.Printf("hermesd: serving domain %q (%d functions)", d.Name(), len(d.Functions()))
 	}
 	if *httpAddr != "" {
-		h, _, err := newObsHandler(doms, *parallelism, *maxInflight, shed)
+		h, sys, err := newObsHandler(doms, obsOptions{
+			Parallelism: *parallelism,
+			MaxInflight: *maxInflight,
+			Shed:        shed,
+			SlowQueryMS: *slowQueryMS,
+			Pprof:       *pprofOn,
+		})
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *flightSnapshot != "" {
+			snapshotOnQuit(sys.Obs, *flightSnapshot)
 		}
 		go func() {
 			log.Printf("hermesd: observability HTTP on %s", *httpAddr)
@@ -73,6 +100,37 @@ func main() {
 	srv := remote.NewServer(reg)
 	log.Printf("hermesd: listening on %s", *addr)
 	log.Fatal(srv.ListenAndServe(*addr))
+}
+
+// writeFlightSnapshot dumps the flight-recorder ring to path as JSONL,
+// oldest record first.
+func writeFlightSnapshot(o *obs.Observer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := o.Flight.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// snapshotOnQuit dumps the flight recorder to path on every SIGQUIT, the
+// classic "what was this server just doing" trigger, without stopping the
+// process.
+func snapshotOnQuit(o *obs.Observer, path string) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	go func() {
+		for range ch {
+			if err := writeFlightSnapshot(o, path); err != nil {
+				log.Printf("hermesd: flight snapshot: %v", err)
+			} else {
+				log.Printf("hermesd: flight snapshot written to %s", path)
+			}
+		}
+	}()
 }
 
 // serverProgram gives the embedded mediator rules over the hosted
@@ -86,6 +144,16 @@ const serverProgram = `
 	F1 <= G1 & G2 <= F2 => avis:frames_to_objects(V, F1, F2) >= avis:frames_to_objects(V, G1, G2).
 `
 
+// obsOptions configures the embedded mediator behind the observability
+// endpoint; fields mirror the hermesd flags of the same names.
+type obsOptions struct {
+	Parallelism int              // -parallelism
+	MaxInflight int              // -max-inflight
+	Shed        admission.Policy // -shed-policy
+	SlowQueryMS int              // -slow-query-ms
+	Pprof       bool             // -pprof
+}
+
 // newObsHandler builds the observability endpoint: an embedded mediator
 // (CIM + DCSM + resilient wrappers, all reporting into one observer) over
 // the same domain instances the TCP server hosts, plus the obs HTTP
@@ -97,15 +165,16 @@ const serverProgram = `
 // admission pool (when -max-inflight is set) bounds their total source
 // concurrency; a saturated pool under -shed-policy shed answers 503 with
 // Retry-After before any source sees the query.
-func newObsHandler(doms []domain.Domain, parallelism, maxInflight int, shed admission.Policy) (http.Handler, *core.System, error) {
+func newObsHandler(doms []domain.Domain, opts obsOptions) (http.Handler, *core.System, error) {
 	o := obs.NewObserver()
+	o.Flight.SetThreshold(time.Duration(opts.SlowQueryMS) * time.Millisecond)
 	pol := resilience.DefaultPolicy()
 	sys := core.NewSystem(core.Options{
 		Obs:              o,
 		Resilience:       &pol,
-		Parallelism:      parallelism,
-		MaxInflightCalls: maxInflight,
-		ShedPolicy:       shed,
+		Parallelism:      opts.Parallelism,
+		MaxInflightCalls: opts.MaxInflight,
+		ShedPolicy:       opts.Shed,
 	})
 	for _, d := range doms {
 		sys.Register(d)
@@ -113,11 +182,24 @@ func newObsHandler(doms []domain.Domain, parallelism, maxInflight int, shed admi
 	if err := sys.LoadProgram(serverProgram); err != nil {
 		return nil, nil, err
 	}
-	preRegisterMetrics(o)
+	preRegisterMetrics(o, doms)
 
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.Handler(o))
 	mux.Handle("/debug/queries", obs.Handler(o))
+	mux.Handle("/debug/flightrecorder", obs.Handler(o))
+	mux.Handle("/debug/cim", sys.CIM.DebugHandler())
+	mux.HandleFunc("/debug/calibration", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeCalibration(w, o, sys)
+	})
+	if opts.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query().Get("q")
 		if q == "" {
@@ -156,20 +238,62 @@ func newObsHandler(doms []domain.Domain, parallelism, maxInflight int, shed admi
 	return mux, sys, nil
 }
 
+// writeCalibration renders the DCSM calibration table: the observer's
+// per-function q-error distributions (worst-calibrated first) joined with
+// each function's statistics footprint, so a badly-estimated function can
+// be told apart from a statistics-starved one at a glance.
+func writeCalibration(w io.Writer, o *obs.Observer, sys *core.System) {
+	rows := o.Calibration.Summary()
+	fmt.Fprintln(w, "DCSM calibration, worst-calibrated first (q-error = max(est/actual, actual/est)):")
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "no calibration samples yet")
+		return
+	}
+	type foot struct{ records, tables int }
+	feet := map[string]foot{}
+	for _, st := range sys.DCSM.FunctionStats() {
+		f := feet[st.Domain+":"+st.Function]
+		f.records += st.Records
+		f.tables += st.SummaryTables
+		feet[st.Domain+":"+st.Function] = f
+	}
+	fmt.Fprintf(w, "%-28s %8s %10s %10s %10s %10s %8s %7s\n",
+		"function", "samples", "med(qTf)", "med(qTa)", "med(qCard)", "p95(qTa)", "records", "tables")
+	for _, r := range rows {
+		name := r.Domain + ":" + r.Function
+		f := feet[name]
+		fmt.Fprintf(w, "%-28s %8d %10.2f %10.2f %10.2f %10.2f %8d %7d\n",
+			name, r.Samples, r.MedianQTf, r.MedianQTa, r.MedianQCrd, r.P95QTa, f.records, f.tables)
+	}
+}
+
 // preRegisterMetrics touches the federation-level metric families so a
 // scrape before any traffic already reports them (at zero) with help
 // texts. The per-domain breaker-state gauges exist from registration.
-func preRegisterMetrics(o *obs.Observer) {
+// Histogram families must be instantiated before SetHelp names them:
+// SetHelp on an unknown family would create it with the default counter
+// kind, and a later Histogram() call on it panics.
+func preRegisterMetrics(o *obs.Observer, doms []domain.Domain) {
 	for _, outcome := range []string{"exact", "equality", "partial", "miss", "degraded"} {
 		o.Counter("hermes_cim_lookups_total", "outcome", outcome)
 	}
 	o.Counter("hermes_cim_degraded_total")
 	o.Counter("hermes_cim_singleflight_shares_total")
+	o.Counter("hermes_cim_saved_ms_total")
 	o.Gauge("hermes_cim_inflight_calls")
 	o.Counter("hermes_engine_parallel_unions_total")
 	o.Counter("hermes_engine_parallel_stages_total")
 	o.Gauge("hermes_engine_inflight_branches")
 	o.Counter("hermes_queries_total")
+	for _, d := range doms {
+		o.Metrics.Histogram("hermes_dcsm_qerror_tf", "domain", d.Name())
+		o.Metrics.Histogram("hermes_dcsm_qerror_ta", "domain", d.Name())
+		o.Metrics.Histogram("hermes_dcsm_qerror_card", "domain", d.Name())
+	}
+	o.Metrics.SetHelp("hermes_dcsm_qerror_tf", "q-error of DCSM first-answer time estimates vs measured calls")
+	o.Metrics.SetHelp("hermes_dcsm_qerror_ta", "q-error of DCSM total-time estimates vs measured calls")
+	o.Metrics.SetHelp("hermes_dcsm_qerror_card", "q-error of DCSM cardinality estimates vs measured calls")
+	o.Metrics.SetHelp("hermes_cim_saved_ms_total", "estimated milliseconds of source work avoided by cache and invariant hits")
 	o.Metrics.SetHelp("hermes_cim_lookups_total", "CIM cache probes by serving outcome")
 	o.Metrics.SetHelp("hermes_cim_degraded_total", "responses served purely from cache because the source was down")
 	o.Metrics.SetHelp("hermes_cim_singleflight_shares_total", "concurrent identical or invariant-equivalent calls served by one in-flight source fetch")

@@ -10,14 +10,19 @@ import (
 	"strings"
 	"testing"
 
+	"encoding/json"
+	"os"
+	"path/filepath"
+
 	"hermes/internal/admission"
+	"hermes/internal/obs"
 )
 
 // TestObsEndpoints exercises the observability HTTP surface end to end:
 // a query through /query, then /metrics (Prometheus text with CIM and
 // breaker families) and /debug/queries (the span ring buffer).
 func TestObsEndpoints(t *testing.T) {
-	h, _, err := newObsHandler(BuildDomains(), 0, 0, admission.PolicyWait)
+	h, _, err := newObsHandler(BuildDomains(), obsOptions{Shed: admission.PolicyWait})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +93,7 @@ func TestObsEndpoints(t *testing.T) {
 // Retry-After header — before any source sees it — and serves normally
 // once the lane frees.
 func TestQueryAdmissionShed(t *testing.T) {
-	h, sys, err := newObsHandler(BuildDomains(), 1, 1, admission.PolicyShed)
+	h, sys, err := newObsHandler(BuildDomains(), obsOptions{Parallelism: 1, MaxInflight: 1, Shed: admission.PolicyShed})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +152,7 @@ func TestQueryAdmissionShed(t *testing.T) {
 // TestQueryConcurrentSessions: without the old global query mutex,
 // concurrent /query requests all succeed on their own forked clocks.
 func TestQueryConcurrentSessions(t *testing.T) {
-	h, _, err := newObsHandler(BuildDomains(), 2, 4, admission.PolicyWait)
+	h, _, err := newObsHandler(BuildDomains(), obsOptions{Parallelism: 2, MaxInflight: 4, Shed: admission.PolicyWait})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,6 +183,175 @@ func TestQueryConcurrentSessions(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		if err := <-errs; err != nil {
 			t.Error(err)
+		}
+	}
+}
+
+// TestCalibrationCIMAndFlightEndpoints drives the seed example workload
+// and checks the three new debug surfaces: non-empty q-error histograms
+// on /metrics, the savings ledger on /debug/cim, the joined calibration
+// table on /debug/calibration, and the flight-recorder JSONL with the
+// query's full span tree.
+func TestCalibrationCIMAndFlightEndpoints(t *testing.T) {
+	h, _, err := newObsHandler(BuildDomains(), obsOptions{Shed: admission.PolicyWait})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+	query := func(q string) {
+		t.Helper()
+		if code, body := get("/query?q=" + url.QueryEscape(q)); code != http.StatusOK {
+			t.Fatalf("/query %s = %d: %s", q, code, body)
+		}
+	}
+
+	query("?- objects_between(4, 47, O).")  // miss: trains the DCSM
+	query("?- objects_between(10, 90, O).") // miss again (90 > 47): estimated, measured, calibrated
+	query("?- actors(A).")                  // miss
+	query("?- actors(A).")                  // exact hit: credits the savings ledger
+
+	// The second frames_to_objects call had both a DCSM estimate and a
+	// measurement, so the avis q-error histograms are non-empty.
+	_, body := get("/metrics")
+	for _, want := range []string{
+		`hermes_dcsm_qerror_ta_count{domain="avis"} 1`,
+		`hermes_dcsm_qerror_tf_count{domain="avis"} 1`,
+		`hermes_dcsm_qerror_card_count{domain="avis"} 1`,
+		"# TYPE hermes_dcsm_qerror_ta summary",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+
+	code, body := get("/debug/calibration")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/calibration status = %d", code)
+	}
+	if !strings.Contains(body, "avis:frames_to_objects") || !strings.Contains(body, "records") {
+		t.Errorf("/debug/calibration missing the calibrated function:\n%s", body)
+	}
+
+	code, body = get("/debug/cim")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/cim status = %d", code)
+	}
+	for _, want := range []string{"CIM savings ledger", "(exact)", "avis:actors"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/debug/cim missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get("/debug/flightrecorder")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/flightrecorder status = %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("flight recorder has %d records, want 4:\n%s", len(lines), body)
+	}
+	var rec obs.FlightRecord
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &rec); err != nil {
+		t.Fatalf("bad flight JSONL: %v\n%s", err, body)
+	}
+	if rec.Name != "?- actors(A)." {
+		t.Errorf("last flight record = %q, want the last query", rec.Name)
+	}
+	found := false
+	for _, c := range rec.Root.Children {
+		if strings.HasPrefix(c.Name, "call avis:actors") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("flight record has no call span: %+v", rec.Root)
+	}
+}
+
+// TestFlightSnapshotFile: writeFlightSnapshot dumps the ring to disk, the
+// SIGQUIT handler's workhorse.
+func TestFlightSnapshotFile(t *testing.T) {
+	h, sys, err := newObsHandler(BuildDomains(), obsOptions{Shed: admission.PolicyWait})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	if _, err := http.Get(srv.URL + "/query?q=" + url.QueryEscape("?- actors(A).")); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "flight.jsonl")
+	if err := writeFlightSnapshot(sys.Obs, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "?- actors(A).") {
+		t.Errorf("snapshot missing the recorded query:\n%s", data)
+	}
+}
+
+// TestSlowQueryThreshold: with -slow-query-ms above the workload's cost,
+// finished queries are offered to the flight recorder but skipped.
+func TestSlowQueryThreshold(t *testing.T) {
+	h, sys, err := newObsHandler(BuildDomains(), obsOptions{Shed: admission.PolicyWait, SlowQueryMS: 3600000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	if _, err := http.Get(srv.URL + "/query?q=" + url.QueryEscape("?- actors(A).")); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Obs.Flight.Records(); len(got) != 0 {
+		t.Errorf("fast query recorded despite threshold: %+v", got)
+	}
+	if offered, skipped := sys.Obs.Flight.Stats(); offered != 1 || skipped != 1 {
+		t.Errorf("flight stats = %d offered, %d skipped, want 1/1", offered, skipped)
+	}
+}
+
+// TestPprofGate: the Go profiling handlers are mounted only with -pprof.
+func TestPprofGate(t *testing.T) {
+	on, _, err := newObsHandler(BuildDomains(), obsOptions{Shed: admission.PolicyWait, Pprof: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, _, err := newObsHandler(BuildDomains(), obsOptions{Shed: admission.PolicyWait})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		h    http.Handler
+		want int
+	}{{on, http.StatusOK}, {off, http.StatusNotFound}} {
+		srv := httptest.NewServer(tc.h)
+		resp, err := http.Get(srv.URL + "/debug/pprof/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		srv.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("/debug/pprof/ = %d, want %d", resp.StatusCode, tc.want)
 		}
 	}
 }

@@ -184,6 +184,13 @@ type Manager struct {
 	onMeasure func(domain.Measurement)
 	// ob receives CIM metrics and per-call span tags (nil = off).
 	ob *obs.Observer
+	// costModel prices the source call a cache hit avoided (wired to the
+	// DCSM estimator; nil = use the serving entry's observed cost).
+	costModel func(domain.Pattern) (domain.CostVector, bool)
+
+	// ledger attributes hits and avoided cost per invariant and per
+	// cache entry (ledger.go).
+	ledger ledger
 
 	// evictMu serializes budget enforcement (one evictor at a time).
 	evictMu sync.Mutex
@@ -430,6 +437,7 @@ func (m *Manager) CallThrough(ctx *domain.Ctx, call domain.Call) (*Response, err
 			st.ServedFromCache += len(e.Answers)
 		})
 		m.lookup(ctx, "exact")
+		m.credit(ctx, call, e, nil, true)
 		return &Response{
 			Stream:        m.cacheStream(ctx, e.Answers),
 			Source:        SourceCacheExact,
@@ -440,7 +448,7 @@ func (m *Manager) CallThrough(ctx *domain.Ctx, call domain.Call) (*Response, err
 
 	// 2. Equality invariants: a different cached call with a provably
 	// identical answer set.
-	if e := m.findEquality(ctx, call); e != nil {
+	if e, inv := m.findEquality(ctx, call); e != nil {
 		m.touch(e)
 		m.bumpStats(func(st *Stats) {
 			st.EqualityHits++
@@ -448,6 +456,7 @@ func (m *Manager) CallThrough(ctx *domain.Ctx, call domain.Call) (*Response, err
 		})
 		m.lookup(ctx, "equality")
 		ctx.Span.SetTag("serving", e.Call.String())
+		m.credit(ctx, call, e, inv, true)
 		return &Response{
 			Stream:        m.cacheStream(ctx, e.Answers),
 			Source:        SourceCacheEquality,
@@ -458,7 +467,7 @@ func (m *Manager) CallThrough(ctx *domain.Ctx, call domain.Call) (*Response, err
 
 	// 3. Subset invariants (or an incomplete exact entry): a cached call
 	// whose answers are a sound partial answer for ours.
-	if e := m.findPartial(ctx, call); e != nil {
+	if e, inv := m.findPartial(ctx, call); e != nil {
 		m.touch(e)
 		m.bumpStats(func(st *Stats) {
 			st.PartialHits++
@@ -466,6 +475,9 @@ func (m *Manager) CallThrough(ctx *domain.Ctx, call domain.Call) (*Response, err
 		})
 		m.lookup(ctx, "partial")
 		ctx.Span.SetTag("serving", e.Call.String())
+		// Hits only, no savings: the actual call still runs to complete
+		// the partial answer.
+		m.credit(ctx, call, e, inv, false)
 		return m.servePartialThenActual(ctx, call, e), nil
 	}
 
@@ -494,12 +506,13 @@ func (m *Manager) CallThrough(ctx *domain.Ctx, call domain.Call) (*Response, err
 func (m *Manager) Degrade(ctx *domain.Ctx, call domain.Call) (*Response, bool) {
 	ctx.Clock.Sleep(m.cfg.LookupCost)
 	var e *Entry
+	var inv *lang.Invariant
 	if ex, ok := m.store.get(call.Key()); ok {
 		e = ex
-	} else if eq := m.findEquality(ctx, call); eq != nil {
-		e = eq
-	} else if pe := m.findPartial(ctx, call); pe != nil {
-		e = pe
+	} else if eq, eqInv := m.findEquality(ctx, call); eq != nil {
+		e, inv = eq, eqInv
+	} else if pe, peInv := m.findPartial(ctx, call); pe != nil {
+		e, inv = pe, peInv
 	}
 	if e == nil {
 		return nil, false
@@ -513,6 +526,9 @@ func (m *Manager) Degrade(ctx *domain.Ctx, call domain.Call) (*Response, bool) {
 	m.lookup(ctx, "degraded")
 	m.degraded(ctx)
 	ctx.Span.SetTag("serving", e.Call.String())
+	// Hits only, no savings: with the source down there was no working
+	// call to avoid.
+	m.credit(ctx, call, e, inv, false)
 	return &Response{
 		Stream:        m.cacheStream(ctx, e.Answers),
 		Source:        SourceCacheDegraded,

@@ -91,8 +91,9 @@ func relevant(t *lang.CallTemplate, c domain.Call) bool {
 
 // findEquality looks for a cached call that an equality invariant
 // proves has the identical answer set (§4.1, case 2). Equality is
-// symmetric, so both orientations are tried.
-func (m *Manager) findEquality(ctx *domain.Ctx, call domain.Call) *Entry {
+// symmetric, so both orientations are tried. The matched invariant is
+// returned alongside the entry for savings attribution.
+func (m *Manager) findEquality(ctx *domain.Ctx, call domain.Call) (*Entry, *lang.Invariant) {
 	for _, inv := range m.invariantList() {
 		if inv.Rel != lang.RelEqual {
 			continue
@@ -119,27 +120,30 @@ func (m *Manager) findEquality(ctx *domain.Ctx, call domain.Call) *Entry {
 						best = c
 					}
 				}
-				return best
+				return best, inv
 			}
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 // findPartial looks for the best sound partial answer for a call
 // (§4.1, case 3): a cached call C such that some superset invariant proves
 // answers(call) ⊇ answers(C), or an incomplete exact entry for the call
-// itself. "Best" is the candidate with the most cached answers.
-func (m *Manager) findPartial(ctx *domain.Ctx, call domain.Call) *Entry {
+// itself. "Best" is the candidate with the most cached answers. The
+// invariant that proved the winning candidate is returned for savings
+// attribution (nil when the winner is the call's own incomplete entry).
+func (m *Manager) findPartial(ctx *domain.Ctx, call domain.Call) (*Entry, *lang.Invariant) {
 	var best *Entry
-	consider := func(e *Entry) {
+	var bestInv *lang.Invariant
+	consider := func(e *Entry, inv *lang.Invariant) {
 		if best == nil || len(e.Answers) > len(best.Answers) {
-			best = e
+			best, bestInv = e, inv
 		}
 	}
 	// An incomplete exact entry is itself a sound partial answer.
 	if e, ok := m.store.get(call.Key()); ok && !e.Complete {
-		consider(e)
+		consider(e, nil)
 	}
 	for _, inv := range m.invariantList() {
 		if inv.Rel != lang.RelSuperset {
@@ -157,9 +161,9 @@ func (m *Manager) findPartial(ctx *domain.Ctx, call domain.Call) *Entry {
 		}
 		for _, e := range m.findCandidates(ctx, theta, inv.Cond, &inv.Right, false) {
 			if len(e.Answers) > 0 {
-				consider(e)
+				consider(e, inv)
 			}
 		}
 	}
-	return best
+	return best, bestInv
 }

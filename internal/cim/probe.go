@@ -34,10 +34,10 @@ func (m *Manager) Probe(call domain.Call) (Source, int) {
 	if e, ok := m.store.get(call.Key()); ok && e.Complete {
 		return SourceCacheExact, len(e.Answers)
 	}
-	if e := m.findEquality(scratch, call); e != nil {
+	if e, _ := m.findEquality(scratch, call); e != nil {
 		return SourceCacheEquality, len(e.Answers)
 	}
-	if e := m.findPartial(scratch, call); e != nil {
+	if e, _ := m.findPartial(scratch, call); e != nil {
 		return SourceCachePartial, len(e.Answers)
 	}
 	return SourceActual, 0

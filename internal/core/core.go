@@ -155,6 +155,19 @@ func NewSystem(opts Options) *System {
 	}
 	s.DCSM = dcsm.New(dcfg, clk.Now)
 	s.DCSM.SetObserver(s.Obs)
+	// Every completed source measurement feeds the DCSM; with an observer
+	// installed it first grades the estimate the planner would have used
+	// against the measured actual (the calibration tracker). Both routes —
+	// direct engine calls and CIM cache misses — converge here, and
+	// cache-served or single-flight-shared streams never produce a
+	// measurement, so they cannot pollute the q-error distributions.
+	observe := s.DCSM.Observe
+	if s.Obs != nil {
+		observe = func(m domain.Measurement) {
+			s.calibrate(m)
+			s.DCSM.Observe(m)
+		}
+	}
 
 	if !opts.DisableCIM {
 		ccfg := cim.DefaultConfig()
@@ -162,8 +175,18 @@ func NewSystem(opts Options) *System {
 			ccfg = *opts.CIM
 		}
 		s.CIM = cim.New(s.Registry, ccfg)
-		s.CIM.SetMeasurementObserver(s.DCSM.Observe)
+		s.CIM.SetMeasurementObserver(observe)
 		s.CIM.SetObserver(s.Obs)
+		if s.Obs != nil {
+			// Price what each cache hit avoided (the savings ledger) with
+			// the same DCSM estimate the planner would have used. Gated on
+			// the observer like EstimateCall: the probe updates DCSM access
+			// statistics, which AutoTune reads.
+			s.CIM.SetCostModel(func(p domain.Pattern) (domain.CostVector, bool) {
+				cv, err := s.DCSM.Cost(p)
+				return cv, err == nil
+			})
+		}
 	}
 
 	ecfg := engine.DefaultConfig()
@@ -192,7 +215,7 @@ func NewSystem(opts Options) *System {
 			return cv, err == nil
 		}
 	}
-	s.engine = engine.New(s.Registry, s.CIM, ecfg, s.DCSM.Observe)
+	s.engine = engine.New(s.Registry, s.CIM, ecfg, observe)
 
 	s.rewriteCfg = rewrite.Config{PushSelections: true}
 	if opts.Rewrite != nil {
@@ -457,9 +480,67 @@ func (s *System) QueryTracedCtx(ctx *domain.Ctx, query string, interactive bool)
 	}
 	pc.SetTag("plan", planLine(best))
 	pc.SetEstimate(obs.Cost{TFirst: cv.TFirst, TAll: cv.TAll, Card: cv.Card})
+	if s.Obs != nil && s.Obs.Calibration != nil {
+		// Was the winning plan ranked on trustworthy numbers? Grade the
+		// cost-model calibration of every function the plan can call.
+		grade, worst := s.Obs.Calibration.PlanGrade(planFunctions(best))
+		pc.SetTag("calibration", grade)
+		if grade != "cold" {
+			pc.SetTag("calibration.qerr", fmt.Sprintf("%.2f", worst))
+		}
+	}
 	pc.End(ctx.Clock.Now())
 
 	return s.engine.ExecutePlan(ctx.WithSpan(root), best)
+}
+
+// calibrate grades the DCSM's estimate for a call against its measured
+// actual, feeding the per-function q-error distributions. It runs just
+// before the measurement enters the statistics database, so the estimate
+// is exactly what the planner would have priced this call at. Incomplete
+// measurements (streams closed early by pruning) carry no usable Ta or
+// Card and are skipped, as are cold functions with nothing to grade.
+func (s *System) calibrate(m domain.Measurement) {
+	if !m.Complete {
+		return
+	}
+	cv, err := s.DCSM.Cost(domain.PatternOf(m.Call))
+	if err != nil {
+		return
+	}
+	s.Obs.ObserveCalibration(m.Call.Domain, m.Call.Function,
+		obs.Cost{TFirst: cv.TFirst, TAll: cv.TAll, Card: cv.Card},
+		obs.Cost{TFirst: m.Cost.TFirst, TAll: m.Cost.TAll, Card: m.Cost.Card})
+}
+
+// planFunctions collects the distinct (domain, function) pairs of every
+// in() literal reachable in a plan, for calibration grading.
+func planFunctions(p *rewrite.Plan) [][2]string {
+	seen := map[[2]string]bool{}
+	var out [][2]string
+	addRule := func(pr *rewrite.PlanRule) {
+		if pr == nil || pr.Rule == nil {
+			return
+		}
+		for _, lit := range pr.Rule.Body {
+			ic, ok := lit.(*lang.InCall)
+			if !ok {
+				continue
+			}
+			df := [2]string{ic.Call.Domain, ic.Call.Function}
+			if !seen[df] {
+				seen[df] = true
+				out = append(out, df)
+			}
+		}
+	}
+	addRule(p.Query)
+	for _, prs := range p.Rules {
+		for _, pr := range prs {
+			addRule(pr)
+		}
+	}
+	return out
 }
 
 // planLine is a plan's one-line query rendering, used in plan-choice tags.

@@ -179,6 +179,60 @@ func (db *DB) DropDetail(dom, fn string, arity int) {
 	delete(db.records, groupKey(dom, fn, arity))
 }
 
+// FunctionStat is one domain function's statistics footprint: how much
+// raw and summarized evidence backs its cost estimates. The calibration
+// debug view joins these counts against the observer's q-error table so
+// operators can see whether a badly-calibrated function is starved of
+// statistics or mis-summarized.
+type FunctionStat struct {
+	Domain        string `json:"domain"`
+	Function      string `json:"function"`
+	Arity         int    `json:"arity"`
+	Records       int    `json:"records"`
+	SummaryTables int    `json:"summary_tables"`
+}
+
+// FunctionStats returns one row per domain function that has raw records
+// or summary tables, sorted by domain, function, arity.
+func (db *DB) FunctionStats() []FunctionStat {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	byKey := map[string]*FunctionStat{}
+	get := func(dom, fn string, arity int) *FunctionStat {
+		key := groupKey(dom, fn, arity)
+		st := byKey[key]
+		if st == nil {
+			st = &FunctionStat{Domain: dom, Function: fn, Arity: arity}
+			byKey[key] = st
+		}
+		return st
+	}
+	for _, recs := range db.records {
+		if len(recs) == 0 {
+			continue
+		}
+		c := recs[0].Call
+		get(c.Domain, c.Function, len(c.Args)).Records = len(recs)
+	}
+	for _, t := range db.summaries {
+		get(t.Domain, t.Function, t.Arity).SummaryTables++
+	}
+	out := make([]FunctionStat, 0, len(byKey))
+	for _, st := range byKey {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Domain != out[j].Domain {
+			return out[i].Domain < out[j].Domain
+		}
+		if out[i].Function != out[j].Function {
+			return out[i].Function < out[j].Function
+		}
+		return out[i].Arity < out[j].Arity
+	})
+	return out
+}
+
 // weight returns the recency weight of a record at summarization or
 // estimation time.
 func (db *DB) weight(rec Record, now time.Duration) float64 {

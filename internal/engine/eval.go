@@ -297,7 +297,10 @@ func (e *Engine) callFailed(ctx *domain.Ctx, span *obs.Span, call domain.Call, r
 // spanStream meters a call's answer stream onto its span: measured
 // [Tf, Ta, Card] (covering cache-served streams, which produce no
 // domain.Measurement) and the span's end time. The span ends when the
-// stream is exhausted, errors, or is closed early (pruning).
+// stream is exhausted, errors, or is closed early (pruning). Note the
+// span's actual includes consumer-side stall time between pulls; the
+// source-side cost that calibrates the DCSM travels separately, as a
+// domain.Measurement through the measurement hook.
 type spanStream struct {
 	inner    domain.Stream
 	ctx      *domain.Ctx
@@ -345,7 +348,8 @@ func (ss *spanStream) finish() {
 	if !ss.gotFirst {
 		tf = all
 	}
-	ss.span.SetActual(obs.Cost{TFirst: tf, TAll: all, Card: float64(ss.n)})
+	actual := obs.Cost{TFirst: tf, TAll: all, Card: float64(ss.n)}
+	ss.span.SetActual(actual)
 	ss.span.End(now)
 }
 

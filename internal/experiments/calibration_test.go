@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+// TestCalibrationWarmup pins the experiment's shape: the very first call
+// runs cold (nothing to estimate), every later call is priced, the
+// estimate error shrinks as the DCSM warms, and the observer-side
+// calibration tracker saw the same calls.
+func TestCalibrationWarmup(t *testing.T) {
+	res, err := CalibrationWarmup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) < 3 {
+		t.Fatalf("rounds = %d, want >= 3", len(res.Rounds))
+	}
+	first := res.Rounds[0]
+	if first.Estimated != first.Calls-1 {
+		t.Errorf("round 1 estimated %d of %d calls; only the first overall call lacks statistics",
+			first.Estimated, first.Calls)
+	}
+	last := res.Rounds[len(res.Rounds)-1]
+	if last.Estimated != last.Calls {
+		t.Errorf("warm round under-estimated: last = %+v", last)
+	}
+	if last.MedianQTa <= 0 || last.MedianQTa >= first.MedianQTa {
+		t.Errorf("estimate error did not shrink: round 1 med(qTa) %.2f, last %.2f",
+			first.MedianQTa, last.MedianQTa)
+	}
+	// The engine-side measurements fed the calibration tracker too: every
+	// run after the first leaves the DCSM with something to grade.
+	if res.TrackerSamples == 0 || res.TrackerMedianQTa <= 0 {
+		t.Errorf("calibration tracker empty: %d samples, med %.2f",
+			res.TrackerSamples, res.TrackerMedianQTa)
+	}
+	if s := FormatCalibration(res); len(s) == 0 {
+		t.Error("empty rendering")
+	}
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Calibration thresholds shared by the tracker and the planner-facing
+// grade: a function is graded once it has CalMinSamples q-error
+// observations, and a plan counts as ranked on trustworthy numbers when
+// every graded function's median Ta q-error is at most CalTrustedQErr.
+const (
+	CalMinSamples  = 3
+	CalTrustedQErr = 2.0
+)
+
+// qErrFloorMs saturates q-errors for sub-millisecond durations (and
+// sub-row cardinalities): being "wrong" about a 30µs call is planning
+// noise, not miscalibration, so both sides of the ratio are floored at
+// one millisecond / one row before dividing.
+const qErrFloorMs = 1.0
+
+// QErr is the q-error of an estimate against a measurement: the factor
+// by which the estimate is off, max(est/actual, actual/est), always
+// >= 1. Both inputs are floored at 1 (one millisecond for durations,
+// one row for cardinalities) so near-zero quantities don't explode the
+// ratio.
+func QErr(est, actual float64) float64 {
+	if est < qErrFloorMs {
+		est = qErrFloorMs
+	}
+	if actual < qErrFloorMs {
+		actual = qErrFloorMs
+	}
+	if est > actual {
+		return est / actual
+	}
+	return actual / est
+}
+
+// QErrs returns the per-component q-errors [Tf, Ta, Card] of an
+// estimated cost vector against the measured one.
+func QErrs(est, actual Cost) (qtf, qta, qcard float64) {
+	const ms = float64(time.Millisecond)
+	qtf = QErr(float64(est.TFirst)/ms, float64(actual.TFirst)/ms)
+	qta = QErr(float64(est.TAll)/ms, float64(actual.TAll)/ms)
+	qcard = QErr(est.Card, actual.Card)
+	return
+}
+
+// calEntry holds one (domain, function)'s q-error windows.
+type calEntry struct {
+	domain, function string
+	qtf, qta, qcard  *Histogram
+}
+
+// Calibration aggregates est-vs-actual q-errors per (domain, function)
+// so operators can see how wrong the DCSM's cost model is and the
+// planner can tell whether a plan was ranked on trustworthy numbers.
+// It keeps a bounded sample window per function (the same windowed
+// histogram the registry uses) and is safe for concurrent use; a nil
+// *Calibration disables tracking.
+type Calibration struct {
+	mu      sync.Mutex
+	entries map[string]*calEntry // keyed "domain:function"
+}
+
+// NewCalibration returns an empty calibration table.
+func NewCalibration() *Calibration {
+	return &Calibration{entries: make(map[string]*calEntry)}
+}
+
+func (c *Calibration) entry(dom, fn string) *calEntry {
+	key := dom + ":" + fn
+	e := c.entries[key]
+	if e == nil {
+		e = &calEntry{
+			domain: dom, function: fn,
+			qtf: &Histogram{}, qta: &Histogram{}, qcard: &Histogram{},
+		}
+		c.entries[key] = e
+	}
+	return e
+}
+
+// Observe feeds one completed call's estimate and measured actual into
+// the function's q-error windows.
+func (c *Calibration) Observe(dom, fn string, est, actual Cost) {
+	if c == nil {
+		return
+	}
+	qtf, qta, qcard := QErrs(est, actual)
+	c.mu.Lock()
+	e := c.entry(dom, fn)
+	c.mu.Unlock()
+	e.qtf.Observe(qtf)
+	e.qta.Observe(qta)
+	e.qcard.Observe(qcard)
+}
+
+// Grade reports a function's median Ta q-error and how many samples
+// back it. n < CalMinSamples means the function is effectively
+// ungraded (cold).
+func (c *Calibration) Grade(dom, fn string) (medianQTa float64, n int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	e := c.entries[dom+":"+fn]
+	c.mu.Unlock()
+	if e == nil {
+		return 0, 0
+	}
+	return e.qta.Quantile(0.5), e.qta.Count()
+}
+
+// PlanGrade grades a plan by the (domain, function) pairs of the calls
+// it would issue: "cold" when no function has enough samples to judge,
+// "trusted" when every graded function's median Ta q-error is at most
+// CalTrustedQErr, and "rough" otherwise. It also returns the worst
+// graded median q-error (0 when cold).
+func (c *Calibration) PlanGrade(fns [][2]string) (grade string, worstQ float64) {
+	graded := 0
+	for _, df := range fns {
+		q, n := c.Grade(df[0], df[1])
+		if n < CalMinSamples {
+			continue
+		}
+		graded++
+		if q > worstQ {
+			worstQ = q
+		}
+	}
+	switch {
+	case graded == 0:
+		return "cold", 0
+	case worstQ <= CalTrustedQErr:
+		return "trusted", worstQ
+	default:
+		return "rough", worstQ
+	}
+}
+
+// CalibrationRow is one function's aggregated calibration error, for
+// the /debug/calibration ranking.
+type CalibrationRow struct {
+	Domain     string  `json:"domain"`
+	Function   string  `json:"function"`
+	Samples    int64   `json:"samples"`
+	MedianQTf  float64 `json:"median_qerr_tf"`
+	MedianQTa  float64 `json:"median_qerr_ta"`
+	MedianQCrd float64 `json:"median_qerr_card"`
+	P95QTa     float64 `json:"p95_qerr_ta"`
+}
+
+// Summary returns one row per tracked function, worst-calibrated first
+// (by median Ta q-error, then by p95, then by name for determinism).
+func (c *Calibration) Summary() []CalibrationRow {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	entries := make([]*calEntry, 0, len(c.entries))
+	for _, e := range c.entries {
+		entries = append(entries, e)
+	}
+	c.mu.Unlock()
+	rows := make([]CalibrationRow, 0, len(entries))
+	for _, e := range entries {
+		rows = append(rows, CalibrationRow{
+			Domain:     e.domain,
+			Function:   e.function,
+			Samples:    e.qta.Count(),
+			MedianQTf:  e.qtf.Quantile(0.5),
+			MedianQTa:  e.qta.Quantile(0.5),
+			MedianQCrd: e.qcard.Quantile(0.5),
+			P95QTa:     e.qta.Quantile(0.95),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].MedianQTa != rows[j].MedianQTa {
+			return rows[i].MedianQTa > rows[j].MedianQTa
+		}
+		if rows[i].P95QTa != rows[j].P95QTa {
+			return rows[i].P95QTa > rows[j].P95QTa
+		}
+		if rows[i].Domain != rows[j].Domain {
+			return rows[i].Domain < rows[j].Domain
+		}
+		return rows[i].Function < rows[j].Function
+	})
+	return rows
+}
+
+// FormatCalibrationRows renders the worst-calibrated-first table shown
+// at /debug/calibration.
+func FormatCalibrationRows(rows []CalibrationRow) string {
+	if len(rows) == 0 {
+		return "no calibration samples yet\n"
+	}
+	out := fmt.Sprintf("%-28s %8s %10s %10s %10s %10s\n",
+		"function", "samples", "med(qTf)", "med(qTa)", "med(qCard)", "p95(qTa)")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-28s %8d %10.2f %10.2f %10.2f %10.2f\n",
+			r.Domain+":"+r.Function, r.Samples,
+			r.MedianQTf, r.MedianQTa, r.MedianQCrd, r.P95QTa)
+	}
+	return out
+}

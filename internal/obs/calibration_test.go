@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestQErr(t *testing.T) {
+	cases := []struct {
+		est, actual, want float64
+	}{
+		{10, 10, 1},
+		{10, 20, 2},
+		{20, 10, 2},
+		{0, 100, 100},  // est floored at 1
+		{100, 0, 100},  // actual floored at 1
+		{0, 0, 1},      // both floored: sub-ms noise is "calibrated"
+		{0.5, 0.25, 1}, // sub-floor values saturate
+	}
+	for _, c := range cases {
+		if got := QErr(c.est, c.actual); got != c.want {
+			t.Errorf("QErr(%g, %g) = %g, want %g", c.est, c.actual, got, c.want)
+		}
+	}
+}
+
+func TestCalibrationObserveAndSummary(t *testing.T) {
+	c := NewCalibration()
+	// avis:frames is 4x off on Ta; ingres:roads is spot on.
+	for i := 0; i < 4; i++ {
+		c.Observe("avis", "frames",
+			Cost{TFirst: 10 * time.Millisecond, TAll: 100 * time.Millisecond, Card: 10},
+			Cost{TFirst: 10 * time.Millisecond, TAll: 400 * time.Millisecond, Card: 20})
+		c.Observe("ingres", "roads",
+			Cost{TFirst: 5 * time.Millisecond, TAll: 50 * time.Millisecond, Card: 7},
+			Cost{TFirst: 5 * time.Millisecond, TAll: 50 * time.Millisecond, Card: 7})
+	}
+	rows := c.Summary()
+	if len(rows) != 2 {
+		t.Fatalf("summary rows = %d, want 2", len(rows))
+	}
+	if rows[0].Domain != "avis" || rows[0].Function != "frames" {
+		t.Errorf("worst-calibrated first: got %s:%s", rows[0].Domain, rows[0].Function)
+	}
+	if rows[0].MedianQTa != 4 || rows[0].MedianQCrd != 2 || rows[0].MedianQTf != 1 {
+		t.Errorf("avis row = %+v", rows[0])
+	}
+	if rows[1].MedianQTa != 1 || rows[1].Samples != 4 {
+		t.Errorf("ingres row = %+v", rows[1])
+	}
+
+	if q, n := c.Grade("avis", "frames"); q != 4 || n != 4 {
+		t.Errorf("Grade(avis, frames) = %g, %d", q, n)
+	}
+	if _, n := c.Grade("faces", "unknown"); n != 0 {
+		t.Errorf("Grade of untracked function reported %d samples", n)
+	}
+
+	text := FormatCalibrationRows(rows)
+	if !strings.Contains(text, "avis:frames") || !strings.Contains(text, "ingres:roads") {
+		t.Errorf("rendered table missing functions:\n%s", text)
+	}
+}
+
+func TestCalibrationPlanGrade(t *testing.T) {
+	c := NewCalibration()
+	good := Cost{TAll: 100 * time.Millisecond, Card: 10}
+	for i := 0; i < CalMinSamples; i++ {
+		c.Observe("a", "good", good, good)
+		c.Observe("a", "bad", good, Cost{TAll: time.Second, Card: 10})
+	}
+	c.Observe("a", "thin", good, good) // below CalMinSamples
+
+	if g, _ := c.PlanGrade([][2]string{{"a", "nosuch"}, {"a", "thin"}}); g != "cold" {
+		t.Errorf("ungraded plan = %q, want cold", g)
+	}
+	if g, q := c.PlanGrade([][2]string{{"a", "good"}}); g != "trusted" || q != 1 {
+		t.Errorf("good plan = %q, %g", g, q)
+	}
+	if g, q := c.PlanGrade([][2]string{{"a", "good"}, {"a", "bad"}}); g != "rough" || q != 10 {
+		t.Errorf("mixed plan = %q, %g, want rough on worst function", g, q)
+	}
+}
+
+func TestObserverObserveCalibration(t *testing.T) {
+	o := NewObserver()
+	o.ObserveCalibration("avis", "frames",
+		Cost{TAll: 100 * time.Millisecond, Card: 10},
+		Cost{TAll: 300 * time.Millisecond, Card: 10})
+	if q, n := o.Calibration.Grade("avis", "frames"); n != 1 || q != 3 {
+		t.Errorf("tracker fed q=%g n=%d, want 3, 1", q, n)
+	}
+	h := o.Metrics.Histogram("hermes_dcsm_qerror_ta", "domain", "avis")
+	if h.Count() != 1 || h.Quantile(0.5) != 3 {
+		t.Errorf("registry histogram count=%d median=%g", h.Count(), h.Quantile(0.5))
+	}
+	for _, name := range []string{"hermes_dcsm_qerror_tf", "hermes_dcsm_qerror_card"} {
+		if o.Metrics.Histogram(name, "domain", "avis").Count() != 1 {
+			t.Errorf("%s not fed", name)
+		}
+	}
+}
+
+// TestCalibrationNilSafety: the new hooks must all be nil-receiver
+// no-ops so an obs-disabled system costs only the nil checks.
+func TestCalibrationNilSafety(t *testing.T) {
+	var o *Observer
+	o.ObserveCalibration("d", "f", Cost{}, Cost{})
+	var c *Calibration
+	c.Observe("d", "f", Cost{}, Cost{})
+	if rows := c.Summary(); rows != nil {
+		t.Errorf("nil calibration summary = %v", rows)
+	}
+	if _, n := c.Grade("d", "f"); n != 0 {
+		t.Error("nil calibration graded")
+	}
+	// An observer with a nil Calibration/Metrics still accepts feeds.
+	partial := &Observer{}
+	partial.ObserveCalibration("d", "f", Cost{}, Cost{})
+}

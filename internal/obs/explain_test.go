@@ -4,6 +4,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -62,6 +63,50 @@ func TestExplainGolden(t *testing.T) {
 	}
 	if got != string(want) {
 		t.Errorf("EXPLAIN output drifted from golden.\n-- got:\n%s\n-- want:\n%s", got, want)
+	}
+}
+
+// TestExplainDegradedAndPartial pins down how CIM degraded and partial
+// answers render: the cim outcome, the serving entry, the matched
+// invariant, and the avoided-cost tag must all be visible on the call
+// line so an operator can read the serving decision off the tree.
+func TestExplainDegradedAndPartial(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	root := NewTracer(1).StartQuery("?- objects_between(4, 47, O).", 0)
+	root.SetTag("complete", "false")
+
+	deg := root.Child("call avis:frames_to_objects('rope', 4, 47)", 0)
+	deg.SetTag("route", "cim")
+	deg.SetTag("cim", "degraded")
+	deg.SetTag("degraded", "true")
+	deg.SetTag("serving", "avis:frames_to_objects('rope', 4, 47)")
+	deg.End(ms(1))
+
+	part := root.Child("call avis:frames_to_objects('rope', 10, 40)", ms(2))
+	part.SetTag("route", "cim")
+	part.SetTag("cim", "partial")
+	part.SetTag("invariant", "true => avis:frames_to_objects(F1, F2, O) <= avis:frames_to_objects(G1, G2, O).")
+	part.SetTag("serving", "avis:frames_to_objects('rope', 4, 47)")
+	part.End(ms(120))
+
+	exact := root.Child("call avis:actors('rope')", ms(125))
+	exact.SetTag("cim", "exact")
+	exact.SetTag("cim.saved_ms", "231.0")
+	exact.End(ms(126))
+
+	root.End(ms(130))
+	got := Explain(root.Snapshot())
+
+	for _, want := range []string{
+		"cim=degraded  degraded=true",
+		"serving=avis:frames_to_objects('rope', 4, 47)",
+		"cim=partial",
+		"invariant=true => avis:frames_to_objects(F1, F2, O) <= avis:frames_to_objects(G1, G2, O).",
+		"cim=exact  cim.saved_ms=231.0",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("EXPLAIN missing %q:\n%s", want, got)
+		}
 	}
 }
 

@@ -183,11 +183,12 @@ func (d SpanData) sortedTags() []string {
 // span trees in a bounded ring buffer (the /debug/queries feed). It is
 // safe for concurrent use; a nil Tracer disables tracing.
 type Tracer struct {
-	mu       sync.Mutex
-	recent   []SpanData // oldest first
-	capacity int
-	started  int64
-	finished int64
+	mu        sync.Mutex
+	recent    []SpanData // oldest first
+	capacity  int
+	started   int64
+	finished  int64
+	onPublish func(SpanData) // e.g. the flight recorder
 }
 
 // NewTracer returns a tracer retaining the last capacity finished query
@@ -222,6 +223,21 @@ func (t *Tracer) publish(s *Span) {
 	if len(t.recent) > t.capacity {
 		t.recent = t.recent[len(t.recent)-t.capacity:]
 	}
+	hook := t.onPublish
+	t.mu.Unlock()
+	if hook != nil {
+		hook(d)
+	}
+}
+
+// SetOnPublish installs a hook called with every finished root-span
+// snapshot after it enters the ring (used to feed the flight recorder).
+func (t *Tracer) SetOnPublish(fn func(SpanData)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.onPublish = fn
 	t.mu.Unlock()
 }
 
@@ -249,19 +265,30 @@ func (t *Tracer) Counts() (started, finished int64) {
 	return t.started, t.finished
 }
 
-// Observer bundles the two observability facilities the system threads
-// through its layers: a metrics registry and a query tracer. A nil
-// Observer (or nil fields) disables the corresponding facility; every
-// method is nil-receiver safe.
+// Observer bundles the observability facilities the system threads
+// through its layers: a metrics registry, a query tracer, a cost-model
+// calibration table, and a flight recorder. A nil Observer (or nil
+// fields) disables the corresponding facility; every method is
+// nil-receiver safe.
 type Observer struct {
-	Metrics *Registry
-	Tracer  *Tracer
+	Metrics     *Registry
+	Tracer      *Tracer
+	Calibration *Calibration
+	Flight      *FlightRecorder
 }
 
-// NewObserver returns an observer with a fresh registry and a tracer
-// retaining the last 64 queries.
+// NewObserver returns an observer with a fresh registry, a tracer
+// retaining the last 64 queries, an empty calibration table, and a
+// flight recorder fed by the tracer (keep-everything threshold).
 func NewObserver() *Observer {
-	return &Observer{Metrics: NewRegistry(), Tracer: NewTracer(64)}
+	o := &Observer{
+		Metrics:     NewRegistry(),
+		Tracer:      NewTracer(64),
+		Calibration: NewCalibration(),
+		Flight:      NewFlightRecorder(DefaultFlightCapacity, 0),
+	}
+	o.Tracer.SetOnPublish(o.Flight.Record)
+	return o
 }
 
 // StartQuery forwards to the tracer (nil-safe).
@@ -294,4 +321,22 @@ func (o *Observer) Histogram(name string, labels ...string) *Histogram {
 		return nil
 	}
 	return o.Metrics.Histogram(name, labels...)
+}
+
+// ObserveCalibration feeds one completed call's estimated and measured
+// cost vectors into the calibration table and the per-domain
+// hermes_dcsm_qerror_{tf,ta,card} histograms. Callers must only feed
+// spans whose actual reflects a real source call (cache-served answers
+// would fake enormous "errors"). Nil-safe.
+func (o *Observer) ObserveCalibration(dom, fn string, est, actual Cost) {
+	if o == nil {
+		return
+	}
+	o.Calibration.Observe(dom, fn, est, actual)
+	if o.Metrics != nil {
+		qtf, qta, qcard := QErrs(est, actual)
+		o.Metrics.Histogram("hermes_dcsm_qerror_tf", "domain", dom).Observe(qtf)
+		o.Metrics.Histogram("hermes_dcsm_qerror_ta", "domain", dom).Observe(qta)
+		o.Metrics.Histogram("hermes_dcsm_qerror_card", "domain", dom).Observe(qcard)
+	}
 }

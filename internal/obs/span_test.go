@@ -68,6 +68,36 @@ func TestTracerRingEviction(t *testing.T) {
 			t.Errorf("recent[%d] = %s, want %s", i, recent[i].Name, want)
 		}
 	}
+	// Eviction is oldest-first: the two dropped queries must be the two
+	// oldest, and the internal ring must hold survivors oldest first.
+	for _, d := range recent {
+		if d.Name == "q0" || d.Name == "q1" {
+			t.Errorf("oldest query %s survived eviction", d.Name)
+		}
+	}
+	tr.mu.Lock()
+	internal := append([]SpanData(nil), tr.recent...)
+	tr.mu.Unlock()
+	for i, want := range []string{"q2", "q3", "q4"} {
+		if internal[i].Name != want {
+			t.Errorf("ring[%d] = %s, want %s (oldest-first retention)", i, internal[i].Name, want)
+		}
+	}
+}
+
+func TestTracerOnPublishHook(t *testing.T) {
+	tr := NewTracer(2)
+	var seen []string
+	tr.SetOnPublish(func(d SpanData) { seen = append(seen, d.Name) })
+	for i := 0; i < 3; i++ {
+		s := tr.StartQuery(fmt.Sprintf("q%d", i), 0)
+		s.End(time.Duration(i))
+	}
+	if len(seen) != 3 || seen[0] != "q0" || seen[2] != "q2" {
+		t.Errorf("onPublish saw %v, want every finished query in order", seen)
+	}
+	var nilT *Tracer
+	nilT.SetOnPublish(func(SpanData) {}) // must not panic
 }
 
 // TestSpanConcurrentTagging runs tag/child/snapshot operations from many
