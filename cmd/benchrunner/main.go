@@ -16,6 +16,9 @@
 //	benchrunner -fig calibration # DCSM estimate error shrinking as the
 //	                             # statistics warm (also writes
 //	                             # BENCH_calibration.json)
+//	benchrunner -fig memo     # rule-level memo cache differential harness
+//	                          # and repeat-query latency (also writes
+//	                          # BENCH_memo.json)
 package main
 
 import (
@@ -28,8 +31,8 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, 6, plan, ablations, optquality, hitrate, availability, parallel, admission, calibration, all")
-	out := flag.String("out", "", "where the JSON-writing figures (parallel, admission, calibration) put their result; default BENCH_<fig>.json")
+	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, 6, plan, ablations, optquality, hitrate, availability, parallel, admission, calibration, memo, all")
+	out := flag.String("out", "", "where the JSON-writing figures (parallel, admission, calibration, memo) put their result; default BENCH_<fig>.json")
 	flag.Parse()
 	if err := run(*fig, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
@@ -189,6 +192,17 @@ func run(fig, out string) error {
 			return err
 		}
 		fmt.Println(experiments.FormatAvailability(rows))
+	}
+	if want("memo") {
+		section("Rule-level memo cache: differential harness and repeat-query latency")
+		rep, err := experiments.RunDifferential(experiments.DefaultDifferentialOptions())
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatDifferential(rep))
+		if err := writeJSON("BENCH_memo.json", rep); err != nil {
+			return err
+		}
 	}
 	return nil
 }

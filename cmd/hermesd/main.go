@@ -13,8 +13,10 @@
 // /debug/queries the recent-query span ring buffer, GET /debug/calibration
 // the DCSM cost-model calibration table (worst-estimated functions first,
 // joined with their statistics footprint), GET /debug/cim the cache
-// savings ledger, GET /debug/flightrecorder the flight-recorder ring as
-// JSONL, and GET /query?q=... runs a query through an embedded mediator
+// savings ledger, GET /debug/memo the rule-level memo cache (stats plus
+// top entries by decayed benefit), GET /debug/flightrecorder the
+// flight-recorder ring as JSONL, and GET /query?q=... runs a query
+// through an embedded mediator
 // over the hosted domains and returns its answers plus EXPLAIN span tree.
 // With -pprof the Go profiling handlers appear under /debug/pprof/.
 //
@@ -50,6 +52,7 @@ import (
 	"hermes/internal/domains/spatial"
 	"hermes/internal/domains/terrain"
 	"hermes/internal/engine"
+	"hermes/internal/memo"
 	"hermes/internal/obs"
 	"hermes/internal/remote"
 	"hermes/internal/resilience"
@@ -65,6 +68,11 @@ func main() {
 	slowQueryMS := flag.Int("slow-query-ms", 0, "flight recorder threshold: skip queries that finished faster than this many milliseconds (0 = record every query)")
 	pprofOn := flag.Bool("pprof", false, "serve Go profiling handlers under /debug/pprof/ on the observability address")
 	flightSnapshot := flag.String("flight-snapshot", "", "file to dump the flight-recorder ring to (JSONL) on SIGQUIT; empty disables")
+	memoDefaults := memo.DefaultConfig()
+	memoOn := flag.Bool("memo", true, "enable the rule-level memo cache for intermediate IDB results")
+	memoEntries := flag.Int("memo-entries", memoDefaults.MaxEntries, "memo cache entry budget")
+	memoBytes := flag.Int("memo-bytes", memoDefaults.MaxBytes, "memo cache byte budget")
+	memoDecay := flag.Float64("memo-decay", memoDefaults.Decay, "per-access exponential decay of memo entry benefit scores (0,1]")
 	flag.Parse()
 
 	shed, err := admission.ParsePolicy(*shedPolicy)
@@ -79,13 +87,21 @@ func main() {
 		log.Printf("hermesd: serving domain %q (%d functions)", d.Name(), len(d.Functions()))
 	}
 	if *httpAddr != "" {
-		h, sys, err := newObsHandler(doms, obsOptions{
+		oo := obsOptions{
 			Parallelism: *parallelism,
 			MaxInflight: *maxInflight,
 			Shed:        shed,
 			SlowQueryMS: *slowQueryMS,
 			Pprof:       *pprofOn,
-		})
+		}
+		if *memoOn {
+			mcfg := memoDefaults
+			mcfg.MaxEntries = *memoEntries
+			mcfg.MaxBytes = *memoBytes
+			mcfg.Decay = *memoDecay
+			oo.Memo = &mcfg
+		}
+		h, sys, err := newObsHandler(doms, oo)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -152,6 +168,7 @@ type obsOptions struct {
 	Shed        admission.Policy // -shed-policy
 	SlowQueryMS int              // -slow-query-ms
 	Pprof       bool             // -pprof
+	Memo        *memo.Config     // -memo, -memo-entries, -memo-bytes, -memo-decay
 }
 
 // newObsHandler builds the observability endpoint: an embedded mediator
@@ -175,6 +192,7 @@ func newObsHandler(doms []domain.Domain, opts obsOptions) (http.Handler, *core.S
 		Parallelism:      opts.Parallelism,
 		MaxInflightCalls: opts.MaxInflight,
 		ShedPolicy:       opts.Shed,
+		Memo:             opts.Memo,
 	})
 	for _, d := range doms {
 		sys.Register(d)
@@ -189,6 +207,14 @@ func newObsHandler(doms []domain.Domain, opts obsOptions) (http.Handler, *core.S
 	mux.Handle("/debug/queries", obs.Handler(o))
 	mux.Handle("/debug/flightrecorder", obs.Handler(o))
 	mux.Handle("/debug/cim", sys.CIM.DebugHandler())
+	if sys.Memo != nil {
+		mux.Handle("/debug/memo", sys.Memo.DebugHandler())
+	} else {
+		mux.HandleFunc("/debug/memo", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "memo disabled (-memo=false)")
+		})
+	}
 	mux.HandleFunc("/debug/calibration", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		writeCalibration(w, o, sys)
@@ -281,6 +307,18 @@ func preRegisterMetrics(o *obs.Observer, doms []domain.Domain) {
 	o.Counter("hermes_cim_singleflight_shares_total")
 	o.Counter("hermes_cim_saved_ms_total")
 	o.Gauge("hermes_cim_inflight_calls")
+	o.Counter("hermes_memo_hits_total")
+	o.Counter("hermes_memo_misses_total")
+	o.Counter("hermes_memo_stores_total")
+	o.Counter("hermes_memo_degraded_stores_total")
+	o.Counter("hermes_memo_degraded_skips_total")
+	o.Counter("hermes_memo_evictions_total")
+	o.Counter("hermes_memo_invalidations_total")
+	o.Counter("hermes_memo_saved_ms_total")
+	o.Counter("hermes_memo_flight_shares_total")
+	o.Counter("hermes_memo_flight_fallbacks_total")
+	o.Gauge("hermes_memo_entries")
+	o.Gauge("hermes_memo_bytes")
 	o.Counter("hermes_engine_parallel_unions_total")
 	o.Counter("hermes_engine_parallel_stages_total")
 	o.Gauge("hermes_engine_inflight_branches")
@@ -298,6 +336,18 @@ func preRegisterMetrics(o *obs.Observer, doms []domain.Domain) {
 	o.Metrics.SetHelp("hermes_cim_degraded_total", "responses served purely from cache because the source was down")
 	o.Metrics.SetHelp("hermes_cim_singleflight_shares_total", "concurrent identical or invariant-equivalent calls served by one in-flight source fetch")
 	o.Metrics.SetHelp("hermes_cim_inflight_calls", "source calls currently in flight through the CIM")
+	o.Metrics.SetHelp("hermes_memo_hits_total", "IDB subgoals served by replaying a memoized intermediate relation")
+	o.Metrics.SetHelp("hermes_memo_misses_total", "memo probes that fell through to subgoal evaluation")
+	o.Metrics.SetHelp("hermes_memo_stores_total", "intermediate relations admitted into the memo cache")
+	o.Metrics.SetHelp("hermes_memo_degraded_stores_total", "memo entries admitted in quarantine because a contributing source call was degraded")
+	o.Metrics.SetHelp("hermes_memo_degraded_skips_total", "memo probes that found only a quarantined degraded entry and re-evaluated")
+	o.Metrics.SetHelp("hermes_memo_evictions_total", "memo entries evicted by the benefit-driven policy")
+	o.Metrics.SetHelp("hermes_memo_invalidations_total", "memo entries dropped because a contributing domain call was refreshed, evicted, or degraded")
+	o.Metrics.SetHelp("hermes_memo_saved_ms_total", "estimated milliseconds of re-evaluation avoided by memo hits")
+	o.Metrics.SetHelp("hermes_memo_flight_shares_total", "concurrent identical subgoals that shared one in-flight memo fill")
+	o.Metrics.SetHelp("hermes_memo_flight_fallbacks_total", "memo flight followers that re-evaluated after their leader aborted")
+	o.Metrics.SetHelp("hermes_memo_entries", "intermediate relations currently memoized")
+	o.Metrics.SetHelp("hermes_memo_bytes", "bytes of memoized intermediate relations")
 	o.Metrics.SetHelp("hermes_engine_parallel_unions_total", "rule unions executed as parallel merges")
 	o.Metrics.SetHelp("hermes_engine_parallel_stages_total", "independent-sibling prefetch stages started")
 	o.Metrics.SetHelp("hermes_engine_inflight_branches", "parallel pipeline branches currently running")

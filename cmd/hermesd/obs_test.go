@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 
 	"hermes/internal/admission"
+	"hermes/internal/memo"
 	"hermes/internal/obs"
 )
 
@@ -353,5 +354,77 @@ func TestPprofGate(t *testing.T) {
 		if resp.StatusCode != tc.want {
 			t.Errorf("/debug/pprof/ = %d, want %d", resp.StatusCode, tc.want)
 		}
+	}
+}
+
+// TestMemoEndpoint: with the memo enabled, a repeated IDB query hits the
+// memo, /debug/memo shows the entry, and the memo metric families appear
+// in /metrics; with the memo disabled, /debug/memo says so.
+func TestMemoEndpoint(t *testing.T) {
+	mcfg := memo.DefaultConfig()
+	h, sys, err := newObsHandler(BuildDomains(), obsOptions{Shed: admission.PolicyWait, Memo: &mcfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+	for i := 0; i < 2; i++ {
+		if code, body := get("/query?q=" + url.QueryEscape("?- actors(A).")); code != http.StatusOK {
+			t.Fatalf("/query #%d = %d: %s", i, code, body)
+		}
+	}
+	st := sys.Memo.Stats()
+	if st.Hits != 1 || st.Stores != 1 {
+		t.Fatalf("memo stats after repeat: %+v", st)
+	}
+	code, body := get("/debug/memo")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/memo status = %d", code)
+	}
+	for _, want := range []string{"hits=1", "actors", "top entries by decayed benefit"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/debug/memo missing %q:\n%s", want, body)
+		}
+	}
+	_, metrics := get("/metrics")
+	for _, want := range []string{
+		"hermes_memo_hits_total 1",
+		"hermes_memo_stores_total 1",
+		"hermes_memo_entries 1",
+		"# HELP hermes_memo_saved_ms_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Disabled: the endpoint still answers, explaining itself.
+	h2, _, err := newObsHandler(BuildDomains(), obsOptions{Shed: admission.PolicyWait})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(h2)
+	defer srv2.Close()
+	resp, err := http.Get(srv2.URL + "/debug/memo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	off, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(off), "memo disabled") {
+		t.Errorf("/debug/memo without memo = %q", off)
 	}
 }

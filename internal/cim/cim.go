@@ -187,6 +187,11 @@ type Manager struct {
 	// costModel prices the source call a cache hit avoided (wired to the
 	// DCSM estimator; nil = use the serving entry's observed cost).
 	costModel func(domain.Pattern) (domain.CostVector, bool)
+	// onInvalidate observes call keys whose cached answers stopped being
+	// current: entry refreshed, evicted, cleared, replaced by a snapshot
+	// load, or served degraded. The memo cache wires it to drop
+	// intermediate relations built from those answers.
+	onInvalidate func(callKey string)
 
 	// ledger attributes hits and avoided cost per invariant and per
 	// cache entry (ledger.go).
@@ -225,6 +230,28 @@ func (m *Manager) obs() *obs.Observer {
 	m.hookMu.RLock()
 	defer m.hookMu.RUnlock()
 	return m.ob
+}
+
+// SetOnInvalidate installs the invalidation observer: fn is called with a
+// call key whenever the cached answers for that call stop being current —
+// the entry was refreshed with new answers, evicted, cleared, replaced by
+// a snapshot load, or the call was served degraded (cached-while-down).
+// The memo cache subscribes to drop dependent intermediate relations. fn
+// must be safe for concurrent calls.
+func (m *Manager) SetOnInvalidate(fn func(callKey string)) {
+	m.hookMu.Lock()
+	defer m.hookMu.Unlock()
+	m.onInvalidate = fn
+}
+
+// invalidate reports a no-longer-current call key to the subscriber.
+func (m *Manager) invalidate(callKey string) {
+	m.hookMu.RLock()
+	fn := m.onInvalidate
+	m.hookMu.RUnlock()
+	if fn != nil {
+		fn(callKey)
+	}
 }
 
 // measureHook returns the installed measurement observer.
@@ -312,9 +339,14 @@ func (m *Manager) Len() int { return int(m.store.count.Load()) }
 // Bytes returns the total cached answer bytes.
 func (m *Manager) Bytes() int { return int(m.store.bytes.Load()) }
 
-// Clear drops all cached entries (invariants are kept).
+// Clear drops all cached entries (invariants are kept). Every dropped
+// call key is reported to the invalidation subscriber.
 func (m *Manager) Clear() {
+	dropped := m.store.snapshot()
 	m.store.clear()
+	for _, e := range dropped {
+		m.invalidate(e.Call.Key())
+	}
 	m.occupancy()
 }
 
@@ -336,7 +368,12 @@ func (m *Manager) storeEntry(c domain.Call, answers []term.Value, complete bool,
 	}
 	e := &Entry{Call: c, Answers: answers, Complete: complete, Cost: cost, Bytes: bytes}
 	e.lastUsed.Store(m.counter.Add(1))
-	m.store.put(c.Key(), e)
+	if old := m.store.put(c.Key(), e); old != nil {
+		// A refresh replaced previously served answers: memo relations
+		// built from the old entry are stale. A fresh store fires nothing —
+		// the miss that produced it is itself feeding an in-progress fill.
+		m.invalidate(c.Key())
+	}
 	m.bumpStats(func(st *Stats) { st.StoredEntries++ })
 	m.evict()
 	m.occupancy()
@@ -371,6 +408,7 @@ func (m *Manager) evict() {
 			return
 		}
 		if m.store.removeIf(victim.Call.Key(), victim) {
+			m.invalidate(victim.Call.Key())
 			m.bumpStats(func(st *Stats) { st.Evictions++ })
 			m.obs().Counter("hermes_cim_evictions_total").Inc()
 		}
@@ -529,6 +567,9 @@ func (m *Manager) Degrade(ctx *domain.Ctx, call domain.Call) (*Response, bool) {
 	// Hits only, no savings: with the source down there was no working
 	// call to avoid.
 	m.credit(ctx, call, e, inv, false)
+	// The serve is degraded: memo relations previously built from this
+	// call's answers must not outlive the outage as exact.
+	m.invalidate(call.Key())
 	return &Response{
 		Stream:        m.cacheStream(ctx, e.Answers),
 		Source:        SourceCacheDegraded,
@@ -587,6 +628,7 @@ func (m *Manager) servePartialThenActual(ctx *domain.Ctx, call domain.Call, e *E
 				})
 				m.degraded(ctx)
 				resp.Degraded = true
+				m.invalidate(call.Key())
 				return nil, false, nil // partial answers are the best we can do
 			}
 			return nil, false, actualErr
@@ -605,6 +647,7 @@ func (m *Manager) servePartialThenActual(ctx *domain.Ctx, call domain.Call, e *E
 			})
 			m.degraded(ctx)
 			resp.Degraded = true
+			m.invalidate(call.Key())
 			return nil, false, nil
 		}
 		return v, ok, err

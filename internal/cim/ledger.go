@@ -23,6 +23,12 @@ import (
 // that needed no invariant).
 const ExactKey = "(exact)"
 
+// MemoBucket is the ledger attribution key under which rule-level memo
+// hits are credited in the per-invariant view: the memo sits above the
+// CIM, so its savings share the ledger but get their own bucket instead
+// of masquerading as an invariant.
+const MemoBucket = "(memo)"
+
 // LedgerRow is one attribution bucket: an invariant (or ExactKey) in
 // the per-invariant view, a cached call in the per-entry view.
 type LedgerRow struct {
@@ -87,6 +93,24 @@ func sortRows(m map[string]*LedgerRow) []LedgerRow {
 	return rows
 }
 
+// restore replaces the ledger contents with a persisted snapshot, so
+// savings attribution survives a mediator restart alongside the cache.
+func (l *ledger) restore(s LedgerSnapshot) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total = s.Total
+	l.byInvariant = make(map[string]*LedgerRow, len(s.Invariants))
+	l.byEntry = make(map[string]*LedgerRow, len(s.Entries))
+	for _, r := range s.Invariants {
+		row := r
+		l.byInvariant[r.Key] = &row
+	}
+	for _, r := range s.Entries {
+		row := r
+		l.byEntry[r.Key] = &row
+	}
+}
+
 func (l *ledger) snapshot() LedgerSnapshot {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -146,6 +170,15 @@ func (m *Manager) credit(ctx *domain.Ctx, call domain.Call, e *Entry, inv *lang.
 		ctx.Span.SetTag("cim.saved_ms", fmt.Sprintf("%.1f", float64(saved)/float64(time.Millisecond)))
 	}
 	m.ledger.credit(invKey, e.Call.Key(), saved)
+}
+
+// CreditMemo records one rule-level memo hit in the savings ledger under
+// the MemoBucket invariant bucket, attributed to the memo entry's key in
+// the per-entry view. The memo's own hermes_memo_saved_ms_total counter
+// tracks the metric side; this keeps the unified "what did caching earn"
+// ledger complete.
+func (m *Manager) CreditMemo(entryKey string, saved time.Duration) {
+	m.ledger.credit(MemoBucket, entryKey, saved)
 }
 
 // Ledger returns the savings ledger snapshot.

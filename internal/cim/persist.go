@@ -15,7 +15,9 @@ import (
 // story of §1. Invariants are program text and are not persisted here;
 // reload them with the program.
 
-const cacheSnapshotVersion = 1
+// cacheSnapshotVersion is the current snapshot format. Version 2 added
+// the savings ledger; version 1 snapshots (no ledger) still load.
+const cacheSnapshotVersion = 2
 
 type cacheEntrySnapshot struct {
 	Domain   string           `json:"domain"`
@@ -33,11 +35,16 @@ type cacheSnapshot struct {
 	Version int                  `json:"version"`
 	Counter int64                `json:"counter"`
 	Entries []cacheEntrySnapshot `json:"entries"`
+	// Ledger is the savings ledger at save time (version >= 2; absent in
+	// version 1 snapshots).
+	Ledger *LedgerSnapshot `json:"ledger,omitempty"`
 }
 
 // Save writes the cache contents as JSON.
 func (m *Manager) Save(w io.Writer) error {
 	snap := cacheSnapshot{Version: cacheSnapshotVersion, Counter: m.counter.Load()}
+	ledger := m.ledger.snapshot()
+	snap.Ledger = &ledger
 	for _, e := range m.store.snapshot() {
 		args, err := term.EncodeJSONs(e.Call.Args)
 		if err != nil {
@@ -64,7 +71,7 @@ func (m *Manager) Load(r io.Reader) error {
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
 		return fmt.Errorf("cim: load: %w", err)
 	}
-	if snap.Version != cacheSnapshotVersion {
+	if snap.Version < 1 || snap.Version > cacheSnapshotVersion {
 		return fmt.Errorf("cim: load: unsupported snapshot version %d", snap.Version)
 	}
 	entries := make(map[string]*Entry, len(snap.Entries))
@@ -93,7 +100,16 @@ func (m *Manager) Load(r io.Reader) error {
 		e.lastUsed.Store(es.LastUsed)
 		entries[e.Call.Key()] = e
 	}
+	// The load replaces whatever was cached: memo relations built from the
+	// previous contents are stale.
+	prior := m.store.snapshot()
 	m.store.replace(entries)
+	for _, e := range prior {
+		m.invalidate(e.Call.Key())
+	}
+	if snap.Ledger != nil {
+		m.ledger.restore(*snap.Ledger)
+	}
 	for {
 		cur := m.counter.Load()
 		if snap.Counter <= cur || m.counter.CompareAndSwap(cur, snap.Counter) {

@@ -53,8 +53,10 @@ func (s *store) get(key string) (*Entry, bool) {
 }
 
 // put inserts or replaces the entry for key, maintaining the global
-// count/byte tallies.
-func (s *store) put(key string, e *Entry) {
+// count/byte tallies. It returns the replaced entry (nil on fresh insert)
+// so the manager can tell refreshes from first stores — refreshing an
+// entry invalidates memo relations built from the old answers.
+func (s *store) put(key string, e *Entry) *Entry {
 	sh := &s.shards[shardIdx(key)]
 	sh.mu.Lock()
 	old := sh.m[key]
@@ -66,6 +68,7 @@ func (s *store) put(key string, e *Entry) {
 		s.count.Add(1)
 	}
 	s.bytes.Add(int64(e.Bytes))
+	return old
 }
 
 // removeIf deletes key only while it still maps to e (eviction races with

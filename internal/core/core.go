@@ -24,6 +24,7 @@ import (
 	"hermes/internal/engine"
 	"hermes/internal/estimate"
 	"hermes/internal/lang"
+	"hermes/internal/memo"
 	"hermes/internal/obs"
 	"hermes/internal/resilience"
 	"hermes/internal/rewrite"
@@ -90,6 +91,13 @@ type Options struct {
 	// AdmissionQueue bounds the PolicyWait queue; arrivals beyond it are
 	// shed even under PolicyWait. 0 means unbounded.
 	AdmissionQueue int
+	// Memo, when set, enables the rule-level memo cache: intermediate IDB
+	// relations are cached by (rule set, adornment, binding pattern) and
+	// replayed instead of re-expanded, with benefit-driven admission and
+	// eviction, and invalidation driven by the CIM (a contributing domain
+	// call refreshed, evicted, or served degraded drops the relation).
+	// Nil disables memoization. Use memo.DefaultConfig() for the defaults.
+	Memo *memo.Config
 }
 
 // System is a mediator instance.
@@ -97,6 +105,7 @@ type System struct {
 	Registry *domain.Registry
 	Program  *lang.Program
 	CIM      *cim.Manager // nil when disabled
+	Memo     *memo.Cache  // nil when rule-level memoization is off
 	DCSM     *dcsm.DB
 	Clock    vclock.Clock
 	// Obs is the observer threaded through the layers (nil when the system
@@ -216,6 +225,20 @@ func NewSystem(opts Options) *System {
 		}
 	}
 	s.engine = engine.New(s.Registry, s.CIM, ecfg, observe)
+
+	if opts.Memo != nil {
+		mc := memo.New(*opts.Memo)
+		mc.SetObserver(s.Obs)
+		if s.CIM != nil {
+			// Memo hits share the CIM's savings ledger (the "(memo)"
+			// bucket), and CIM invalidations — refresh, eviction, degraded
+			// serve — drop the memo relations built from those answers.
+			mc.SetSavingsHook(s.CIM.CreditMemo)
+			s.CIM.SetOnInvalidate(mc.InvalidateInput)
+		}
+		s.engine.SetMemo(mc)
+		s.Memo = mc
+	}
 
 	s.rewriteCfg = rewrite.Config{PushSelections: true}
 	if opts.Rewrite != nil {

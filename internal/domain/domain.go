@@ -231,6 +231,17 @@ type Ctx struct {
 	// engine's parallel operators draw evaluation lanes from. Nil means
 	// strictly sequential evaluation.
 	Sched *Sched
+	// CallNote, when non-nil, observes every domain call issued under this
+	// context: the call's key and whether it was served degraded (from
+	// cache while the source was down). The memo cache installs it to
+	// record a fill's contributing inputs. Must be safe for concurrent
+	// calls — parallel branches share the hook.
+	CallNote func(callKey string, degraded bool)
+	// MemoPath is the set of memo keys currently being filled on this
+	// evaluation path. A recursive subgoal that re-enters its own fill
+	// must bypass the memo (it would otherwise wait on itself); the
+	// engine checks OnMemoPath before probing.
+	MemoPath map[string]bool
 }
 
 // NewCtx returns a context over the given clock. A nil clock gets a fresh
@@ -245,8 +256,41 @@ func NewCtx(c vclock.Clock) *Ctx {
 // Fork returns a context on a forked clock, for modelling concurrent
 // activity. Cancellation and the deadline propagate to the fork.
 func (c *Ctx) Fork() *Ctx {
-	return &Ctx{Clock: c.Clock.Fork(), Context: c.Context, Deadline: c.Deadline, Span: c.Span, Sched: c.Sched}
+	return &Ctx{
+		Clock:    c.Clock.Fork(),
+		Context:  c.Context,
+		Deadline: c.Deadline,
+		Span:     c.Span,
+		Sched:    c.Sched,
+		CallNote: c.CallNote,
+		MemoPath: c.MemoPath,
+	}
 }
+
+// WithCallNote returns a copy of the Ctx whose domain calls are observed
+// by fn (chaining with any existing hook is the caller's concern).
+func (c *Ctx) WithCallNote(fn func(callKey string, degraded bool)) *Ctx {
+	out := *c
+	out.CallNote = fn
+	return &out
+}
+
+// WithMemoPath returns a copy of the Ctx with key added to the set of
+// in-progress memo fills on this path. The map is copied on extension so
+// sibling branches never see each other's fills.
+func (c *Ctx) WithMemoPath(key string) *Ctx {
+	out := *c
+	out.MemoPath = make(map[string]bool, len(c.MemoPath)+1)
+	for k := range c.MemoPath {
+		out.MemoPath[k] = true
+	}
+	out.MemoPath[key] = true
+	return &out
+}
+
+// OnMemoPath reports whether key is already being filled on this
+// evaluation path (recursion through the same memoized subgoal).
+func (c *Ctx) OnMemoPath(key string) bool { return c.MemoPath[key] }
 
 // WithContext returns a copy of the Ctx carrying gc for cancellation.
 func (c *Ctx) WithContext(gc context.Context) *Ctx {

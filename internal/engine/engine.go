@@ -20,6 +20,7 @@ import (
 
 	"hermes/internal/cim"
 	"hermes/internal/domain"
+	"hermes/internal/memo"
 	"hermes/internal/obs"
 	"hermes/internal/rewrite"
 	"hermes/internal/term"
@@ -88,6 +89,7 @@ func DefaultConfig() Config {
 type Engine struct {
 	reg       *domain.Registry
 	cim       *cim.Manager // nil when no CIM is deployed
+	memo      *memo.Cache  // nil when rule-level memoization is off
 	cfg       Config
 	onMeasure func(domain.Measurement)
 	// traceMu serializes Config.Trace callbacks: under Parallelism > 1
@@ -115,6 +117,11 @@ func New(reg *domain.Registry, cimMgr *cim.Manager, cfg Config, onMeasure func(d
 	}
 	return &Engine{reg: reg, cim: cimMgr, cfg: cfg, onMeasure: onMeasure}
 }
+
+// SetMemo installs the rule-level memo cache the engine consults before
+// re-expanding an IDB subgoal (nil disables memoization). Set before the
+// engine executes queries.
+func (e *Engine) SetMemo(mc *memo.Cache) { e.memo = mc }
 
 // Answer is one query answer: the bindings of the query's variables.
 type Answer struct {

@@ -259,6 +259,7 @@ func (e *Engine) openCallStream(ctx *domain.Ctx, l *lang.InCall, route rewrite.R
 	e.cfg.Obs.Counter("hermes_engine_calls_total", "route", route.String()).Inc()
 	cctx := ctx.WithSpan(span)
 	var stream domain.Stream
+	var onFinish func()
 	if route == rewrite.RouteCIM && e.cim != nil {
 		resp, err := e.cim.CallThrough(cctx, call)
 		if err != nil {
@@ -266,6 +267,17 @@ func (e *Engine) openCallStream(ctx *domain.Ctx, l *lang.InCall, route rewrite.R
 		}
 		stream = resp.Stream
 		e.trace(TraceEvent{Call: call, Route: route, Source: resp.Source.String(), At: issuedAt, Degraded: resp.Degraded})
+		if note := ctx.CallNote; note != nil {
+			note(call.Key(), resp.Degraded)
+			// A partial hit turns degraded lazily, mid-drain, when the
+			// source dies under the actual call: re-note at stream finish
+			// so memo fills in progress learn about it.
+			onFinish = func() {
+				if resp.Degraded {
+					note(call.Key(), true)
+				}
+			}
+		}
 	} else {
 		inner, err := e.reg.Call(cctx, call)
 		if err != nil {
@@ -273,8 +285,11 @@ func (e *Engine) openCallStream(ctx *domain.Ctx, l *lang.InCall, route rewrite.R
 		}
 		stream = domain.NewMeasuredStreamAt(inner, ctx.Clock, call, issuedAt, e.onMeasure)
 		e.trace(TraceEvent{Call: call, Route: route, Source: "direct", At: issuedAt})
+		if note := ctx.CallNote; note != nil {
+			note(call.Key(), false)
+		}
 	}
-	return &spanStream{inner: stream, ctx: ctx, span: span, issuedAt: issuedAt}, nil
+	return &spanStream{inner: stream, ctx: ctx, span: span, issuedAt: issuedAt, onFinish: onFinish}, nil
 }
 
 // callFailed records a domain call that died at setup: it tags and ends
@@ -310,6 +325,10 @@ type spanStream struct {
 	n        int
 	gotFirst bool
 	finished bool
+	// onFinish, when set, runs once at stream finish (exhaustion, error or
+	// early close); the CIM path uses it to report laziness-discovered
+	// degradation to the memo recorder.
+	onFinish func()
 }
 
 func (ss *spanStream) Next() (term.Value, bool, error) {
@@ -351,6 +370,9 @@ func (ss *spanStream) finish() {
 	actual := obs.Cost{TFirst: tf, TAll: all, Card: float64(ss.n)}
 	ss.span.SetActual(actual)
 	ss.span.End(now)
+	if ss.onFinish != nil {
+		ss.onFinish()
+	}
 }
 
 // bindStream binds each answer to a fresh variable.
@@ -421,15 +443,25 @@ func (e *Engine) evalAtom(ctx *domain.Ctx, plan *rewrite.Plan, a *lang.Atom, s t
 	if !ok || len(rules) == 0 {
 		return nil, fmt.Errorf("engine: plan has no rules for %s", key)
 	}
-	if len(rules) >= 2 {
-		// Union predicate: evaluate the alternatives concurrently when the
-		// scheduler grants lanes; otherwise fall through to the sequential
-		// union below.
-		if pu := e.newParallelUnion(ctx, plan, a, s, rules, depth); pu != nil {
-			return pu, nil
+	if e.memo != nil {
+		if ms, ok := e.newMemoStream(ctx, plan, a, s, key, rules, depth); ok {
+			return ms, nil
 		}
 	}
-	return &atomStream{eng: e, ctx: ctx, plan: plan, atom: a, s: s, rules: rules, depth: depth}, nil
+	return e.buildAtomStream(ctx, plan, a, s, rules, depth), nil
+}
+
+// buildAtomStream opens the actual evaluation of an IDB occurrence: a
+// parallel union of the alternatives when the scheduler grants lanes, the
+// sequential union otherwise. It is the memo-free lower half of evalAtom,
+// shared with the memo leader and fallback paths.
+func (e *Engine) buildAtomStream(ctx *domain.Ctx, plan *rewrite.Plan, a *lang.Atom, s term.Subst, rules []*rewrite.PlanRule, depth int) substStream {
+	if len(rules) >= 2 {
+		if pu := e.newParallelUnion(ctx, plan, a, s, rules, depth); pu != nil {
+			return pu
+		}
+	}
+	return &atomStream{eng: e, ctx: ctx, plan: plan, atom: a, s: s, rules: rules, depth: depth}
 }
 
 func runtimeAdornment(a *lang.Atom, s term.Subst) rewrite.Adornment {

@@ -1,0 +1,384 @@
+package engine
+
+// Rule-level memoization of IDB subgoal occurrences (internal/memo wired
+// into evalAtom). The memo serves whole intermediate relations: on a hit
+// the engine replays the cached tuples instead of re-expanding the
+// subgoal's rules; on a miss it either leads a fill (evaluating normally
+// while recording every emitted tuple and every contributing domain call)
+// or, when a concurrent occurrence of the same key is already filling,
+// follows that flight, replaying tuples as the leader publishes them.
+//
+// Soundness relies on the memo key (memo.KeyOf) pinning everything that
+// could change the answer multiset: the plan's rule section fingerprint,
+// the predicate and run-time adornment, the ground values at bound
+// positions, and the equality structure among free positions. Replay
+// re-unifies each tuple against the occurrence's argument terms, so the
+// caller-side filtering that atomStream.mapBack performs happens
+// identically for cached answers.
+
+import (
+	"fmt"
+	"time"
+
+	"hermes/internal/domain"
+	"hermes/internal/lang"
+	"hermes/internal/memo"
+	"hermes/internal/obs"
+	"hermes/internal/rewrite"
+	"hermes/internal/term"
+	"hermes/internal/vclock"
+)
+
+// memoKeyArgs classifies an occurrence's argument positions for the memo
+// key. ok=false marks an occurrence the memo refuses: a free argument with
+// an attribute path cannot be replayed by unification (the enclosing
+// record is unknown), and a "ground" argument whose path does not resolve
+// would error during evaluation anyway.
+func memoKeyArgs(a *lang.Atom, s term.Subst) ([]memo.KeyArg, bool) {
+	args := make([]memo.KeyArg, len(a.Args))
+	for i, t := range a.Args {
+		if s.Ground(t) {
+			v, err := s.Eval(t)
+			if err != nil {
+				return nil, false
+			}
+			args[i] = memo.KeyArg{Bound: true, ValueKey: v.Key()}
+			continue
+		}
+		if len(t.Path) > 0 {
+			return nil, false
+		}
+		args[i] = memo.KeyArg{Var: t.Var}
+	}
+	return args, true
+}
+
+// newMemoStream consults the memo for an IDB occurrence. ok=false means
+// the occurrence is not memoizable here (un-keyable arguments, or
+// recursion back into a fill this path is already leading) and the caller
+// must evaluate it directly.
+func (e *Engine) newMemoStream(ctx *domain.Ctx, plan *rewrite.Plan, a *lang.Atom, s term.Subst, pk rewrite.PredKey, rules []*rewrite.PlanRule, depth int) (substStream, bool) {
+	kargs, ok := memoKeyArgs(a, s)
+	if !ok {
+		return nil, false
+	}
+	mkey := memo.KeyOf(plan.Fingerprint(), a.Pred, string(pk.Adorn), kargs)
+	if ctx.OnMemoPath(mkey) {
+		// Recursive re-entry into our own fill: waiting on the flight would
+		// deadlock, so the occurrence evaluates directly (and recurses to
+		// the depth bound exactly as it would memo-off).
+		return nil, false
+	}
+	ctx.Clock.Sleep(e.memo.LookupCost())
+	res := e.memo.Probe(mkey)
+	switch {
+	case res.Entry != nil:
+		now := ctx.Clock.Now()
+		span := ctx.Span.Child("memo "+pk.String(), now)
+		span.SetTag("memo", "hit")
+		span.SetTag("memo.saved_ms", fmt.Sprintf("%.1f", float64(res.Entry.Cost.TAll)/float64(time.Millisecond)))
+		// An enclosing fill inherits the entry's inputs: its relation now
+		// depends on the same domain calls.
+		if note := ctx.CallNote; note != nil {
+			for _, in := range res.Entry.Inputs {
+				note(in, false)
+			}
+		}
+		return &memoServeStream{eng: e, ctx: ctx, atom: a, s: s, entry: res.Entry, span: span}, true
+	case res.Reader != nil:
+		span := ctx.Span.Child("memo "+pk.String(), ctx.Clock.Now())
+		span.SetTag("memo", "share")
+		return &memoFollowStream{
+			eng: e, ctx: ctx, atom: a, s: s, reader: res.Reader, span: span,
+			fallback: func() substStream {
+				return e.buildAtomStream(ctx, plan, a, s, rules, depth)
+			},
+		}, true
+	default:
+		// Leader: evaluate normally, recording tuples and domain calls.
+		// The CallNote chain keeps any outer fill observing too, and the
+		// extended MemoPath lets recursive re-entries bypass this fill.
+		rec := res.Rec
+		prev := ctx.CallNote
+		lctx := ctx.WithCallNote(func(callKey string, degraded bool) {
+			rec.Note(callKey, degraded)
+			if prev != nil {
+				prev(callKey, degraded)
+			}
+		}).WithMemoPath(mkey)
+		inner := e.buildAtomStream(lctx, plan, a, s, rules, depth)
+		return &memoRecordStream{
+			eng: e, ctx: lctx, atom: a, inner: inner, rec: rec,
+			start: ctx.Clock.Now(),
+		}, true
+	}
+}
+
+// memoServeStream replays a committed memo entry, re-unifying each tuple
+// against the occurrence's arguments (bound values and repeated variables
+// filter exactly as live evaluation would).
+type memoServeStream struct {
+	eng   *Engine
+	ctx   *domain.Ctx
+	atom  *lang.Atom
+	s     term.Subst
+	entry *memo.Entry
+	span  *obs.Span
+	idx   int
+	done  bool
+}
+
+func (m *memoServeStream) next() (term.Subst, bool, error) {
+	if m.done {
+		return nil, false, nil
+	}
+	for m.idx < len(m.entry.Tuples) {
+		tuple := m.entry.Tuples[m.idx]
+		m.idx++
+		m.ctx.Clock.Sleep(m.eng.memo.PerTupleCost())
+		out, ok := m.s.UnifyAll(m.atom.Args, tuple)
+		if !ok {
+			continue
+		}
+		return out, true, nil
+	}
+	m.finish()
+	return nil, false, nil
+}
+
+func (m *memoServeStream) finish() {
+	if m.done {
+		return
+	}
+	m.done = true
+	m.span.End(m.ctx.Clock.Now())
+}
+
+func (m *memoServeStream) close() error {
+	m.finish()
+	return nil
+}
+
+// memoRecordStream is the leader side: it passes the inner evaluation
+// through unchanged while recording each emission's ground argument tuple,
+// committing on natural exhaustion and aborting on error or early close.
+type memoRecordStream struct {
+	eng   *Engine
+	ctx   *domain.Ctx
+	atom  *lang.Atom
+	inner substStream
+	rec   *memo.Recording
+
+	start    time.Duration
+	firstAt  time.Duration
+	gotFirst bool
+	n        int
+	settled  bool
+}
+
+func (m *memoRecordStream) next() (term.Subst, bool, error) {
+	out, ok, err := m.inner.next()
+	if err != nil {
+		m.abort()
+		return nil, false, err
+	}
+	if !ok {
+		m.commit()
+		return nil, false, nil
+	}
+	now := m.ctx.Clock.Now()
+	if !m.gotFirst {
+		m.gotFirst = true
+		m.firstAt = now
+	}
+	m.n++
+	if !m.settled {
+		tuple := make([]term.Value, len(m.atom.Args))
+		record := true
+		for i, t := range m.atom.Args {
+			v, evalErr := out.Eval(t)
+			if evalErr != nil {
+				// Cannot represent this emission as a ground tuple: stop
+				// recording (followers fall back) but keep answering.
+				record = false
+				break
+			}
+			tuple[i] = v
+		}
+		if record {
+			m.rec.Add(tuple, now)
+		} else {
+			m.abort()
+		}
+	}
+	return out, true, nil
+}
+
+func (m *memoRecordStream) commit() {
+	if m.settled {
+		return
+	}
+	m.settled = true
+	now := m.ctx.Clock.Now()
+	tf := now - m.start
+	if m.gotFirst {
+		tf = m.firstAt - m.start
+	}
+	m.rec.Commit(now, domain.CostVector{TFirst: tf, TAll: now - m.start, Card: float64(m.n)})
+}
+
+func (m *memoRecordStream) abort() {
+	if m.settled {
+		return
+	}
+	m.settled = true
+	m.rec.Abort(m.ctx.Clock.Now())
+}
+
+func (m *memoRecordStream) close() error {
+	// Early close means the relation was not drained: nothing to store.
+	m.abort()
+	return m.inner.close()
+}
+
+// memoFollowStream replays an in-progress fill published by a concurrent
+// leader. If the leader aborts, the follower falls back to its own
+// evaluation, subtracting the multiset of tuples it already replayed
+// (substitutions with equal ground argument tuples are interchangeable, so
+// subtraction by tuple key is exact).
+type memoFollowStream struct {
+	eng      *Engine
+	ctx      *domain.Ctx
+	atom     *lang.Atom
+	s        term.Subst
+	reader   *memo.FlightReader
+	span     *obs.Span
+	fallback func() substStream
+
+	emitted map[string]int // tuple key -> count replayed before a fallback
+	fb      substStream
+	done    bool
+}
+
+func (m *memoFollowStream) next() (term.Subst, bool, error) {
+	if m.done {
+		return nil, false, nil
+	}
+	if m.fb != nil {
+		return m.fbNext()
+	}
+	for {
+		if err := m.ctx.Err(); err != nil {
+			m.finish()
+			return nil, false, err
+		}
+		it, state := m.reader.Next(ctxDoneCh(m.ctx))
+		switch state {
+		case memo.ReadItem:
+			vclock.AdvanceTo(m.ctx.Clock, it.At)
+			m.ctx.Clock.Sleep(m.eng.memo.PerTupleCost())
+			out, ok := m.s.UnifyAll(m.atom.Args, it.Vals)
+			if !ok {
+				// Cannot happen for a same-key flight (the leader applied
+				// the same filters), but skipping is the sound reaction.
+				continue
+			}
+			m.countReplayed(it.Vals)
+			return out, true, nil
+		case memo.ReadEndCommitted:
+			inputs, degraded, endAt := m.reader.Result()
+			vclock.AdvanceTo(m.ctx.Clock, endAt)
+			if note := m.ctx.CallNote; note != nil {
+				for _, in := range inputs {
+					note(in, degraded)
+				}
+			}
+			m.finish()
+			return nil, false, nil
+		case memo.ReadEndAborted:
+			m.span.SetTag("memo.fallback", "true")
+			m.fb = m.fallback()
+			return m.fbNext()
+		default: // memo.ReadCancelled
+			m.finish()
+			return nil, false, m.ctx.Err()
+		}
+	}
+}
+
+// fbNext drains the fallback evaluation, dropping one occurrence of every
+// tuple already replayed from the aborted flight.
+func (m *memoFollowStream) fbNext() (term.Subst, bool, error) {
+	for {
+		out, ok, err := m.fb.next()
+		if err != nil {
+			m.finish()
+			return nil, false, err
+		}
+		if !ok {
+			m.finish()
+			return nil, false, nil
+		}
+		if len(m.emitted) > 0 {
+			if k, kerr := m.tupleKey(out); kerr == nil {
+				if c := m.emitted[k]; c > 0 {
+					if c == 1 {
+						delete(m.emitted, k)
+					} else {
+						m.emitted[k] = c - 1
+					}
+					continue
+				}
+			}
+		}
+		return out, true, nil
+	}
+}
+
+func (m *memoFollowStream) countReplayed(vals []term.Value) {
+	if m.emitted == nil {
+		m.emitted = make(map[string]int)
+	}
+	m.emitted[valsKey(vals)]++
+}
+
+// tupleKey renders an emission's ground argument tuple as a multiset key.
+func (m *memoFollowStream) tupleKey(out term.Subst) (string, error) {
+	vals := make([]term.Value, len(m.atom.Args))
+	for i, t := range m.atom.Args {
+		v, err := out.Eval(t)
+		if err != nil {
+			return "", err
+		}
+		vals[i] = v
+	}
+	return valsKey(vals), nil
+}
+
+func valsKey(vals []term.Value) string {
+	k := ""
+	for i, v := range vals {
+		if i > 0 {
+			k += "|"
+		}
+		k += v.Key()
+	}
+	return k
+}
+
+func (m *memoFollowStream) finish() {
+	if m.done {
+		return
+	}
+	m.done = true
+	m.span.End(m.ctx.Clock.Now())
+}
+
+func (m *memoFollowStream) close() error {
+	var err error
+	if m.fb != nil {
+		err = m.fb.close()
+	}
+	m.finish()
+	return err
+}

@@ -14,6 +14,7 @@ import (
 	"hermes/internal/domain"
 	"hermes/internal/engine"
 	"hermes/internal/faultinject"
+	"hermes/internal/memo"
 	"hermes/internal/netsim"
 	"hermes/internal/obs"
 	"hermes/internal/resilience"
@@ -316,6 +317,15 @@ type ChaosConcurrentReport struct {
 	// FaultEvents is the injector's event count: the soak must actually
 	// have been under fire.
 	FaultEvents int
+	// MemoStats is the rule-level memo cache's counters: the soak runs
+	// with the memo enabled so degraded CIM serves flow into memo entries.
+	MemoStats memo.Stats
+	// MemoDegradedEntries counts memo entries built (at least partly) from
+	// cached-while-down answers; MemoDegradedServeable counts how many of
+	// those the cache would serve as exact — which must be zero, always:
+	// a degraded intermediate relation is a lower bound, not the answer.
+	MemoDegradedEntries   int
+	MemoDegradedServeable int
 	// Errors collects per-query failures (empty on a passing run).
 	Errors []string
 }
@@ -344,6 +354,7 @@ func RunChaosConcurrent(opts ChaosOptions, sessions, maxInflight int) (*ChaosCon
 		SpikeLatency: opts.SpikeLatency,
 		TruncateRate: opts.TruncateRate,
 	}
+	mcfg := memo.DefaultConfig()
 	tb, err := NewTestbed(TestbedOptions{
 		Site:             opts.Site,
 		WithInvariants:   true,
@@ -356,6 +367,7 @@ func RunChaosConcurrent(opts ChaosOptions, sessions, maxInflight int) (*ChaosCon
 		MaxInflightCalls: maxInflight,
 		ShedPolicy:       admission.PolicyWait,
 		Obs:              o,
+		Memo:             &mcfg,
 	})
 	if err != nil {
 		return nil, err
@@ -480,5 +492,17 @@ func RunChaosConcurrent(opts ChaosOptions, sessions, maxInflight int) (*ChaosCon
 		report.Errors = append(report.Errors, fmt.Sprintf("pool not drained after soak: %+v", st))
 	}
 	report.FaultEvents = len(tb.Faults.EventLog())
+	if tb.Sys.Memo != nil {
+		report.MemoStats = tb.Sys.Memo.Stats()
+		for _, e := range tb.Sys.Memo.SnapshotEntries() {
+			if !e.Degraded {
+				continue
+			}
+			report.MemoDegradedEntries++
+			if tb.Sys.Memo.Serveable(e.Key) {
+				report.MemoDegradedServeable++
+			}
+		}
+	}
 	return report, nil
 }

@@ -6,7 +6,12 @@ import (
 	"testing"
 	"time"
 
+	"hermes/internal/domain"
+	"hermes/internal/faultinject"
+	"hermes/internal/memo"
 	"hermes/internal/resilience"
+	"hermes/internal/term"
+	"hermes/internal/vclock"
 )
 
 // isSubset reports whether every key of sub appears in super (both sorted).
@@ -214,6 +219,20 @@ func TestChaosConcurrentSoak(t *testing.T) {
 		t.Error("fault injector recorded no events; the soak ran fault-free")
 	}
 
+	// The memo ran under the soak (the actors query is IDB traffic), and
+	// no intermediate relation built from cached-while-down answers is
+	// serveable as exact — degraded entries are quarantined until a sound
+	// re-evaluation replaces them, even after the source recovers.
+	if rep.MemoStats.Hits+rep.MemoStats.Misses == 0 {
+		t.Error("memo saw no probes during the soak")
+	}
+	if rep.MemoDegradedServeable != 0 {
+		t.Errorf("%d of %d degraded memo entries are serveable as exact; want 0",
+			rep.MemoDegradedServeable, rep.MemoDegradedEntries)
+	}
+	t.Logf("memo under chaos: %+v, degraded entries %d (serveable %d)",
+		rep.MemoStats, rep.MemoDegradedEntries, rep.MemoDegradedServeable)
+
 	// No goroutine leaked from abandoned sessions or queued waiters.
 	expectGoroutines(t, base+2)
 }
@@ -234,5 +253,105 @@ func expectGoroutines(t *testing.T, base int) {
 			t.Fatalf("goroutines = %d, want <= %d; stacks:\n%s", n, base, buf)
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestChaosMemoDegradedQuarantine forces the full degraded-fill life
+// cycle through the engine: a memo entry built while the source is down
+// (the CIM degrades a partial hit to its cached subset) is tagged
+// degraded and never served as exact — not during the outage and not
+// after recovery — until a sound re-evaluation replaces it.
+func TestChaosMemoDegradedQuarantine(t *testing.T) {
+	window := faultinject.Window{From: 30 * time.Second, To: 300 * time.Second}
+	mcfg := memo.DefaultConfig()
+	tb, err := NewTestbed(TestbedOptions{
+		RouteViaCIM:    true,
+		WithInvariants: true,
+		Seed:           3,
+		Faults:         &faultinject.Config{Seed: 3, Windows: []faultinject.Window{window}},
+		Memo:           &mcfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime while the source is up: the narrow range is a cached subset of
+	// the query's wider range (subset invariant), video_size an exact hit.
+	err = tb.Sys.PrimeCache([]domain.Call{
+		avisCall("frames_to_objects", term.Str("rope"), term.Int(30), term.Int(100)),
+		avisCall("video_size", term.Str("rope")),
+	})
+	if err != nil {
+		t.Fatalf("prime: %v", err)
+	}
+	if now := tb.Sys.Clock.Now(); now >= window.From {
+		t.Fatalf("priming overran the outage window: clock %s", now)
+	}
+
+	run := func() []string {
+		plan, err := originalOrderPlan(tb.Sys, "?- query1(0, 159, Object, Size).")
+		if err != nil {
+			t.Fatal(err)
+		}
+		answers, _, err := runPlan(tb.Sys, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return answerMultiset(answers)
+	}
+
+	// First evaluation lands inside the outage: frames_to_objects(0,159)
+	// partial-hits the cached [30,100] subset, the actual call fails, and
+	// the CIM serves the subset degraded. The memo must tag the entry.
+	vclock.AdvanceTo(tb.Sys.Clock, window.From+time.Second)
+	during := run()
+	st := tb.Sys.Memo.Stats()
+	if st.DegradedStores != 1 {
+		t.Fatalf("degraded stores = %d, want 1 (stats %+v)", st.DegradedStores, st)
+	}
+	entries := tb.Sys.Memo.SnapshotEntries()
+	if len(entries) != 1 {
+		t.Fatalf("memo entries = %d, want 1", len(entries))
+	}
+	key := entries[0].Key
+	if !entries[0].Degraded {
+		t.Error("outage-built entry not tagged degraded")
+	}
+	if tb.Sys.Memo.Serveable(key) {
+		t.Error("degraded entry is serveable as exact during the outage")
+	}
+
+	// After recovery the degraded entry must be skipped, the subgoal
+	// re-evaluated against the live source, and the sound refill must
+	// replace the quarantined entry and widen the answer set.
+	vclock.AdvanceTo(tb.Sys.Clock, window.To)
+	after := run()
+	st = tb.Sys.Memo.Stats()
+	if st.DegradedSkips == 0 {
+		t.Error("recovered query did not skip the degraded entry")
+	}
+	if st.Hits != 0 {
+		t.Errorf("memo served %d hits off a degraded entry", st.Hits)
+	}
+	entries = tb.Sys.Memo.SnapshotEntries()
+	if len(entries) != 1 || entries[0].Degraded {
+		t.Fatalf("sound refill did not replace the degraded entry: %+v", entries)
+	}
+	if !tb.Sys.Memo.Serveable(key) {
+		t.Error("sound refill not serveable")
+	}
+	if len(after) <= len(during) {
+		t.Errorf("recovered answers (%d) not wider than degraded subset (%d)", len(after), len(during))
+	}
+	if !isSubset(during, after) {
+		t.Error("degraded answers are not a subset of the recovered answer set")
+	}
+
+	// The next repeat is finally allowed to hit.
+	third := run()
+	if st = tb.Sys.Memo.Stats(); st.Hits != 1 {
+		t.Errorf("post-refill query hits = %d, want 1", st.Hits)
+	}
+	if !multisetsEqual(third, after) {
+		t.Error("memo hit replayed a different answer multiset than the sound evaluation")
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"hermes/internal/domains/relation"
 	"hermes/internal/engine"
 	"hermes/internal/faultinject"
+	"hermes/internal/memo"
 	"hermes/internal/netsim"
 	"hermes/internal/obs"
 	"hermes/internal/resilience"
@@ -154,6 +155,9 @@ type TestbedOptions struct {
 	// Obs, when set, threads an observer through every layer, including
 	// the admission pool's gauges.
 	Obs *obs.Observer
+	// Memo, when set, enables the rule-level memo cache (intermediate IDB
+	// relations replayed instead of re-expanded).
+	Memo *memo.Config
 }
 
 // Testbed is a fully wired federation: the mediator system plus direct
@@ -253,6 +257,7 @@ func NewTestbed(opts TestbedOptions) (*Testbed, error) {
 	sysOpts.MaxInflightCalls = opts.MaxInflightCalls
 	sysOpts.ShedPolicy = opts.ShedPolicy
 	sysOpts.Obs = opts.Obs
+	sysOpts.Memo = opts.Memo
 	sys := core.NewSystem(sysOpts)
 
 	var hostOpts []netsim.Option

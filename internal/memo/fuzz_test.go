@@ -1,0 +1,124 @@
+package memo
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"hermes/internal/term"
+)
+
+// parseSpec turns a comma-separated argument spec into key args: a token
+// in single quotes is a bound string, a token of digits is a bound
+// integer, anything else is a free variable named by the token. It mirrors
+// how the engine classifies run-time argument positions.
+func parseSpec(spec string) ([]KeyArg, string) {
+	if spec == "" {
+		return nil, ""
+	}
+	toks := strings.Split(spec, ",")
+	args := make([]KeyArg, 0, len(toks))
+	adorn := make([]byte, 0, len(toks))
+	for _, tok := range toks {
+		if len(tok) >= 2 && tok[0] == '\'' && tok[len(tok)-1] == '\'' {
+			args = append(args, KeyArg{Bound: true, ValueKey: term.Str(tok[1 : len(tok)-1]).Key()})
+			adorn = append(adorn, 'b')
+			continue
+		}
+		if n, err := strconv.ParseInt(tok, 10, 64); err == nil {
+			args = append(args, KeyArg{Bound: true, ValueKey: term.Int(n).Key()})
+			adorn = append(adorn, 'b')
+			continue
+		}
+		args = append(args, KeyArg{Var: tok})
+		adorn = append(adorn, 'f')
+	}
+	return args, string(adorn)
+}
+
+// renameVars applies an injective renaming to the free variables (suffix
+// by first-occurrence index keeps distinct names distinct).
+func renameVars(args []KeyArg) []KeyArg {
+	seen := map[string]string{}
+	out := make([]KeyArg, len(args))
+	for i, a := range args {
+		out[i] = a
+		if a.Bound {
+			continue
+		}
+		fresh, ok := seen[a.Var]
+		if !ok {
+			fresh = "renamed_" + strconv.Itoa(len(seen)) + "_" + a.Var
+			seen[a.Var] = fresh
+		}
+		out[i].Var = fresh
+	}
+	return out
+}
+
+// FuzzKeyCanonicalization checks the key invariants over arbitrary
+// predicate names and argument specs: α-equivalent occurrences always
+// share a key, while changing the binding structure, a bound value, or
+// the plan fingerprint always separates them.
+func FuzzKeyCanonicalization(f *testing.F) {
+	f.Add("actors", "X")
+	f.Add("query1", "'rope',Frame")
+	f.Add("p", "X,X")
+	f.Add("p", "X,Y")
+	f.Add("q", "12,X,'a',X,Y")
+	f.Add("r", "")
+	f.Add("rel", "A,B,A,37")
+	f.Fuzz(func(t *testing.T, pred string, spec string) {
+		args, adorn := parseSpec(spec)
+		key := KeyOf(42, pred, adorn, args)
+
+		// Determinism.
+		if again := KeyOf(42, pred, adorn, args); again != key {
+			t.Fatalf("key not deterministic: %q vs %q", key, again)
+		}
+		// α-equivalence: injective renaming preserves the key.
+		if renamed := KeyOf(42, pred, adorn, renameVars(args)); renamed != key {
+			t.Errorf("injective renaming changed the key:\n  %q\n  %q", key, renamed)
+		}
+		// Fingerprint separates plans.
+		if other := KeyOf(43, pred, adorn, args); other == key {
+			t.Error("different fingerprints share a key")
+		}
+
+		// Merging two distinct free variables changes the equality
+		// structure and must change the key.
+		varIdx := map[string][]int{}
+		order := []string{}
+		for i, a := range args {
+			if !a.Bound {
+				if _, ok := varIdx[a.Var]; !ok {
+					order = append(order, a.Var)
+				}
+				varIdx[a.Var] = append(varIdx[a.Var], i)
+			}
+		}
+		if len(order) >= 2 {
+			merged := make([]KeyArg, len(args))
+			copy(merged, args)
+			for _, i := range varIdx[order[1]] {
+				merged[i].Var = order[0]
+			}
+			if KeyOf(42, pred, adorn, merged) == key {
+				t.Errorf("merging free vars %q and %q did not change the key %q", order[0], order[1], key)
+			}
+		}
+
+		// Changing any bound value changes the key.
+		for i, a := range args {
+			if !a.Bound {
+				continue
+			}
+			mutated := make([]KeyArg, len(args))
+			copy(mutated, args)
+			mutated[i].ValueKey = term.Str("mutated:" + a.ValueKey).Key()
+			if KeyOf(42, pred, adorn, mutated) == key {
+				t.Errorf("mutating bound arg %d did not change the key %q", i, key)
+			}
+		}
+	})
+}

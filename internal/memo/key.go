@@ -1,0 +1,66 @@
+package memo
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Memo keys canonicalize IDB subgoal occurrences so that two α-equivalent
+// occurrences — same predicate, same adornment, same ground values at the
+// bound positions, and the same equality structure among the free
+// variables — always map to the same cache entry, while any occurrence
+// that could evaluate differently maps elsewhere. The free-variable
+// structure matters because the engine filters answers caller-side: an
+// occurrence p(X, X) keeps only the tuples whose first and second
+// components agree, so it must not share an entry with p(X, Y).
+
+// KeyArg describes one argument position of a subgoal occurrence, as seen
+// at run time: either bound to a ground value (identified by the value's
+// canonical term.Value Key encoding) or a free bare variable.
+type KeyArg struct {
+	// Bound marks a position that is ground under the caller's
+	// substitution.
+	Bound bool
+	// ValueKey is the canonical encoding of the ground value (Bound only).
+	ValueKey string
+	// Var is the variable name (free positions only). Names are α-renamed
+	// away by KeyOf; only the pattern of repetitions survives.
+	Var string
+}
+
+// KeyOf builds the canonical memo key for a subgoal occurrence.
+//
+// fingerprint pins the rule set the occurrence evaluates under (the
+// rewriter plan's rendered rules): entries never cross plans whose rules,
+// orderings or routings differ, which is conservative but always sound.
+// pred and adorn are the paper's p^bf occurrence context. Free variables
+// are numbered v0, v1, ... in first-occurrence order, so the key encodes
+// exactly which positions must agree and nothing about the names the rule
+// author chose.
+func KeyOf(fingerprint uint64, pred, adorn string, args []KeyArg) string {
+	var b strings.Builder
+	b.WriteString(pred)
+	b.WriteByte('^')
+	b.WriteString(adorn)
+	b.WriteString("|#")
+	b.WriteString(strconv.FormatUint(fingerprint, 16))
+	var ids map[string]int
+	for _, a := range args {
+		b.WriteByte('|')
+		if a.Bound {
+			b.WriteString(a.ValueKey)
+			continue
+		}
+		if ids == nil {
+			ids = make(map[string]int)
+		}
+		id, ok := ids[a.Var]
+		if !ok {
+			id = len(ids)
+			ids[a.Var] = id
+		}
+		b.WriteByte('v')
+		b.WriteString(strconv.Itoa(id))
+	}
+	return b.String()
+}

@@ -1,0 +1,50 @@
+package memo
+
+import (
+	"testing"
+)
+
+func TestKeyAlphaEquivalence(t *testing.T) {
+	// p(X, Y) and p(A, B) are the same occurrence up to renaming.
+	k1 := KeyOf(7, "p", "ff", []KeyArg{{Var: "X"}, {Var: "Y"}})
+	k2 := KeyOf(7, "p", "ff", []KeyArg{{Var: "A"}, {Var: "B"}})
+	if k1 != k2 {
+		t.Errorf("α-equivalent occurrences keyed differently:\n  %q\n  %q", k1, k2)
+	}
+}
+
+func TestKeyRepeatedVariableStructure(t *testing.T) {
+	// p(X, X) filters caller-side on first==second; it must not share an
+	// entry with p(X, Y).
+	same := KeyOf(7, "p", "ff", []KeyArg{{Var: "X"}, {Var: "X"}})
+	diff := KeyOf(7, "p", "ff", []KeyArg{{Var: "X"}, {Var: "Y"}})
+	if same == diff {
+		t.Errorf("p(X,X) and p(X,Y) share key %q", same)
+	}
+	// ...but p(X, X) and p(Z, Z) do share.
+	same2 := KeyOf(7, "p", "ff", []KeyArg{{Var: "Z"}, {Var: "Z"}})
+	if same != same2 {
+		t.Errorf("p(X,X) and p(Z,Z) keyed differently:\n  %q\n  %q", same, same2)
+	}
+}
+
+func TestKeyBoundValues(t *testing.T) {
+	k1 := KeyOf(7, "p", "bf", []KeyArg{{Bound: true, ValueKey: `s"a"`}, {Var: "X"}})
+	k2 := KeyOf(7, "p", "bf", []KeyArg{{Bound: true, ValueKey: `s"b"`}, {Var: "X"}})
+	if k1 == k2 {
+		t.Error("different bound values share a key")
+	}
+}
+
+func TestKeyDiscriminators(t *testing.T) {
+	base := KeyOf(7, "p", "ff", []KeyArg{{Var: "X"}, {Var: "Y"}})
+	if other := KeyOf(8, "p", "ff", []KeyArg{{Var: "X"}, {Var: "Y"}}); other == base {
+		t.Error("different plan fingerprints share a key")
+	}
+	if other := KeyOf(7, "q", "ff", []KeyArg{{Var: "X"}, {Var: "Y"}}); other == base {
+		t.Error("different predicates share a key")
+	}
+	if other := KeyOf(7, "p", "fb", []KeyArg{{Var: "X"}, {Var: "Y"}}); other == base {
+		t.Error("different adornments share a key")
+	}
+}

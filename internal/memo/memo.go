@@ -1,0 +1,723 @@
+// Package memo is the rule-level memo cache: where the CIM (internal/cim)
+// caches the answers of ground *domain calls*, the memo caches whole
+// *intermediate relations* — the answer tuples of an IDB subgoal occurrence
+// (predicate + adornment + bound values + free-variable structure, key.go).
+// The engine consults it before re-expanding a subgoal, so repeated traffic
+// skips not just the source calls but the joins, unions and per-rule
+// bookkeeping above them; following "Don't Trash your Intermediate Results,
+// Cache 'em" (Roy et al.), admission and eviction are benefit-driven: each
+// entry carries an exponentially decayed score of the compute time its hits
+// avoided, and the lowest-scoring entries are evicted first.
+//
+// Soundness machinery:
+//
+//   - Every entry records the set of domain-call keys that contributed to
+//     it (Inputs). The CIM fires Cache.InvalidateInput whenever one of
+//     those calls is refreshed, evicted or served degraded, and the memo
+//     drops every dependent entry.
+//   - Entries built while a source was down (any contributing call served
+//     degraded) are stored tagged Degraded and are never served: the next
+//     evaluation after recovery replaces them with a fresh entry.
+//   - Concurrent identical subgoals coalesce into one fill (a flight): the
+//     first occurrence evaluates and publishes tuples as they arrive, the
+//     others replay the publication stream; if the leader abandons the fill
+//     (error, early close), followers fall back to their own evaluation,
+//     subtracting the multiset of tuples they already emitted.
+package memo
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hermes/internal/domain"
+	"hermes/internal/obs"
+	"hermes/internal/term"
+)
+
+// Config tunes the memo cache. Zero cost/decay fields take the defaults;
+// MaxEntries/MaxBytes zero mean unlimited.
+type Config struct {
+	// MaxEntries bounds the number of cached relations (0 = unlimited).
+	MaxEntries int
+	// MaxBytes bounds the total cached tuple bytes (0 = unlimited).
+	MaxBytes int
+	// Decay is the per-operation multiplicative decay of each entry's
+	// benefit score: after n cache operations without a hit an entry's
+	// score has shrunk by Decay^n, so eviction tracks recent value rather
+	// than lifetime totals. Must be in (0, 1]; 1 disables decay; 0 takes
+	// the default.
+	Decay float64
+	// MinBenefit is the admission threshold: fills whose observed compute
+	// time is below it are not stored (the relation is too cheap to be
+	// worth a slot). 0 admits everything.
+	MinBenefit time.Duration
+	// MaxEntryBytes skips storing any single relation larger than this
+	// (0 takes the default; negative = unlimited).
+	MaxEntryBytes int
+	// LookupCost is charged to the query clock per memo probe.
+	LookupCost time.Duration
+	// PerTuple is charged per tuple replayed from a memo entry or flight.
+	PerTuple time.Duration
+}
+
+// Defaults; the probe/replay costs are far below the CIM's per-call costs
+// because a memo hit replaces whole join pipelines, not one source call.
+const (
+	defaultMaxEntries    = 512
+	defaultMaxBytes      = 8 << 20
+	defaultDecay         = 0.98
+	defaultMaxEntryBytes = 256 << 10
+	defaultLookupCost    = 500 * time.Microsecond
+	defaultPerTuple      = 200 * time.Microsecond
+)
+
+// DefaultConfig returns the configuration used by hermesd and the
+// experiments.
+func DefaultConfig() Config {
+	return Config{
+		MaxEntries:    defaultMaxEntries,
+		MaxBytes:      defaultMaxBytes,
+		Decay:         defaultDecay,
+		MaxEntryBytes: defaultMaxEntryBytes,
+		LookupCost:    defaultLookupCost,
+		PerTuple:      defaultPerTuple,
+	}
+}
+
+func (cfg Config) normalized() Config {
+	if cfg.Decay <= 0 || cfg.Decay > 1 {
+		cfg.Decay = defaultDecay
+	}
+	if cfg.MaxEntryBytes == 0 {
+		cfg.MaxEntryBytes = defaultMaxEntryBytes
+	}
+	if cfg.LookupCost == 0 {
+		cfg.LookupCost = defaultLookupCost
+	}
+	if cfg.PerTuple == 0 {
+		cfg.PerTuple = defaultPerTuple
+	}
+	return cfg
+}
+
+// Stats count memo activity.
+type Stats struct {
+	// Hits are probes served from a committed, non-degraded entry.
+	Hits int
+	// Misses are probes that found nothing serveable (including degraded
+	// skips) and so either led or followed a fill.
+	Misses int
+	// Stores counts committed fills admitted into the cache.
+	Stores int
+	// DegradedStores counts committed fills stored tagged Degraded because
+	// a contributing domain call was served degraded (cached-while-down).
+	DegradedStores int
+	// DegradedSkips counts probes that found only a degraded entry and
+	// refused to serve it.
+	DegradedSkips int
+	// RejectedStores counts fills that completed but failed admission
+	// (below MinBenefit, or oversized).
+	RejectedStores int
+	// Evictions counts budget evictions.
+	Evictions int
+	// Invalidations counts entries dropped because a contributing domain
+	// call was refreshed, evicted or degraded.
+	Invalidations int
+	// FlightShares counts probes that attached to an in-progress fill
+	// instead of evaluating the subgoal themselves.
+	FlightShares int
+	// FlightFallbacks counts followers whose flight aborted and who fell
+	// back to their own evaluation.
+	FlightFallbacks int
+	// Saved is the total compute time hits avoided (the sum of serving
+	// entries' observed fill costs).
+	Saved time.Duration
+}
+
+// Entry is one cached intermediate relation. Immutable once stored except
+// for the benefit-score fields, which the Cache guards.
+type Entry struct {
+	// Key is the canonical subgoal key (key.go).
+	Key string
+	// Tuples are the relation's rows — the ground values of the subgoal's
+	// argument positions, one row per answer, preserving multiplicity and
+	// emission order (the engine does no duplicate elimination).
+	Tuples [][]term.Value
+	// Inputs are the domain-call keys that contributed answers to the
+	// fill; any of them being refreshed, evicted or degraded invalidates
+	// the entry.
+	Inputs []string
+	// Degraded marks a relation built while a contributing source was
+	// down. Degraded entries are kept (visible in /debug/memo) but never
+	// served.
+	Degraded bool
+	// Cost is the observed cost of the fill that produced the relation:
+	// what a hit on this entry avoids.
+	Cost  domain.CostVector
+	Bytes int
+
+	// Benefit score, guarded by Cache.scoreMu: score decays by
+	// Config.Decay per cache operation and grows by the avoided cost on
+	// every hit.
+	score     float64
+	scoreTick int64
+	lastUsed  int64
+}
+
+// Cache is the rule-level memo cache. Safe for concurrent use by parallel
+// query branches.
+type Cache struct {
+	cfg Config
+
+	store *store
+	// tick is the operation counter that drives score decay and recency.
+	tick atomic.Int64
+
+	statsMu sync.Mutex
+	stats   Stats
+
+	// scoreMu guards the entries' benefit-score fields.
+	scoreMu sync.Mutex
+
+	// invMu guards the reverse index from domain-call keys to the entries
+	// that depend on them.
+	invMu    sync.Mutex
+	inputIdx map[string]map[string]*Entry
+
+	// flightMu guards the in-progress fill index.
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
+	// evictMu serializes budget enforcement.
+	evictMu sync.Mutex
+
+	hookMu sync.RWMutex
+	ob     *obs.Observer
+	// onSavings credits a hit's avoided cost to an external ledger (the
+	// mediator wires it to the CIM savings ledger's "(memo)" bucket).
+	onSavings func(entryKey string, saved time.Duration)
+}
+
+// New builds a memo cache.
+func New(cfg Config) *Cache {
+	return &Cache{
+		cfg:      cfg.normalized(),
+		store:    newStore(),
+		inputIdx: make(map[string]map[string]*Entry),
+		flights:  make(map[string]*flight),
+	}
+}
+
+// SetObserver installs the observability sink for the hermes_memo_*
+// metrics. Nil-safe like every obs use.
+func (c *Cache) SetObserver(o *obs.Observer) {
+	c.hookMu.Lock()
+	defer c.hookMu.Unlock()
+	c.ob = o
+}
+
+// SetSavingsHook installs the external savings ledger credit: called once
+// per hit with the serving entry's key and avoided cost.
+func (c *Cache) SetSavingsHook(fn func(entryKey string, saved time.Duration)) {
+	c.hookMu.Lock()
+	defer c.hookMu.Unlock()
+	c.onSavings = fn
+}
+
+func (c *Cache) obs() *obs.Observer {
+	c.hookMu.RLock()
+	defer c.hookMu.RUnlock()
+	return c.ob
+}
+
+func (c *Cache) savingsHook() func(string, time.Duration) {
+	c.hookMu.RLock()
+	defer c.hookMu.RUnlock()
+	return c.onSavings
+}
+
+func (c *Cache) bumpStats(fn func(*Stats)) {
+	c.statsMu.Lock()
+	fn(&c.stats)
+	c.statsMu.Unlock()
+}
+
+// Stats returns a snapshot of the activity counters.
+func (c *Cache) Stats() Stats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of cached relations.
+func (c *Cache) Len() int { return int(c.store.count.Load()) }
+
+// Bytes returns the total cached tuple bytes.
+func (c *Cache) Bytes() int { return int(c.store.bytes.Load()) }
+
+// LookupCost is the clock cost the engine charges per probe.
+func (c *Cache) LookupCost() time.Duration { return c.cfg.LookupCost }
+
+// PerTupleCost is the clock cost the engine charges per replayed tuple.
+func (c *Cache) PerTupleCost() time.Duration { return c.cfg.PerTuple }
+
+// occupancy refreshes the size gauges.
+func (c *Cache) occupancy() {
+	o := c.obs()
+	o.Gauge("hermes_memo_entries").Set(float64(c.store.count.Load()))
+	o.Gauge("hermes_memo_bytes").Set(float64(c.store.bytes.Load()))
+}
+
+// ProbeResult is the outcome of consulting the memo for a subgoal
+// occurrence: exactly one field is non-nil.
+type ProbeResult struct {
+	// Entry is a committed, non-degraded relation to replay (hit).
+	Entry *Entry
+	// Reader follows an in-progress fill of the same key started by a
+	// concurrent occurrence.
+	Reader *FlightReader
+	// Rec means this occurrence leads the fill: evaluate the subgoal,
+	// record through Rec, and Commit or Abort.
+	Rec *Recording
+}
+
+// Probe consults the cache for key. A hit bumps the entry's benefit score
+// and credits the savings ledger; a miss either attaches to an in-flight
+// fill of the same key or makes the caller the fill's leader.
+func (c *Cache) Probe(key string) ProbeResult {
+	now := c.tick.Add(1)
+	if e, ok := c.store.get(key); ok {
+		if !e.Degraded {
+			saved := e.Cost.TAll
+			c.credit(e, saved, now)
+			c.bumpStats(func(st *Stats) {
+				st.Hits++
+				st.Saved += saved
+			})
+			o := c.obs()
+			o.Counter("hermes_memo_hits_total").Inc()
+			o.Counter("hermes_memo_saved_ms_total").Add(saved.Milliseconds())
+			if hook := c.savingsHook(); hook != nil {
+				hook(key, saved)
+			}
+			return ProbeResult{Entry: e}
+		}
+		c.bumpStats(func(st *Stats) { st.DegradedSkips++ })
+		c.obs().Counter("hermes_memo_degraded_skips_total").Inc()
+	}
+	c.bumpStats(func(st *Stats) { st.Misses++ })
+	c.obs().Counter("hermes_memo_misses_total").Inc()
+	c.flightMu.Lock()
+	if f := c.flights[key]; f != nil {
+		c.flightMu.Unlock()
+		c.bumpStats(func(st *Stats) { st.FlightShares++ })
+		c.obs().Counter("hermes_memo_flight_shares_total").Inc()
+		return ProbeResult{Reader: &FlightReader{c: c, f: f}}
+	}
+	f := newFlight()
+	c.flights[key] = f
+	c.flightMu.Unlock()
+	return ProbeResult{Rec: &Recording{c: c, key: key, f: f}}
+}
+
+// Serveable reports whether a probe for key would be a hit right now
+// (committed, non-degraded entry present), without touching scores or
+// stats. Introspection for tests and chaos assertions.
+func (c *Cache) Serveable(key string) bool {
+	e, ok := c.store.get(key)
+	return ok && !e.Degraded
+}
+
+// SnapshotEntries returns the cached relations for introspection (debug
+// views, chaos assertions). The entries are shared; callers must not
+// mutate them.
+func (c *Cache) SnapshotEntries() []*Entry { return c.store.snapshot() }
+
+// credit bumps an entry's decayed benefit score and recency.
+func (c *Cache) credit(e *Entry, saved time.Duration, now int64) {
+	c.scoreMu.Lock()
+	e.score = c.decayedScoreLocked(e, now) + float64(saved)/float64(time.Millisecond)
+	e.scoreTick = now
+	e.lastUsed = now
+	c.scoreMu.Unlock()
+}
+
+// decayedScoreLocked reads an entry's score as of tick now. Callers hold
+// scoreMu.
+func (c *Cache) decayedScoreLocked(e *Entry, now int64) float64 {
+	dt := now - e.scoreTick
+	if dt <= 0 || c.cfg.Decay == 1 {
+		return e.score
+	}
+	return e.score * math.Pow(c.cfg.Decay, float64(dt))
+}
+
+// InvalidateInput drops every cached relation that recorded callKey as a
+// contributing domain call. The CIM fires it when an entry for that call
+// is refreshed, evicted or served degraded.
+func (c *Cache) InvalidateInput(callKey string) {
+	c.invMu.Lock()
+	deps := c.inputIdx[callKey]
+	if len(deps) == 0 {
+		c.invMu.Unlock()
+		return
+	}
+	delete(c.inputIdx, callKey)
+	victims := make([]*Entry, 0, len(deps))
+	for _, e := range deps {
+		victims = append(victims, e)
+		// Unhook the entry from its other inputs' dependency sets.
+		for _, in := range e.Inputs {
+			if in == callKey {
+				continue
+			}
+			if m := c.inputIdx[in]; m != nil {
+				delete(m, e.Key)
+				if len(m) == 0 {
+					delete(c.inputIdx, in)
+				}
+			}
+		}
+	}
+	c.invMu.Unlock()
+	n := 0
+	for _, e := range victims {
+		if c.store.removeIf(e.Key, e) {
+			n++
+		}
+	}
+	if n > 0 {
+		c.bumpStats(func(st *Stats) { st.Invalidations += n })
+		c.obs().Counter("hermes_memo_invalidations_total").Add(int64(n))
+		c.occupancy()
+	}
+}
+
+// admit stores a committed fill's entry, indexes its inputs, and enforces
+// the budgets.
+func (c *Cache) admit(e *Entry) {
+	now := c.tick.Add(1)
+	c.scoreMu.Lock()
+	// Seed the score with the fill's own cost so a fresh expensive entry
+	// is not the first eviction victim.
+	e.score = float64(e.Cost.TAll) / float64(time.Millisecond)
+	e.scoreTick = now
+	e.lastUsed = now
+	c.scoreMu.Unlock()
+	old := c.store.put(e.Key, e)
+	c.invMu.Lock()
+	if old != nil {
+		for _, in := range old.Inputs {
+			if m := c.inputIdx[in]; m != nil {
+				if m[old.Key] == old {
+					delete(m, old.Key)
+				}
+				if len(m) == 0 {
+					delete(c.inputIdx, in)
+				}
+			}
+		}
+	}
+	for _, in := range e.Inputs {
+		m := c.inputIdx[in]
+		if m == nil {
+			m = make(map[string]*Entry)
+			c.inputIdx[in] = m
+		}
+		m[e.Key] = e
+	}
+	c.invMu.Unlock()
+	c.bumpStats(func(st *Stats) {
+		st.Stores++
+		if e.Degraded {
+			st.DegradedStores++
+		}
+	})
+	o := c.obs()
+	o.Counter("hermes_memo_stores_total").Inc()
+	if e.Degraded {
+		o.Counter("hermes_memo_degraded_stores_total").Inc()
+	}
+	c.evict()
+	c.occupancy()
+}
+
+// deindex removes an evicted entry's reverse-index references.
+func (c *Cache) deindex(e *Entry) {
+	c.invMu.Lock()
+	for _, in := range e.Inputs {
+		if m := c.inputIdx[in]; m != nil {
+			if m[e.Key] == e {
+				delete(m, e.Key)
+			}
+			if len(m) == 0 {
+				delete(c.inputIdx, in)
+			}
+		}
+	}
+	c.invMu.Unlock()
+}
+
+// evict enforces the budgets, dropping the entries with the lowest decayed
+// benefit score first (ties broken least-recently-used).
+func (c *Cache) evict() {
+	over := func() bool {
+		if c.cfg.MaxEntries > 0 && int(c.store.count.Load()) > c.cfg.MaxEntries {
+			return true
+		}
+		if c.cfg.MaxBytes > 0 && int(c.store.bytes.Load()) > c.cfg.MaxBytes {
+			return true
+		}
+		return false
+	}
+	if !over() {
+		return
+	}
+	c.evictMu.Lock()
+	defer c.evictMu.Unlock()
+	for over() {
+		now := c.tick.Load()
+		var victim *Entry
+		var victimScore float64
+		c.scoreMu.Lock()
+		for _, e := range c.store.snapshot() {
+			s := c.decayedScoreLocked(e, now)
+			if victim == nil || s < victimScore ||
+				(s == victimScore && e.lastUsed < victim.lastUsed) {
+				victim, victimScore = e, s
+			}
+		}
+		c.scoreMu.Unlock()
+		if victim == nil {
+			return
+		}
+		if c.store.removeIf(victim.Key, victim) {
+			c.deindex(victim)
+			c.bumpStats(func(st *Stats) { st.Evictions++ })
+			c.obs().Counter("hermes_memo_evictions_total").Inc()
+		}
+	}
+}
+
+// Item is one published tuple of an in-progress fill, stamped with the
+// leader clock's reading when it was recorded.
+type Item struct {
+	Vals []term.Value
+	At   time.Duration
+}
+
+// ReadState is the outcome of FlightReader.Next.
+type ReadState int
+
+// Flight read outcomes.
+const (
+	// ReadItem delivered a tuple.
+	ReadItem ReadState = iota
+	// ReadEndCommitted means the fill completed; Result carries its inputs.
+	ReadEndCommitted
+	// ReadEndAborted means the leader abandoned the fill (error or early
+	// close); the follower must evaluate the remainder itself.
+	ReadEndAborted
+	// ReadCancelled means the follower's own context was cancelled.
+	ReadCancelled
+)
+
+// flight is one in-progress fill: the leader publishes tuples as it
+// records them, followers replay the publication stream. The wake channel
+// is closed and replaced on every state change (the spool pattern).
+type flight struct {
+	mu        sync.Mutex
+	wake      chan struct{}
+	items     []Item
+	done      bool
+	committed bool
+	inputs    []string
+	degraded  bool
+	endAt     time.Duration
+}
+
+func newFlight() *flight {
+	return &flight{wake: make(chan struct{})}
+}
+
+func (f *flight) publish(it Item) {
+	f.mu.Lock()
+	f.items = append(f.items, it)
+	close(f.wake)
+	f.wake = make(chan struct{})
+	f.mu.Unlock()
+}
+
+func (f *flight) settle(committed bool, inputs []string, degraded bool, endAt time.Duration) {
+	f.mu.Lock()
+	f.done = true
+	f.committed = committed
+	f.inputs = inputs
+	f.degraded = degraded
+	f.endAt = endAt
+	close(f.wake)
+	f.wake = make(chan struct{})
+	f.mu.Unlock()
+}
+
+// FlightReader replays an in-progress fill for a follower occurrence.
+type FlightReader struct {
+	c        *Cache
+	f        *flight
+	idx      int
+	fellBack bool
+}
+
+// Next returns the reader's next event, waiting for the leader to publish
+// when the follower has caught up. cancel, when non-nil, aborts the wait
+// (ReadCancelled). The leader never waits on followers, so progress only
+// depends on the leader's own consumer.
+func (r *FlightReader) Next(cancel <-chan struct{}) (Item, ReadState) {
+	for {
+		r.f.mu.Lock()
+		if r.idx < len(r.f.items) {
+			it := r.f.items[r.idx]
+			r.f.mu.Unlock()
+			r.idx++
+			return it, ReadItem
+		}
+		if r.f.done {
+			committed := r.f.committed
+			r.f.mu.Unlock()
+			if committed {
+				return Item{}, ReadEndCommitted
+			}
+			if !r.fellBack {
+				r.fellBack = true
+				r.c.bumpStats(func(st *Stats) { st.FlightFallbacks++ })
+				r.c.obs().Counter("hermes_memo_flight_fallbacks_total").Inc()
+			}
+			return Item{}, ReadEndAborted
+		}
+		wake := r.f.wake
+		r.f.mu.Unlock()
+		select {
+		case <-wake:
+		case <-cancel:
+			return Item{}, ReadCancelled
+		}
+	}
+}
+
+// Result returns the committed fill's inputs, degraded flag and end time.
+// Valid after Next returned ReadEndCommitted.
+func (r *FlightReader) Result() (inputs []string, degraded bool, endAt time.Duration) {
+	r.f.mu.Lock()
+	defer r.f.mu.Unlock()
+	return r.f.inputs, r.f.degraded, r.f.endAt
+}
+
+// Recording is the leader side of a fill: the engine records every tuple
+// the subgoal emits and every domain call it issues, then commits on
+// natural exhaustion or aborts on error/early close.
+type Recording struct {
+	c   *Cache
+	key string
+	f   *flight
+
+	mu       sync.Mutex
+	inputs   []string
+	inputSet map[string]bool
+	degraded bool
+	bytes    int
+	done     bool
+}
+
+// Note records a contributing domain call (thread-safe: parallel branches
+// under the subgoal note concurrently). degraded marks a call served from
+// cache because its source was down.
+func (rec *Recording) Note(callKey string, degraded bool) {
+	rec.mu.Lock()
+	if rec.inputSet == nil {
+		rec.inputSet = make(map[string]bool)
+	}
+	if !rec.inputSet[callKey] {
+		rec.inputSet[callKey] = true
+		rec.inputs = append(rec.inputs, callKey)
+	}
+	if degraded {
+		rec.degraded = true
+	}
+	rec.mu.Unlock()
+}
+
+// Add records one emitted tuple and publishes it to any followers. at is
+// the leader clock's reading.
+func (rec *Recording) Add(vals []term.Value, at time.Duration) {
+	rec.mu.Lock()
+	for _, v := range vals {
+		rec.bytes += term.SizeBytes(v)
+	}
+	rec.mu.Unlock()
+	rec.f.publish(Item{Vals: vals, At: at})
+}
+
+// Commit finishes the fill at natural exhaustion: the published tuples
+// become a cache entry (when admitted) and followers see a committed end.
+func (rec *Recording) Commit(at time.Duration, cost domain.CostVector) {
+	rec.mu.Lock()
+	if rec.done {
+		rec.mu.Unlock()
+		return
+	}
+	rec.done = true
+	inputs := rec.inputs
+	degraded := rec.degraded
+	bytes := rec.bytes
+	rec.mu.Unlock()
+
+	rec.c.flightMu.Lock()
+	if rec.c.flights[rec.key] == rec.f {
+		delete(rec.c.flights, rec.key)
+	}
+	rec.c.flightMu.Unlock()
+
+	rec.f.mu.Lock()
+	tuples := make([][]term.Value, len(rec.f.items))
+	for i, it := range rec.f.items {
+		tuples[i] = it.Vals
+	}
+	rec.f.mu.Unlock()
+	// Settle after snapshotting so followers never see a half-built state.
+	rec.f.settle(true, inputs, degraded, at)
+
+	if cost.TAll < rec.c.cfg.MinBenefit ||
+		(rec.c.cfg.MaxEntryBytes > 0 && bytes > rec.c.cfg.MaxEntryBytes) {
+		rec.c.bumpStats(func(st *Stats) { st.RejectedStores++ })
+		return
+	}
+	rec.c.admit(&Entry{
+		Key:      rec.key,
+		Tuples:   tuples,
+		Inputs:   inputs,
+		Degraded: degraded,
+		Cost:     cost,
+		Bytes:    bytes,
+	})
+}
+
+// Abort abandons the fill (subgoal error, or the consumer closed the
+// stream before exhaustion): nothing is stored, and followers fall back to
+// their own evaluation.
+func (rec *Recording) Abort(at time.Duration) {
+	rec.mu.Lock()
+	if rec.done {
+		rec.mu.Unlock()
+		return
+	}
+	rec.done = true
+	rec.mu.Unlock()
+	rec.c.flightMu.Lock()
+	if rec.c.flights[rec.key] == rec.f {
+		delete(rec.c.flights, rec.key)
+	}
+	rec.c.flightMu.Unlock()
+	rec.f.settle(false, nil, false, at)
+}

@@ -1,0 +1,101 @@
+package memo
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// numShards mirrors the CIM store's lock-shard count: parallel branches
+// probe the memo concurrently, and 16 shards keep them from serializing
+// behind one lock.
+const numShards = 16
+
+// store is the sharded entry map. Entries are immutable once stored apart
+// from their benefit-score fields, which the Cache guards separately, so
+// readers need only the shard read-lock.
+type store struct {
+	shards [numShards]storeShard
+	count  atomic.Int64
+	bytes  atomic.Int64
+}
+
+type storeShard struct {
+	mu sync.RWMutex
+	m  map[string]*Entry
+}
+
+func newStore() *store {
+	s := &store{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]*Entry)
+	}
+	return s
+}
+
+// shardIdx hashes a memo key to its shard (FNV-1a).
+func shardIdx(key string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return int(h % numShards)
+}
+
+func (s *store) get(key string) (*Entry, bool) {
+	sh := &s.shards[shardIdx(key)]
+	sh.mu.RLock()
+	e, ok := sh.m[key]
+	sh.mu.RUnlock()
+	return e, ok
+}
+
+// put inserts or replaces the entry for key, maintaining the global
+// tallies, and returns the replaced entry (nil on fresh insert) so the
+// caller can unhook its invalidation index references.
+func (s *store) put(key string, e *Entry) *Entry {
+	sh := &s.shards[shardIdx(key)]
+	sh.mu.Lock()
+	old := sh.m[key]
+	sh.m[key] = e
+	sh.mu.Unlock()
+	if old != nil {
+		s.bytes.Add(int64(-old.Bytes))
+	} else {
+		s.count.Add(1)
+	}
+	s.bytes.Add(int64(e.Bytes))
+	return old
+}
+
+// removeIf deletes key only while it still maps to e (eviction and
+// invalidation race with replacement), reporting whether it removed
+// anything.
+func (s *store) removeIf(key string, e *Entry) bool {
+	sh := &s.shards[shardIdx(key)]
+	sh.mu.Lock()
+	cur, ok := sh.m[key]
+	if !ok || cur != e {
+		sh.mu.Unlock()
+		return false
+	}
+	delete(sh.m, key)
+	sh.mu.Unlock()
+	s.count.Add(-1)
+	s.bytes.Add(int64(-e.Bytes))
+	return true
+}
+
+// snapshot returns the current entries; scans (eviction victim selection,
+// debug views) work on it so no shard lock is held while scoring.
+func (s *store) snapshot() []*Entry {
+	var out []*Entry
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.m {
+			out = append(out, e)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}

@@ -20,7 +20,10 @@ package rewrite
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
 	"strings"
+	"sync/atomic"
 
 	"hermes/internal/lang"
 	"hermes/internal/term"
@@ -103,6 +106,36 @@ type Plan struct {
 	// rules (one per access-equivalent predicate; all feasible rules for
 	// union predicates).
 	Rules map[PredKey][]*PlanRule
+
+	// fp caches Fingerprint (0 = not yet computed).
+	fp atomic.Uint64
+}
+
+// Fingerprint hashes the plan's rule section — every (pred, adornment) key
+// with its chosen rules, orderings and routings, but not the query line —
+// so memo entries built under one plan are never replayed under a plan
+// that could evaluate a subgoal differently, while α-equivalent queries
+// over the same program share entries. Stable within a process run; the
+// result is cached on the plan.
+func (p *Plan) Fingerprint() uint64 {
+	if fp := p.fp.Load(); fp != 0 {
+		return fp
+	}
+	h := fnv.New64a()
+	for _, key := range sortedKeys(p.Rules) {
+		io.WriteString(h, key.String())
+		io.WriteString(h, "\n")
+		for _, pr := range p.Rules[key] {
+			io.WriteString(h, pr.String())
+			io.WriteString(h, "\n")
+		}
+	}
+	fp := h.Sum64()
+	if fp == 0 {
+		fp = 1
+	}
+	p.fp.Store(fp)
+	return fp
 }
 
 // String renders the whole plan.
