@@ -19,6 +19,9 @@
 //	benchrunner -fig memo     # rule-level memo cache differential harness
 //	                          # and repeat-query latency (also writes
 //	                          # BENCH_memo.json)
+//	benchrunner -fig adaptive # calibration-driven adaptive planning vs a
+//	                          # calibration-blind optimizer on a repeat
+//	                          # workload (also writes BENCH_adaptive.json)
 package main
 
 import (
@@ -31,8 +34,8 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, 6, plan, ablations, optquality, hitrate, availability, parallel, admission, calibration, memo, all")
-	out := flag.String("out", "", "where the JSON-writing figures (parallel, admission, calibration, memo) put their result; default BENCH_<fig>.json")
+	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, 6, plan, ablations, optquality, hitrate, availability, parallel, admission, calibration, memo, adaptive, all")
+	out := flag.String("out", "", "where the JSON-writing figures (parallel, admission, calibration, memo, adaptive) put their result; default BENCH_<fig>.json")
 	flag.Parse()
 	if err := run(*fig, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
@@ -201,6 +204,17 @@ func run(fig, out string) error {
 		}
 		fmt.Println(experiments.FormatDifferential(rep))
 		if err := writeJSON("BENCH_memo.json", rep); err != nil {
+			return err
+		}
+	}
+	if want("adaptive") {
+		section("Adaptive planning: calibration-inflated costing vs a calibration-blind optimizer")
+		res, err := experiments.AdaptivePlanning()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatAdaptive(res))
+		if err := writeJSON("BENCH_adaptive.json", res); err != nil {
 			return err
 		}
 	}

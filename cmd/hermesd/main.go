@@ -73,6 +73,9 @@ func main() {
 	memoEntries := flag.Int("memo-entries", memoDefaults.MaxEntries, "memo cache entry budget")
 	memoBytes := flag.Int("memo-bytes", memoDefaults.MaxBytes, "memo cache byte budget")
 	memoDecay := flag.Float64("memo-decay", memoDefaults.Decay, "per-access exponential decay of memo entry benefit scores (0,1]")
+	calQuantile := flag.Float64("cal-inflate-quantile", 0.9, "q-error quantile used to inflate per-call cost estimates from calibration history (0 disables inflation)")
+	coldInflate := flag.Float64("cold-start-inflation", 1.5, "cost inflation factor for functions with no calibration samples at all (<=1 disables)")
+	replanFactor := flag.Float64("replan-factor", 0, "mid-query watchdog: re-plan a union lane when its elapsed cost exceeds this factor times its estimate (<=1 disables)")
 	flag.Parse()
 
 	shed, err := admission.ParsePolicy(*shedPolicy)
@@ -88,11 +91,14 @@ func main() {
 	}
 	if *httpAddr != "" {
 		oo := obsOptions{
-			Parallelism: *parallelism,
-			MaxInflight: *maxInflight,
-			Shed:        shed,
-			SlowQueryMS: *slowQueryMS,
-			Pprof:       *pprofOn,
+			Parallelism:  *parallelism,
+			MaxInflight:  *maxInflight,
+			Shed:         shed,
+			SlowQueryMS:  *slowQueryMS,
+			Pprof:        *pprofOn,
+			CalQuantile:  *calQuantile,
+			ColdInflate:  *coldInflate,
+			ReplanFactor: *replanFactor,
 		}
 		if *memoOn {
 			mcfg := memoDefaults
@@ -163,12 +169,15 @@ const serverProgram = `
 // obsOptions configures the embedded mediator behind the observability
 // endpoint; fields mirror the hermesd flags of the same names.
 type obsOptions struct {
-	Parallelism int              // -parallelism
-	MaxInflight int              // -max-inflight
-	Shed        admission.Policy // -shed-policy
-	SlowQueryMS int              // -slow-query-ms
-	Pprof       bool             // -pprof
-	Memo        *memo.Config     // -memo, -memo-entries, -memo-bytes, -memo-decay
+	Parallelism  int              // -parallelism
+	MaxInflight  int              // -max-inflight
+	Shed         admission.Policy // -shed-policy
+	SlowQueryMS  int              // -slow-query-ms
+	Pprof        bool             // -pprof
+	Memo         *memo.Config     // -memo, -memo-entries, -memo-bytes, -memo-decay
+	CalQuantile  float64          // -cal-inflate-quantile
+	ColdInflate  float64          // -cold-start-inflation
+	ReplanFactor float64          // -replan-factor
 }
 
 // newObsHandler builds the observability endpoint: an embedded mediator
@@ -187,12 +196,15 @@ func newObsHandler(doms []domain.Domain, opts obsOptions) (http.Handler, *core.S
 	o.Flight.SetThreshold(time.Duration(opts.SlowQueryMS) * time.Millisecond)
 	pol := resilience.DefaultPolicy()
 	sys := core.NewSystem(core.Options{
-		Obs:              o,
-		Resilience:       &pol,
-		Parallelism:      opts.Parallelism,
-		MaxInflightCalls: opts.MaxInflight,
-		ShedPolicy:       opts.Shed,
-		Memo:             opts.Memo,
+		Obs:                o,
+		Resilience:         &pol,
+		Parallelism:        opts.Parallelism,
+		MaxInflightCalls:   opts.MaxInflight,
+		ShedPolicy:         opts.Shed,
+		Memo:               opts.Memo,
+		CalInflateQuantile: opts.CalQuantile,
+		ColdStartInflation: opts.ColdInflate,
+		ReplanFactor:       opts.ReplanFactor,
 	})
 	for _, d := range doms {
 		sys.Register(d)
@@ -323,6 +335,8 @@ func preRegisterMetrics(o *obs.Observer, doms []domain.Domain) {
 	o.Counter("hermes_engine_parallel_stages_total")
 	o.Gauge("hermes_engine_inflight_branches")
 	o.Counter("hermes_queries_total")
+	o.Counter("hermes_plan_replans_total")
+	o.Counter("hermes_plan_inflation_applied_total")
 	for _, d := range doms {
 		o.Metrics.Histogram("hermes_dcsm_qerror_tf", "domain", d.Name())
 		o.Metrics.Histogram("hermes_dcsm_qerror_ta", "domain", d.Name())
@@ -352,6 +366,8 @@ func preRegisterMetrics(o *obs.Observer, doms []domain.Domain) {
 	o.Metrics.SetHelp("hermes_engine_parallel_stages_total", "independent-sibling prefetch stages started")
 	o.Metrics.SetHelp("hermes_engine_inflight_branches", "parallel pipeline branches currently running")
 	o.Metrics.SetHelp("hermes_queries_total", "queries executed by the embedded mediator")
+	o.Metrics.SetHelp("hermes_plan_replans_total", "union lanes that abandoned their body order mid-query for a cheaper one")
+	o.Metrics.SetHelp("hermes_plan_inflation_applied_total", "plan choices whose winning estimate carried q-error or cold-start cost inflation")
 	o.Metrics.SetHelp("hermes_breaker_state", "per-domain circuit breaker state: 0 closed, 1 open, 2 half-open")
 }
 

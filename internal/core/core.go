@@ -97,7 +97,30 @@ type Options struct {
 	// eviction, and invalidation driven by the CIM (a contributing domain
 	// call refreshed, evicted, or served degraded drops the relation).
 	// Nil disables memoization. Use memo.DefaultConfig() for the defaults.
+	// When memoization is on, plan costing prices subgoals whose memo
+	// entry is currently resident at their replay cost, so α-equivalent
+	// repeat queries pick orders that reuse warm entries.
 	Memo *memo.Config
+	// CalInflateQuantile, when > 0 (and an Observer is set), turns on
+	// calibration-inflated plan costing: every call's estimated time is
+	// multiplied by this quantile of the observed q-error distribution
+	// for its (domain, function). Use a pessimistic quantile (0.9): the
+	// inflated cost is then a worst-plausible-case cost, and minimizing
+	// it picks robust plans exactly when the calibration grade is rough.
+	// 0 keeps the calibration-blind costing of earlier releases.
+	CalInflateQuantile float64
+	// ColdStartInflation is the factor applied to calls whose function
+	// has no q-error observations at all (only meaningful with
+	// CalInflateQuantile > 0). Values <= 1 leave cold calls uninflated.
+	// Functions with even one observation use their observed quantile
+	// instead — see obs.Calibration.PlanGrade's cold/thin distinction.
+	ColdStartInflation float64
+	// ReplanFactor, when > 1, arms the engine's mid-query branch
+	// watchdog: a parallel union lane whose elapsed cost exceeds
+	// ReplanFactor times its estimate abandons its body order for a
+	// cheaper one from the rewriter (bounded to one re-plan per query,
+	// span-tagged replan=1).
+	ReplanFactor float64
 }
 
 // System is a mediator instance.
@@ -224,6 +247,12 @@ func NewSystem(opts Options) *System {
 			return cv, err == nil
 		}
 	}
+	if opts.ReplanFactor > 1 {
+		ecfg.ReplanFactor = opts.ReplanFactor
+		if ecfg.Replan == nil {
+			ecfg.Replan = s.replanRule
+		}
+	}
 	s.engine = engine.New(s.Registry, s.CIM, ecfg, observe)
 
 	if opts.Memo != nil {
@@ -258,7 +287,56 @@ func NewSystem(opts Options) *System {
 		cacheModel = s.CIM
 	}
 	s.estimator = estimate.New(s.DCSM, cacheModel, escfg)
+	if s.Memo != nil {
+		// Memo-aware costing: subgoals whose memo entry is resident are
+		// priced at their replay cost, so repeat queries pick orders that
+		// reuse warm entries (cache management and optimization together).
+		s.estimator.SetMemo(s.Memo)
+	}
+	if opts.CalInflateQuantile > 0 && s.Obs != nil {
+		s.estimator.SetCalibration(s.Obs.Calibration, opts.CalInflateQuantile, opts.ColdStartInflation)
+	}
 	return s
+}
+
+// replanRule is the engine watchdog's re-entry into the rewriter: given
+// a plan rule whose actual cost blew past its estimate and the variables
+// bound so far, enumerate the body's alternative permissible orders and
+// return the cheapest different one by estimated all-answers time. The
+// estimate runs against the *current* DCSM, calibration, and memo state,
+// so what was cheapest at initial planning time need not win here.
+func (s *System) replanRule(plan *rewrite.Plan, pr *rewrite.PlanRule, bound map[string]bool) (*rewrite.PlanRule, domain.CostVector, bool) {
+	rw := rewrite.New(s.Program, s.rewriteCfg, s.Registry)
+	var best *rewrite.PlanRule
+	var bestCV domain.CostVector
+	for _, alt := range rw.Reorder(pr, bound) {
+		if sameOrder(alt.Order, pr.Order) {
+			continue
+		}
+		cv, err := s.estimator.RuleCost(plan, alt, bound)
+		if err != nil {
+			continue
+		}
+		if best == nil || cv.TAll < bestCV.TAll {
+			best, bestCV = alt, cv
+		}
+	}
+	if best == nil {
+		return nil, domain.CostVector{}, false
+	}
+	return best, bestCV, true
+}
+
+func sameOrder(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Register adds a source domain to the federation. If the domain ships a
@@ -432,7 +510,11 @@ func (s *System) Optimize(query string, interactive bool) (*rewrite.Plan, domain
 	if err != nil {
 		return nil, domain.CostVector{}, err
 	}
-	return s.estimator.Best(plans, interactive)
+	best, cv, detail, err := s.estimator.BestDetail(plans, interactive)
+	if err == nil && detail.Inflated+detail.ColdInflated > 0 {
+		s.Obs.Counter("hermes_plan_inflation_applied_total").Inc()
+	}
+	return best, cv, err
 }
 
 // Execute runs a plan, returning a cursor over the answers.
@@ -489,7 +571,7 @@ func (s *System) QueryTracedCtx(ctx *domain.Ctx, query string, interactive bool)
 	rw.End(ctx.Clock.Now())
 
 	pc := root.Child("plan-choice", ctx.Clock.Now())
-	best, cv, err := s.estimator.Best(plans, interactive)
+	best, cv, detail, err := s.estimator.BestDetail(plans, interactive)
 	if err != nil {
 		pc.SetTag("error", err.Error())
 		pc.End(ctx.Clock.Now())
@@ -503,6 +585,15 @@ func (s *System) QueryTracedCtx(ctx *domain.Ctx, query string, interactive bool)
 	}
 	pc.SetTag("plan", planLine(best))
 	pc.SetEstimate(obs.Cost{TFirst: cv.TFirst, TAll: cv.TAll, Card: cv.Card})
+	if detail.Inflated+detail.ColdInflated > 0 {
+		// The winning estimate carries q-error (or cold-start) inflation:
+		// record the largest factor applied to any of its calls.
+		pc.SetTag("cal.inflate", fmt.Sprintf("%.2f", detail.MaxInflation))
+		s.Obs.Counter("hermes_plan_inflation_applied_total").Inc()
+	}
+	if detail.MemoHits > 0 {
+		pc.SetTag("memo.est_hits", strconv.Itoa(detail.MemoHits))
+	}
 	if s.Obs != nil && s.Obs.Calibration != nil {
 		// Was the winning plan ranked on trustworthy numbers? Grade the
 		// cost-model calibration of every function the plan can call.

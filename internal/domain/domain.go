@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"hermes/internal/obs"
@@ -242,6 +243,38 @@ type Ctx struct {
 	// must bypass the memo (it would otherwise wait on itself); the
 	// engine checks OnMemoPath before probing.
 	MemoPath map[string]bool
+	// Replans, when non-nil, is the query-wide mid-query re-plan budget
+	// shared by every branch (forks alias the same counter). The engine's
+	// branch watchdog must Take from it before abandoning a lane's body
+	// order, which bounds re-planning per query no matter how many lanes
+	// blow their estimates.
+	Replans *ReplanBudget
+}
+
+// ReplanBudget bounds how many mid-query re-plans a query may perform.
+// It is shared across concurrently-forked contexts; Take is safe for
+// concurrent use.
+type ReplanBudget struct {
+	mu   sync.Mutex
+	left int
+}
+
+// NewReplanBudget returns a budget allowing n re-plans.
+func NewReplanBudget(n int) *ReplanBudget { return &ReplanBudget{left: n} }
+
+// Take consumes one re-plan if any remain, reporting whether it did. A
+// nil budget always refuses — the watchdog is disarmed.
+func (b *ReplanBudget) Take() bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.left <= 0 {
+		return false
+	}
+	b.left--
+	return true
 }
 
 // NewCtx returns a context over the given clock. A nil clock gets a fresh
@@ -264,6 +297,7 @@ func (c *Ctx) Fork() *Ctx {
 		Sched:    c.Sched,
 		CallNote: c.CallNote,
 		MemoPath: c.MemoPath,
+		Replans:  c.Replans,
 	}
 }
 

@@ -73,6 +73,17 @@ type Config struct {
 	// estimator over the DCSM). The parallel union uses it to launch a
 	// union predicate's alternatives cheapest-estimated-Tf-first.
 	EstimateRule func(plan *rewrite.Plan, pr *rewrite.PlanRule, bound map[string]bool) (domain.CostVector, bool)
+	// ReplanFactor arms the mid-query branch watchdog: when a parallel
+	// union lane's elapsed cost exceeds ReplanFactor times its estimated
+	// all-answers cost, the lane abandons its body order and asks Replan
+	// for a cheaper one. Values <= 1, or a nil Replan, disable the
+	// watchdog. Re-planning is bounded by the query-wide
+	// domain.ReplanBudget on the Ctx (one re-plan per query).
+	ReplanFactor float64
+	// Replan, when set, re-enters the rewriter for one plan rule: given
+	// the variables bound so far, it returns an alternative body order
+	// with its estimated cost, or ok=false when no better order exists.
+	Replan func(plan *rewrite.Plan, pr *rewrite.PlanRule, bound map[string]bool) (*rewrite.PlanRule, domain.CostVector, bool)
 }
 
 // DefaultConfig mirrors the fixed overheads implied by the paper's
@@ -261,6 +272,11 @@ func (e *Engine) ExecutePlan(ctx *domain.Ctx, plan *rewrite.Plan) (*Cursor, erro
 	e.cfg.Obs.Counter("hermes_queries_total").Inc()
 	if n := ctx.Sched.Limit(); n > 1 {
 		span.SetTag("parallel", strconv.Itoa(n))
+	}
+	if e.cfg.ReplanFactor > 1 && e.cfg.Replan != nil && ctx.Replans == nil {
+		armed := *ctx
+		armed.Replans = domain.NewReplanBudget(1)
+		ctx = &armed
 	}
 	ctx.Clock.Sleep(e.cfg.QueryInit)
 	var vars []string

@@ -109,7 +109,12 @@ type parallelUnion struct {
 	branches []*unionBranch
 	closed   bool
 
-	rules   []*rewrite.PlanRule // launch order (cheapest Tf first)
+	rules []*rewrite.PlanRule // launch order (cheapest Tf first)
+	// ests[i]/priced[i] retain rules[i]'s full estimated cost vector
+	// (when EstimateRule priced it): the branch watchdog compares a
+	// lane's elapsed clock against its estimate to detect blowouts.
+	ests    []domain.CostVector
+	priced  []bool
 	depth   int
 	ordered bool
 	extra   int
@@ -126,13 +131,13 @@ func (e *Engine) newParallelUnion(ctx *domain.Ctx, plan *rewrite.Plan, a *lang.A
 		return nil
 	}
 	lanes := extra + 1
-	ranked := e.rankRules(plan, a, s, rules)
+	ranked, ests, priced := e.rankRules(plan, a, s, rules)
 	now := ctx.Clock.Now()
 	span := ctx.Span.Child("union "+a.Pred, now)
 	span.SetTag("parallel", strconv.Itoa(lanes))
 	u := &parallelUnion{
 		eng: e, ctx: ctx, plan: plan, atom: a, s: s, span: span,
-		rules: ranked, depth: depth,
+		rules: ranked, ests: ests, priced: priced, depth: depth,
 		ordered: !vclock.IsReal(ctx.Clock),
 		extra:   extra,
 	}
@@ -159,14 +164,19 @@ func (e *Engine) newParallelUnion(ctx *domain.Ctx, plan *rewrite.Plan, a *lang.A
 }
 
 // rankRules orders the alternatives cheapest-estimated-Tf-first (stable:
-// unpriced rules keep their program order, after priced ones).
-func (e *Engine) rankRules(plan *rewrite.Plan, a *lang.Atom, s term.Subst, rules []*rewrite.PlanRule) []*rewrite.PlanRule {
+// unpriced rules keep their program order, after priced ones). It also
+// returns each ranked rule's full estimated cost vector (aligned with
+// the returned order) so the branch watchdog can compare elapsed cost
+// against the estimate the launch order was based on.
+func (e *Engine) rankRules(plan *rewrite.Plan, a *lang.Atom, s term.Subst, rules []*rewrite.PlanRule) ([]*rewrite.PlanRule, []domain.CostVector, []bool) {
 	if e.cfg.EstimateRule == nil {
-		return rules
+		return rules, nil, nil
 	}
 	type ranked struct {
-		pr *rewrite.PlanRule
-		tf time.Duration
+		pr     *rewrite.PlanRule
+		cv     domain.CostVector
+		priced bool
+		tf     time.Duration
 	}
 	rs := make([]ranked, len(rules))
 	for i, pr := range rules {
@@ -178,15 +188,17 @@ func (e *Engine) rankRules(plan *rewrite.Plan, a *lang.Atom, s term.Subst, rules
 			}
 		}
 		if cv, ok := e.cfg.EstimateRule(plan, pr, bound); ok {
-			rs[i].tf = cv.TFirst
+			rs[i].cv, rs[i].priced, rs[i].tf = cv, true, cv.TFirst
 		}
 	}
 	sort.SliceStable(rs, func(i, j int) bool { return rs[i].tf < rs[j].tf })
 	out := make([]*rewrite.PlanRule, len(rs))
+	ests := make([]domain.CostVector, len(rs))
+	priced := make([]bool, len(rs))
 	for i, r := range rs {
-		out[i] = r.pr
+		out[i], ests[i], priced[i] = r.pr, r.cv, r.priced
 	}
-	return out
+	return out, ests, priced
 }
 
 // runLane evaluates the lane's assigned alternatives sequentially on one
@@ -217,6 +229,17 @@ func (u *parallelUnion) runLane(fork *domain.Ctx, idxs []int) {
 
 // runBranch evaluates one alternative to exhaustion, pushing mapped-back
 // answers. It returns false when the union was closed or cancelled.
+//
+// When the watchdog is armed (Config.ReplanFactor > 1, a Replan hook, a
+// priced estimate for this rule, and a Ctx re-plan budget), the branch
+// checks its elapsed clock against its estimate on every answer. A lane
+// whose elapsed cost blows past ReplanFactor x estimate asks the
+// rewriter for a cheaper body order under the bindings learned so far,
+// and — if one exists and the query-wide budget grants it — abandons
+// the losing order and re-evaluates under the new one. Answers already
+// pushed are subtracted from the re-evaluation by multiset, so the
+// union's output is exactly what a no-replan run would deliver (a
+// nested-loop join's answer multiset does not depend on body order).
 func (u *parallelUnion) runBranch(fork *domain.Ctx, ri int) bool {
 	br := u.branches[ri]
 	pr := u.rules[ri]
@@ -237,8 +260,22 @@ func (u *parallelUnion) runBranch(fork *domain.Ctx, ri int) bool {
 		settle(nil) // head constants conflict with the call: empty branch
 		return true
 	}
+	cfg := &u.eng.cfg
+	armed := cfg.ReplanFactor > 1 && cfg.Replan != nil && fork.Replans != nil &&
+		ri < len(u.priced) && u.priced[ri] && u.ests[ri].TAll > 0
+	for _, t := range u.atom.Args {
+		if len(t.Path) > 0 {
+			// Emission keys need every atom argument ground and evaluable;
+			// attribute paths make that uncertain, so stay on one order.
+			armed = false
+			break
+		}
+	}
+	var emitted map[string]int // multiset of pushed answers (armed only)
+	replanned := false
+	branchStart := fork.Clock.Now()
 	it := u.eng.newBodyIter(fork, u.plan, pr, headEnv, u.depth+1)
-	defer it.close()
+	defer func() { it.close() }()
 	for {
 		env, ok, err := it.next()
 		if err != nil {
@@ -261,11 +298,68 @@ func (u *parallelUnion) runBranch(fork *domain.Ctx, ri int) bool {
 		if !ok {
 			continue
 		}
+		if armed && !replanned {
+			if elapsed := fork.Clock.Now() - branchStart; float64(elapsed) > cfg.ReplanFactor*float64(u.ests[ri].TAll) {
+				bound := make(map[string]bool, len(headEnv))
+				for v := range headEnv {
+					bound[v] = true
+				}
+				if alt, altCV, found := cfg.Replan(u.plan, pr, bound); found && alt != nil &&
+					altCV.TAll < elapsed && fork.Replans.Take() {
+					u.span.SetTag("replan", "1")
+					cfg.Obs.Counter("hermes_plan_replans_total").Inc()
+					replanned = true
+					it.close()
+					pr = alt
+					it = u.eng.newBodyIter(fork, u.plan, pr, headEnv, u.depth+1)
+					// The new order regenerates the whole relation; the
+					// emitted multiset filters out what this lane already
+					// pushed. The in-hand answer was not pushed, so it is
+					// not counted — the re-evaluation re-delivers it.
+					continue
+				}
+				// No acceptable alternative (or the budget is spent):
+				// stop checking, ride the current order out.
+				armed = false
+			}
+		}
+		if replanned && len(emitted) > 0 {
+			k := emissionKey(u.atom, out)
+			if c := emitted[k]; c > 0 {
+				if c == 1 {
+					delete(emitted, k)
+				} else {
+					emitted[k] = c - 1
+				}
+				continue
+			}
+		}
 		if !u.push(br, out, fork.Clock.Now()) {
 			settle(nil)
 			return false
 		}
+		if armed && !replanned {
+			if emitted == nil {
+				emitted = make(map[string]int)
+			}
+			emitted[emissionKey(u.atom, out)]++
+		}
 	}
+}
+
+// emissionKey renders an emission's ground atom-argument tuple as a
+// multiset key (after a successful mapBack every atom argument is ground
+// under out; path arguments disarm the watchdog at setup).
+func emissionKey(a *lang.Atom, out term.Subst) string {
+	vals := make([]term.Value, len(a.Args))
+	for i, t := range a.Args {
+		v, err := out.Eval(t)
+		if err != nil {
+			return "?" // unreachable when the watchdog is armed
+		}
+		vals[i] = v
+	}
+	return valsKey(vals)
 }
 
 // push enqueues an emission, blocking while the branch's queue is full.

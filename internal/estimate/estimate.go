@@ -23,6 +23,7 @@ import (
 	"hermes/internal/dcsm"
 	"hermes/internal/domain"
 	"hermes/internal/lang"
+	"hermes/internal/memo"
 	"hermes/internal/rewrite"
 	"hermes/internal/term"
 )
@@ -38,6 +39,25 @@ type CacheModel interface {
 	Probe(c domain.Call) (cim.Source, int)
 	// CostModel returns the CIM's serve-cost parameters.
 	CostModel() cim.CostModel
+}
+
+// Calibration exposes the observed q-error distribution the estimator
+// inflates by; implemented by *obs.Calibration. n == 0 means the
+// (domain, function) has never been observed.
+type Calibration interface {
+	QErrQuantile(dom, fn string, q float64) (qerr float64, n int64)
+}
+
+// MemoModel exposes the memo-cache state the estimator needs to price a
+// subgoal at its replay cost; implemented by *memo.Cache.
+type MemoModel interface {
+	// EstimateServe reports whether the key is currently serveable and how
+	// many tuples a replay would emit, without perturbing cache stats.
+	EstimateServe(key string) (tuples int, ok bool)
+	// LookupCost / PerTupleCost are the clock costs the engine charges on
+	// the serve path.
+	LookupCost() time.Duration
+	PerTupleCost() time.Duration
 }
 
 // Config tunes the estimator.
@@ -65,6 +85,21 @@ type Estimator struct {
 	db    *dcsm.DB
 	cache CacheModel // nil when no CIM is deployed
 	cfg   Config
+
+	// cal, when set, turns on calibration-inflated costing: every call's
+	// time components are multiplied by the calQuantile q-error observed
+	// for its (domain, function), or by coldInflate when the function has
+	// never been observed. Because the inflation quantile is pessimistic
+	// (p90, not the median), the inflated cost *is* a worst-plausible-case
+	// cost — so ranking plans by minimum inflated cost is exactly the
+	// robust (minimize worst case) plan choice the rough grade calls for.
+	cal         Calibration
+	calQuantile float64
+	coldInflate float64
+	// memo, when set, prices subgoals whose memo key is currently
+	// resident at their replay cost instead of their source cost, so
+	// α-equivalent repeat queries pick orders that reuse warm entries.
+	memo MemoModel
 }
 
 // New builds an estimator over the DCSM. cache may be nil.
@@ -75,13 +110,53 @@ func New(db *dcsm.DB, cache CacheModel, cfg Config) *Estimator {
 	return &Estimator{db: db, cache: cache, cfg: cfg}
 }
 
+// SetCalibration enables calibration-inflated costing. quantile selects
+// the q-error quantile read per (domain, function) — pessimistic values
+// (0.9) make the ranking robust rather than optimistic. coldInflate is
+// the factor applied to functions with no observations at all; values
+// <= 1 disable cold-start inflation. A nil cal turns inflation off.
+func (e *Estimator) SetCalibration(cal Calibration, quantile, coldInflate float64) {
+	if quantile <= 0 || quantile >= 1 {
+		quantile = 0.9
+	}
+	e.cal, e.calQuantile, e.coldInflate = cal, quantile, coldInflate
+}
+
+// SetMemo enables memo-residency-aware costing.
+func (e *Estimator) SetMemo(m MemoModel) { e.memo = m }
+
+// CostDetail reports how a plan's estimate was put together, beyond the
+// cost vector itself.
+type CostDetail struct {
+	// Defaulted counts literals with no statistics that used
+	// Config.DefaultCost.
+	Defaulted int
+	// Inflated counts calls whose cost was inflated by an observed
+	// q-error factor > 1; ColdInflated counts calls that took the
+	// cold-start factor instead.
+	Inflated     int
+	ColdInflated int
+	// MaxInflation is the largest factor applied to any single call (1
+	// when nothing was inflated).
+	MaxInflation float64
+	// MemoHits counts subgoals priced at their memo replay cost.
+	MemoHits int
+}
+
 // PlanCost estimates the cost vector of executing a plan in all-answers
 // mode. defaulted reports how many literals had no statistics and used
 // Config.DefaultCost.
 func (e *Estimator) PlanCost(p *rewrite.Plan) (cv domain.CostVector, defaulted int, err error) {
-	st := &costState{est: e, plan: p}
+	cv, d, err := e.PlanCostDetail(p)
+	return cv, d.Defaulted, err
+}
+
+// PlanCostDetail is PlanCost plus the full accounting of inflation and
+// memo-residency adjustments.
+func (e *Estimator) PlanCostDetail(p *rewrite.Plan) (cv domain.CostVector, d CostDetail, err error) {
+	st := &costState{est: e, plan: p, maxInflation: 1}
 	cv, err = st.costPlanRule(p.Query, term.Subst{}, map[string]bool{}, 0)
-	return cv, st.defaulted, err
+	return cv, st.detail(), err
 }
 
 // RuleCost estimates the cost vector of one plan rule body given the set
@@ -90,7 +165,7 @@ func (e *Estimator) PlanCost(p *rewrite.Plan) (cv domain.CostVector, defaulted i
 // cheapest-estimated-Tf-first, so the earliest expected first answer is
 // also the earliest launched.
 func (e *Estimator) RuleCost(p *rewrite.Plan, pr *rewrite.PlanRule, bound map[string]bool) (domain.CostVector, error) {
-	st := &costState{est: e, plan: p}
+	st := &costState{est: e, plan: p, maxInflation: 1}
 	if bound == nil {
 		bound = map[string]bool{}
 	}
@@ -101,15 +176,25 @@ func (e *Estimator) RuleCost(p *rewrite.Plan, pr *rewrite.PlanRule, bound map[st
 // with its cost. byFirstAnswer ranks by time-to-first-answer instead
 // (interactive mode).
 func (e *Estimator) Best(plans []*rewrite.Plan, byFirstAnswer bool) (*rewrite.Plan, domain.CostVector, error) {
+	p, cv, _, err := e.BestDetail(plans, byFirstAnswer)
+	return p, cv, err
+}
+
+// BestDetail is Best plus the winner's CostDetail. When calibration
+// inflation is enabled the ranking minimizes the *inflated* cost, i.e.
+// the worst-plausible-case cost under the observed q-error tail, which
+// makes the choice robust exactly when the numbers are rough.
+func (e *Estimator) BestDetail(plans []*rewrite.Plan, byFirstAnswer bool) (*rewrite.Plan, domain.CostVector, CostDetail, error) {
 	if len(plans) == 0 {
-		return nil, domain.CostVector{}, fmt.Errorf("estimate: no plans to rank")
+		return nil, domain.CostVector{}, CostDetail{}, fmt.Errorf("estimate: no plans to rank")
 	}
 	var best *rewrite.Plan
 	var bestCV domain.CostVector
+	var bestD CostDetail
 	for _, p := range plans {
-		cv, _, err := e.PlanCost(p)
+		cv, d, err := e.PlanCostDetail(p)
 		if err != nil {
-			return nil, domain.CostVector{}, err
+			return nil, domain.CostVector{}, CostDetail{}, err
 		}
 		better := best == nil
 		if !better {
@@ -120,17 +205,64 @@ func (e *Estimator) Best(plans []*rewrite.Plan, byFirstAnswer bool) (*rewrite.Pl
 			}
 		}
 		if better {
-			best, bestCV = p, cv
+			best, bestCV, bestD = p, cv, d
 		}
 	}
-	return best, bestCV, nil
+	return best, bestCV, bestD, nil
 }
 
 // costState threads plan context and fallback accounting.
 type costState struct {
-	est       *Estimator
-	plan      *rewrite.Plan
-	defaulted int
+	est          *Estimator
+	plan         *rewrite.Plan
+	defaulted    int
+	inflated     int
+	coldInflated int
+	maxInflation float64
+	memoHits     int
+}
+
+func (st *costState) detail() CostDetail {
+	return CostDetail{
+		Defaulted:    st.defaulted,
+		Inflated:     st.inflated,
+		ColdInflated: st.coldInflated,
+		MaxInflation: st.maxInflation,
+		MemoHits:     st.memoHits,
+	}
+}
+
+// inflate scales a call's time components by the observed pessimistic
+// q-error for its function, or by the cold-start factor when the
+// function has never been observed. Cardinality is left alone: the Ta
+// q-error already folds cardinality misestimates into time, and scaling
+// Card would double-count them through the nested-loop multiplier.
+func (st *costState) inflate(cv domain.CostVector, dom, fn string) domain.CostVector {
+	e := st.est
+	if e.cal == nil {
+		return cv
+	}
+	q, n := e.cal.QErrQuantile(dom, fn, e.calQuantile)
+	factor := 1.0
+	switch {
+	case n == 0:
+		if e.coldInflate > 1 {
+			factor = e.coldInflate
+			st.coldInflated++
+		}
+	case q > 1:
+		factor = q
+		st.inflated++
+	}
+	if factor == 1 {
+		return cv
+	}
+	if factor > st.maxInflation {
+		st.maxInflation = factor
+	}
+	cv.TFirst = time.Duration(float64(cv.TFirst) * factor)
+	cv.TAll = time.Duration(float64(cv.TAll) * factor)
+	return cv
 }
 
 // costPlanRule costs one plan rule body under the plan-time-known constant
@@ -270,6 +402,10 @@ func (st *costState) costInCall(l *lang.InCall, route rewrite.Route, known term.
 		actual = st.est.cfg.DefaultCost
 		st.defaulted++
 	}
+	// Calibration inflation applies to the source-call cost only: a CIM
+	// exact/equality hit below replaces it with a serve cost, which is a
+	// local replay whose price the estimator knows exactly.
+	actual = st.inflate(actual, l.Call.Domain, l.Call.Function)
 	if route != rewrite.RouteCIM || st.est.cache == nil {
 		return actual, nil
 	}
@@ -330,6 +466,10 @@ func (st *costState) costAtom(a *lang.Atom, known term.Subst, bound map[string]b
 	if !ok || len(rules) == 0 {
 		return domain.CostVector{}, fmt.Errorf("estimate: plan has no rules for %s", key)
 	}
+	if cv, hit := st.memoServeCost(a, adorn, known, bound); hit {
+		st.memoHits++
+		return cv, nil
+	}
 	var total domain.CostVector
 	for ri, pr := range rules {
 		subKnown, subBound := headBindings(a, pr.Rule, known, bound)
@@ -344,6 +484,50 @@ func (st *costState) costAtom(a *lang.Atom, known term.Subst, bound map[string]b
 		total.Card += cv.Card
 	}
 	return total, nil
+}
+
+// memoServeCost prices an IDB subgoal occurrence at its memo replay cost
+// when its memo key is currently resident. The key is the plan-time
+// mirror of the engine's runtime key: constants and plan-time-known
+// variables become bound positions, free variables stay free (the
+// engine's α-renaming makes the names irrelevant). A position that is
+// runtime-bound but whose value is not known at plan time makes the
+// runtime key unknowable, so the subgoal is conservatively priced at
+// source cost; likewise attribute-path arguments, which the engine
+// refuses to memoize.
+func (st *costState) memoServeCost(a *lang.Atom, adorn rewrite.Adornment, known term.Subst, bound map[string]bool) (domain.CostVector, bool) {
+	m := st.est.memo
+	if m == nil {
+		return domain.CostVector{}, false
+	}
+	args := make([]memo.KeyArg, len(a.Args))
+	for i, t := range a.Args {
+		switch {
+		case t.IsConst():
+			args[i] = memo.KeyArg{Bound: true, ValueKey: t.Const.Key()}
+		case len(t.Path) > 0:
+			return domain.CostVector{}, false
+		default:
+			if v, ok := known[t.Var]; ok {
+				args[i] = memo.KeyArg{Bound: true, ValueKey: v.Key()}
+			} else if bound[t.Var] {
+				return domain.CostVector{}, false
+			} else {
+				args[i] = memo.KeyArg{Var: t.Var}
+			}
+		}
+	}
+	key := memo.KeyOf(st.plan.Fingerprint(), a.Pred, string(adorn), args)
+	n, ok := m.EstimateServe(key)
+	if !ok {
+		return domain.CostVector{}, false
+	}
+	lookup, per := m.LookupCost(), m.PerTupleCost()
+	return domain.CostVector{
+		TFirst: lookup + per,
+		TAll:   lookup + time.Duration(n)*per,
+		Card:   float64(n),
+	}, true
 }
 
 // adornmentOf computes an atom's adornment: bound where the argument is a

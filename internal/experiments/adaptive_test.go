@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+// TestAdaptivePlanning pins the experiment's headline claims: the blind
+// optimizer keeps trusting the lying mirror, the adaptive one abandons it
+// after one round of calibration, warm-workload actual time improves by
+// at least 20%, and the answer multisets never change.
+func TestAdaptivePlanning(t *testing.T) {
+	res, err := AdaptivePlanning()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AnswersEqual {
+		t.Fatal("adaptive planning changed an answer multiset")
+	}
+	for _, r := range res.Rounds {
+		switch {
+		case r.Mode == "blind" && r.Chosen != "mirrora":
+			t.Errorf("round %d: blind optimizer abandoned the lying mirror (chose %s)", r.Round, r.Chosen)
+		case r.Mode == "adaptive" && r.Round >= 2 && r.Chosen != "mirrorb":
+			t.Errorf("round %d: adaptive optimizer still trusts the lying mirror (chose %s)", r.Round, r.Chosen)
+		}
+	}
+	if res.WarmImprovementPct < 20 {
+		t.Errorf("warm improvement %.1f%% < 20%% (blind %dms, adaptive %dms)",
+			res.WarmImprovementPct, res.BlindWarmMeanMS, res.AdaptiveWarmMeanMS)
+	}
+	if res.InflationApplied == 0 {
+		t.Error("adaptive run never applied estimate inflation")
+	}
+	out := FormatAdaptive(res)
+	if len(out) == 0 {
+		t.Fatal("empty rendering")
+	}
+}

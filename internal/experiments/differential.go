@@ -9,6 +9,8 @@ import (
 
 	"hermes/internal/engine"
 	"hermes/internal/memo"
+	"hermes/internal/obs"
+	"hermes/internal/rewrite"
 )
 
 // The differential harness is the memo cache's acceptance gate: a seeded
@@ -51,13 +53,18 @@ func DefaultDifferentialOptions() DifferentialOptions {
 
 // DifferentialConfig is one (memo, parallelism) cell of the matrix.
 type DifferentialConfig struct {
-	Name        string     `json:"name"`
-	Parallelism int        `json:"parallelism"`
-	Memo        bool       `json:"memo"`
-	Errors      int        `json:"errors"`
-	Mismatches  int        `json:"mismatches"`
-	HitRate     float64    `json:"hit_rate"`
-	MemoStats   memo.Stats `json:"memo_stats"`
+	Name        string `json:"name"`
+	Parallelism int    `json:"parallelism"`
+	Memo        bool   `json:"memo"`
+	// Adaptive marks the cell that runs optimizer-chosen plans under
+	// calibration-inflated costing and the re-plan watchdog, instead of
+	// plans pinned to textual order. Plan choice must never change
+	// answers, so this cell diffs against the same baseline.
+	Adaptive   bool       `json:"adaptive,omitempty"`
+	Errors     int        `json:"errors"`
+	Mismatches int        `json:"mismatches"`
+	HitRate    float64    `json:"hit_rate"`
+	MemoStats  memo.Stats `json:"memo_stats"`
 	// MeanMS / RepeatMeanMS / FreshMeanMS are per-query all-answers means
 	// on the virtual clock, split by whether the query repeats an earlier
 	// one. RepeatMeanMS is where the memo earns its keep.
@@ -181,8 +188,11 @@ type diffRun struct {
 
 // runDifferentialConfig replays the workload on a fresh testbed. Plans are
 // pinned to textual order so every configuration executes the same joins;
-// only the memo (and the engine width) differs.
-func runDifferentialConfig(opts DifferentialOptions, workload []diffQuery, parallelism int, withMemo bool) (*diffRun, error) {
+// only the memo (and the engine width) differs. The adaptive cell is the
+// exception: it lets the optimizer choose plans under calibration-inflated
+// costing with the re-plan watchdog armed, asserting that feedback-driven
+// plan choice never changes an answer multiset.
+func runDifferentialConfig(opts DifferentialOptions, workload []diffQuery, parallelism int, withMemo, adaptive bool) (*diffRun, error) {
 	var mcfg *memo.Config
 	if withMemo {
 		c := memo.DefaultConfig()
@@ -191,28 +201,43 @@ func runDifferentialConfig(opts DifferentialOptions, workload []diffQuery, paral
 		}
 		mcfg = &c
 	}
-	tb, err := NewTestbed(TestbedOptions{
+	tbOpts := TestbedOptions{
 		RouteViaCIM:    true,
 		WithInvariants: true,
 		Seed:           uint64(opts.Seed),
 		Parallelism:    parallelism,
 		Memo:           mcfg,
-	})
+	}
+	name := fmt.Sprintf("memo=%v p=%d", withMemo, parallelism)
+	if adaptive {
+		tbOpts.Obs = obs.NewObserver()
+		tbOpts.CalInflateQuantile = 0.9
+		tbOpts.ColdStartInflation = 1.5
+		tbOpts.ReplanFactor = 3
+		name = fmt.Sprintf("adaptive p=%d", parallelism)
+	}
+	tb, err := NewTestbed(tbOpts)
 	if err != nil {
 		return nil, err
 	}
 	run := &diffRun{
 		cfg: DifferentialConfig{
-			Name:        fmt.Sprintf("memo=%v p=%d", withMemo, parallelism),
+			Name:        name,
 			Parallelism: parallelism,
 			Memo:        withMemo,
+			Adaptive:    adaptive,
 		},
 		results: make([][]string, len(workload)),
 	}
 	var sumAll, sumRepeat, sumFresh time.Duration
 	repeats, fresh := 0, 0
 	for i, q := range workload {
-		plan, err := originalOrderPlan(tb.Sys, q.Text)
+		var plan *rewrite.Plan
+		if adaptive {
+			plan, _, err = tb.Sys.Optimize(q.Text, false)
+		} else {
+			plan, err = originalOrderPlan(tb.Sys, q.Text)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("differential: plan %s: %w", q.Text, err)
 		}
@@ -275,13 +300,21 @@ func RunDifferential(opts DifferentialOptions) (*DifferentialReport, error) {
 	var runs []*diffRun
 	for _, p := range opts.Parallelism {
 		for _, withMemo := range []bool{false, true} {
-			run, err := runDifferentialConfig(opts, workload, p, withMemo)
+			run, err := runDifferentialConfig(opts, workload, p, withMemo, false)
 			if err != nil {
 				return nil, err
 			}
 			runs = append(runs, run)
 		}
 	}
+	// One adaptive cell at the widest engine: optimizer-chosen plans under
+	// inflated costing and the watchdog, against the same pinned baseline.
+	adaptiveRun, err := runDifferentialConfig(opts, workload,
+		opts.Parallelism[len(opts.Parallelism)-1], true, true)
+	if err != nil {
+		return nil, err
+	}
+	runs = append(runs, adaptiveRun)
 	baseline := runs[0]
 	for _, run := range runs {
 		for i := range workload {

@@ -158,6 +158,15 @@ type TestbedOptions struct {
 	// Memo, when set, enables the rule-level memo cache (intermediate IDB
 	// relations replayed instead of re-expanded).
 	Memo *memo.Config
+	// CalInflateQuantile, when > 0 (with Obs set), inflates per-call cost
+	// estimates by the observed q-error at this quantile (adaptive
+	// planning experiments).
+	CalInflateQuantile float64
+	// ColdStartInflation is the inflation factor applied to functions with
+	// no calibration samples (only with CalInflateQuantile > 0).
+	ColdStartInflation float64
+	// ReplanFactor arms the mid-query branch watchdog (> 1).
+	ReplanFactor float64
 }
 
 // Testbed is a fully wired federation: the mediator system plus direct
@@ -258,6 +267,9 @@ func NewTestbed(opts TestbedOptions) (*Testbed, error) {
 	sysOpts.ShedPolicy = opts.ShedPolicy
 	sysOpts.Obs = opts.Obs
 	sysOpts.Memo = opts.Memo
+	sysOpts.CalInflateQuantile = opts.CalInflateQuantile
+	sysOpts.ColdStartInflation = opts.ColdStartInflation
+	sysOpts.ReplanFactor = opts.ReplanFactor
 	sys := core.NewSystem(sysOpts)
 
 	var hostOpts []netsim.Option

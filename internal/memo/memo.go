@@ -330,6 +330,21 @@ func (c *Cache) Serveable(key string) bool {
 	return ok && !e.Degraded
 }
 
+// EstimateServe reports whether key is currently serveable and, if so,
+// how many tuples a replay would emit. Like Serveable it bypasses the
+// probe path entirely — no stats, no score credit, no single-flight —
+// because its caller is the *cost estimator*, which must be free to
+// price candidate plans without perturbing the cache's benefit
+// accounting. Degraded entries report a miss: the engine would not
+// serve them either.
+func (c *Cache) EstimateServe(key string) (tuples int, ok bool) {
+	e, got := c.store.get(key)
+	if !got || e.Degraded {
+		return 0, false
+	}
+	return len(e.Tuples), true
+}
+
 // SnapshotEntries returns the cached relations for introspection (debug
 // views, chaos assertions). The entries are shared; callers must not
 // mutate them.

@@ -104,6 +104,17 @@ func (c *Calibration) Observe(dom, fn string, est, actual Cost) {
 // back it. n < CalMinSamples means the function is effectively
 // ungraded (cold).
 func (c *Calibration) Grade(dom, fn string) (medianQTa float64, n int64) {
+	return c.QErrQuantile(dom, fn, 0.5)
+}
+
+// QErrQuantile reports a chosen quantile of a function's Ta q-error
+// window and how many samples back it. The planner's calibration-
+// inflated costing reads a pessimistic quantile (p90 by default) here:
+// inflating by the median would under-correct half the time, while the
+// upper tail is exactly the "how wrong could this estimate plausibly
+// be" factor a robust plan ranking wants. n == 0 means the function
+// has never been observed.
+func (c *Calibration) QErrQuantile(dom, fn string, q float64) (qerr float64, n int64) {
 	if c == nil {
 		return 0, 0
 	}
@@ -113,19 +124,40 @@ func (c *Calibration) Grade(dom, fn string) (medianQTa float64, n int64) {
 	if e == nil {
 		return 0, 0
 	}
-	return e.qta.Quantile(0.5), e.qta.Count()
+	return e.qta.Quantile(q), e.qta.Count()
 }
 
 // PlanGrade grades a plan by the (domain, function) pairs of the calls
-// it would issue: "cold" when no function has enough samples to judge,
-// "trusted" when every graded function's median Ta q-error is at most
-// CalTrustedQErr, and "rough" otherwise. It also returns the worst
-// graded median q-error (0 when cold).
+// it would issue:
+//
+//   - "cold": no function has any q-error samples at all.
+//   - "thin": some functions have samples, but none has reached
+//     CalMinSamples. The numbers are real observations — just few —
+//     so cold-start inflation must not apply; worstQ is the worst
+//     observed median among the thinly-sampled functions.
+//   - "trusted": every function with >= CalMinSamples samples has a
+//     median Ta q-error at most CalTrustedQErr.
+//   - "rough": otherwise.
+//
+// It also returns the worst graded median q-error (0 when cold).
+// Distinguishing cold from thin matters because Grade floors q-errors
+// at 1ms/1row: a function with two accurate observations already
+// carries more signal than no observations, and treating it as cold
+// would slap cold-start inflation on an estimate that has evidence
+// behind it.
 func (c *Calibration) PlanGrade(fns [][2]string) (grade string, worstQ float64) {
-	graded := 0
+	graded, sampled := 0, 0
+	var thinWorst float64
 	for _, df := range fns {
 		q, n := c.Grade(df[0], df[1])
+		if n == 0 {
+			continue
+		}
+		sampled++
 		if n < CalMinSamples {
+			if q > thinWorst {
+				thinWorst = q
+			}
 			continue
 		}
 		graded++
@@ -134,8 +166,10 @@ func (c *Calibration) PlanGrade(fns [][2]string) (grade string, worstQ float64) 
 		}
 	}
 	switch {
-	case graded == 0:
+	case sampled == 0:
 		return "cold", 0
+	case graded == 0:
+		return "thin", thinWorst
 	case worstQ <= CalTrustedQErr:
 		return "trusted", worstQ
 	default:

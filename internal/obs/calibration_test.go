@@ -72,14 +72,53 @@ func TestCalibrationPlanGrade(t *testing.T) {
 	}
 	c.Observe("a", "thin", good, good) // below CalMinSamples
 
-	if g, _ := c.PlanGrade([][2]string{{"a", "nosuch"}, {"a", "thin"}}); g != "cold" {
-		t.Errorf("ungraded plan = %q, want cold", g)
+	if g, _ := c.PlanGrade([][2]string{{"a", "nosuch"}}); g != "cold" {
+		t.Errorf("never-observed plan = %q, want cold", g)
+	}
+	// A function with *some* samples (just fewer than CalMinSamples) is
+	// thin, not cold: its observations are real evidence and cold-start
+	// inflation must not apply to it.
+	if g, q := c.PlanGrade([][2]string{{"a", "nosuch"}, {"a", "thin"}}); g != "thin" || q != 1 {
+		t.Errorf("thinly-sampled plan = %q, %g, want thin, 1", g, q)
 	}
 	if g, q := c.PlanGrade([][2]string{{"a", "good"}}); g != "trusted" || q != 1 {
 		t.Errorf("good plan = %q, %g", g, q)
 	}
 	if g, q := c.PlanGrade([][2]string{{"a", "good"}, {"a", "bad"}}); g != "rough" || q != 10 {
 		t.Errorf("mixed plan = %q, %g, want rough on worst function", g, q)
+	}
+	// A graded function outranks thin ones: the thin sample neither
+	// promotes nor blocks the trusted grade.
+	if g, _ := c.PlanGrade([][2]string{{"a", "good"}, {"a", "thin"}}); g != "trusted" {
+		t.Errorf("graded+thin plan = %q, want trusted", g)
+	}
+}
+
+func TestCalibrationQErrQuantile(t *testing.T) {
+	c := NewCalibration()
+	// Eight accurate observations and two 16x blowouts: the median stays
+	// 1 while p90 surfaces the tail — the divergence the pessimistic
+	// inflation quantile exists to capture.
+	good := Cost{TAll: 100 * time.Millisecond, Card: 10}
+	for i := 0; i < 8; i++ {
+		c.Observe("a", "spiky", good, good)
+	}
+	c.Observe("a", "spiky", good, Cost{TAll: 1600 * time.Millisecond, Card: 10})
+	c.Observe("a", "spiky", good, Cost{TAll: 1600 * time.Millisecond, Card: 10})
+	med, n := c.QErrQuantile("a", "spiky", 0.5)
+	p90, _ := c.QErrQuantile("a", "spiky", 0.9)
+	if n != 10 || med != 1 {
+		t.Errorf("median = %g n=%d, want 1, 10", med, n)
+	}
+	if p90 <= med {
+		t.Errorf("p90 = %g should exceed median %g", p90, med)
+	}
+	if _, n := c.QErrQuantile("a", "nosuch", 0.9); n != 0 {
+		t.Errorf("untracked function reported %d samples", n)
+	}
+	var nilCal *Calibration
+	if q, n := nilCal.QErrQuantile("a", "b", 0.9); q != 0 || n != 0 {
+		t.Error("nil calibration QErrQuantile not a no-op")
 	}
 }
 

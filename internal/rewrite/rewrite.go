@@ -361,6 +361,23 @@ func (rw *Rewriter) orderings(body []lang.Literal, bound map[string]bool) [][]in
 	return out
 }
 
+// Reorder re-enters the ordering enumeration for one plan rule with a
+// fresh bound-variable set — the mid-query re-planning entry point. The
+// engine's branch watchdog calls it when a lane's actual cost blows past
+// its estimate: bound then contains the head bindings plus whatever the
+// query has learned so far, and every returned PlanRule shares the
+// original's Rule and Routes but executes the body in a different
+// permissible order. The caller re-costs the alternatives and switches
+// to the cheapest.
+func (rw *Rewriter) Reorder(pr *PlanRule, bound map[string]bool) []*PlanRule {
+	orders := rw.orderings(pr.Rule.Body, bound)
+	out := make([]*PlanRule, 0, len(orders))
+	for _, ord := range orders {
+		out = append(out, &PlanRule{Rule: pr.Rule, Order: ord, Routes: pr.Routes})
+	}
+	return out
+}
+
 func cloneSet(s map[string]bool) map[string]bool {
 	out := make(map[string]bool, len(s))
 	for k, v := range s {

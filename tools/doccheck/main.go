@@ -1,8 +1,10 @@
 // Command doccheck verifies that the documentation matches the tree: every
 // repo-relative path the docs mention must exist, every markdown link
-// target must resolve, and every CLI flag the docs attribute to one of
-// this repo's binaries must actually be defined by a command under cmd/.
-// CI runs it so README/docs drift fails the build instead of rotting.
+// target must resolve, every CLI flag the docs attribute to one of
+// this repo's binaries must actually be defined by a command under cmd/,
+// and README's hermesd flag table must stay in two-way sync with the
+// flags cmd/hermesd actually defines. CI runs it so README/docs drift
+// fails the build instead of rotting.
 //
 // Usage: go run ./tools/doccheck [-root dir]
 package main
@@ -38,6 +40,8 @@ var (
 	binaryRe = regexp.MustCompile(`(?:^|[ /])(?:hermes|hermesd|benchrunner|doccheck)\b`)
 	// symbolRe strips a Go symbol qualifier: internal/core.System → internal/core.
 	symbolRe = regexp.MustCompile(`^(.*?)\.[A-Z].*$`)
+	// tableFlagRe matches a README flag-table row's flag cell: | `-memo` | ...
+	tableFlagRe = regexp.MustCompile("^\\|\\s*`-([a-z][a-z0-9-]*)`\\s*\\|")
 )
 
 func main() {
@@ -66,6 +70,12 @@ func main() {
 			problems = append(problems, p...)
 		}
 	}
+	p, err := checkFlagSync(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	problems = append(problems, p...)
 	if len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Println(p)
@@ -96,6 +106,62 @@ func definedFlags(root string) (map[string]bool, error) {
 		}
 	}
 	return flags, nil
+}
+
+// checkFlagSync keeps README's hermesd flag table and cmd/hermesd's flag
+// definitions in two-way sync: a flag defined by the server but missing
+// from the table is undocumented, and a table row whose flag the server
+// no longer defines is stale. (Rows for flags of other binaries would be
+// caught here too — the table is hermesd's.)
+func checkFlagSync(root string) ([]string, error) {
+	defined := map[string]bool{}
+	srcs, err := filepath.Glob(filepath.Join(root, "cmd/hermesd/*.go"))
+	if err != nil {
+		return nil, err
+	}
+	for _, src := range srcs {
+		if strings.HasSuffix(src, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(src)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range flagDefRe.FindAllStringSubmatch(string(data), -1) {
+			defined[m[1]] = true
+		}
+	}
+
+	data, err := os.ReadFile(filepath.Join(root, "README.md"))
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	documented := map[string]bool{}
+	for i, line := range strings.Split(string(data), "\n") {
+		m := tableFlagRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		documented[m[1]] = true
+		if !defined[m[1]] {
+			problems = append(problems, fmt.Sprintf(
+				"README.md:%d: flag table row %q names a flag cmd/hermesd does not define", i+1, "-"+m[1]))
+		}
+	}
+	var missing []string
+	for f := range defined {
+		if !documented[f] {
+			missing = append(missing, "-"+f)
+		}
+	}
+	sort.Strings(missing)
+	for _, f := range missing {
+		problems = append(problems, fmt.Sprintf(
+			"README.md: cmd/hermesd flag %q is missing from the flag table", f))
+	}
+	sort.Strings(problems)
+	return problems, nil
 }
 
 func checkFile(root, file string, flags map[string]bool) ([]string, error) {
