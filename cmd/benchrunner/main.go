@@ -22,6 +22,10 @@
 //	benchrunner -fig adaptive # calibration-driven adaptive planning vs a
 //	                          # calibration-blind optimizer on a repeat
 //	                          # workload (also writes BENCH_adaptive.json)
+//	benchrunner -fig invindex # invariant discrimination index: probe
+//	                          # latency scaling to 10k invariants plus the
+//	                          # indexed-vs-linear differential (also
+//	                          # writes BENCH_invindex.json)
 package main
 
 import (
@@ -34,8 +38,8 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, 6, plan, ablations, optquality, hitrate, availability, parallel, admission, calibration, memo, adaptive, all")
-	out := flag.String("out", "", "where the JSON-writing figures (parallel, admission, calibration, memo, adaptive) put their result; default BENCH_<fig>.json")
+	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, 6, plan, ablations, optquality, hitrate, availability, parallel, admission, calibration, memo, adaptive, invindex, all")
+	out := flag.String("out", "", "where the JSON-writing figures (parallel, admission, calibration, memo, adaptive, invindex) put their result; default BENCH_<fig>.json")
 	flag.Parse()
 	if err := run(*fig, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
@@ -215,6 +219,17 @@ func run(fig, out string) error {
 		}
 		fmt.Println(experiments.FormatAdaptive(res))
 		if err := writeJSON("BENCH_adaptive.json", res); err != nil {
+			return err
+		}
+	}
+	if want("invindex") {
+		section("Invariant discrimination index: probe latency scaling and indexed-vs-linear differential")
+		res, err := experiments.InvindexScaling()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatInvindex(res))
+		if err := writeJSON("BENCH_invindex.json", res); err != nil {
 			return err
 		}
 	}

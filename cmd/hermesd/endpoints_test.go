@@ -80,7 +80,8 @@ func TestDocumentedEndpointsServed(t *testing.T) {
 	// from the doc, the table drifted the other way.
 	for _, want := range []string{
 		"/metrics", "/debug/queries", "/debug/calibration", "/debug/cim",
-		"/debug/memo", "/debug/flightrecorder", "/debug/pprof/", "/query",
+		"/debug/invariants", "/debug/memo", "/debug/flightrecorder",
+		"/debug/pprof/", "/query",
 	} {
 		if !seen[want] {
 			t.Errorf("docs/OBSERVABILITY.md no longer documents %s", want)

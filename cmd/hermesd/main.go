@@ -13,7 +13,9 @@
 // /debug/queries the recent-query span ring buffer, GET /debug/calibration
 // the DCSM cost-model calibration table (worst-estimated functions first,
 // joined with their statistics footprint), GET /debug/cim the cache
-// savings ledger, GET /debug/memo the rule-level memo cache (stats plus
+// savings ledger, GET /debug/invariants the invariant discrimination
+// index (buckets joined with per-invariant savings), GET /debug/memo the
+// rule-level memo cache (stats plus
 // top entries by decayed benefit), GET /debug/flightrecorder the
 // flight-recorder ring as JSONL, and GET /query?q=... runs a query
 // through an embedded mediator
@@ -43,6 +45,7 @@ import (
 	"time"
 
 	"hermes/internal/admission"
+	"hermes/internal/cim"
 	"hermes/internal/core"
 	"hermes/internal/domain"
 	"hermes/internal/domains/avis"
@@ -76,6 +79,7 @@ func main() {
 	calQuantile := flag.Float64("cal-inflate-quantile", 0.9, "q-error quantile used to inflate per-call cost estimates from calibration history (0 disables inflation)")
 	coldInflate := flag.Float64("cold-start-inflation", 1.5, "cost inflation factor for functions with no calibration samples at all (<=1 disables)")
 	replanFactor := flag.Float64("replan-factor", 0, "mid-query watchdog: re-plan a union lane when its elapsed cost exceeds this factor times its estimate (<=1 disables)")
+	invThreshold := flag.Int("invindex-parallel-threshold", cim.DefaultParallelMatchThreshold, "invariant-index bucket size at which equality matching fans out across scheduler lanes (negative disables fan-out)")
 	flag.Parse()
 
 	shed, err := admission.ParsePolicy(*shedPolicy)
@@ -99,6 +103,7 @@ func main() {
 			CalQuantile:  *calQuantile,
 			ColdInflate:  *coldInflate,
 			ReplanFactor: *replanFactor,
+			InvThreshold: *invThreshold,
 		}
 		if *memoOn {
 			mcfg := memoDefaults
@@ -178,6 +183,7 @@ type obsOptions struct {
 	CalQuantile  float64          // -cal-inflate-quantile
 	ColdInflate  float64          // -cold-start-inflation
 	ReplanFactor float64          // -replan-factor
+	InvThreshold int              // -invindex-parallel-threshold
 }
 
 // newObsHandler builds the observability endpoint: an embedded mediator
@@ -195,9 +201,12 @@ func newObsHandler(doms []domain.Domain, opts obsOptions) (http.Handler, *core.S
 	o := obs.NewObserver()
 	o.Flight.SetThreshold(time.Duration(opts.SlowQueryMS) * time.Millisecond)
 	pol := resilience.DefaultPolicy()
+	ccfg := cim.DefaultConfig()
+	ccfg.ParallelMatchThreshold = opts.InvThreshold
 	sys := core.NewSystem(core.Options{
 		Obs:                o,
 		Resilience:         &pol,
+		CIM:                &ccfg,
 		Parallelism:        opts.Parallelism,
 		MaxInflightCalls:   opts.MaxInflight,
 		ShedPolicy:         opts.Shed,
@@ -219,6 +228,7 @@ func newObsHandler(doms []domain.Domain, opts obsOptions) (http.Handler, *core.S
 	mux.Handle("/debug/queries", obs.Handler(o))
 	mux.Handle("/debug/flightrecorder", obs.Handler(o))
 	mux.Handle("/debug/cim", sys.CIM.DebugHandler())
+	mux.Handle("/debug/invariants", sys.CIM.InvariantsHandler())
 	if sys.Memo != nil {
 		mux.Handle("/debug/memo", sys.Memo.DebugHandler())
 	} else {
@@ -337,6 +347,9 @@ func preRegisterMetrics(o *obs.Observer, doms []domain.Domain) {
 	o.Counter("hermes_queries_total")
 	o.Counter("hermes_plan_replans_total")
 	o.Counter("hermes_plan_inflation_applied_total")
+	o.Counter("hermes_invindex_candidates_total")
+	o.Counter("hermes_invindex_scans_avoided_total")
+	o.Counter("hermes_invindex_parallel_matches_total")
 	for _, d := range doms {
 		o.Metrics.Histogram("hermes_dcsm_qerror_tf", "domain", d.Name())
 		o.Metrics.Histogram("hermes_dcsm_qerror_ta", "domain", d.Name())
@@ -368,6 +381,9 @@ func preRegisterMetrics(o *obs.Observer, doms []domain.Domain) {
 	o.Metrics.SetHelp("hermes_queries_total", "queries executed by the embedded mediator")
 	o.Metrics.SetHelp("hermes_plan_replans_total", "union lanes that abandoned their body order mid-query for a cheaper one")
 	o.Metrics.SetHelp("hermes_plan_inflation_applied_total", "plan choices whose winning estimate carried q-error or cold-start cost inflation")
+	o.Metrics.SetHelp("hermes_invindex_candidates_total", "invariants returned by discrimination-index probes (bucket sizes summed)")
+	o.Metrics.SetHelp("hermes_invindex_scans_avoided_total", "registered invariants index probes skipped versus a full linear scan")
+	o.Metrics.SetHelp("hermes_invindex_parallel_matches_total", "equality probes whose candidate bucket fanned out across scheduler lanes")
 	o.Metrics.SetHelp("hermes_breaker_state", "per-domain circuit breaker state: 0 closed, 1 open, 2 half-open")
 }
 

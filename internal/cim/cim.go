@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"hermes/internal/domain"
+	"hermes/internal/invindex"
 	"hermes/internal/lang"
 	"hermes/internal/obs"
 	"hermes/internal/term"
@@ -105,7 +106,24 @@ type Config struct {
 	MaxBytes int
 	// Policy selects the eviction policy.
 	Policy EvictionPolicy
+	// ParallelMatchThreshold is the equality-candidate bucket size at
+	// which invariant matching fans out across the query's scheduler
+	// lanes (0 = DefaultParallelMatchThreshold; negative disables
+	// fan-out). Small buckets stay sequential: forking clocks costs more
+	// than the handful of match attempts it would overlap.
+	ParallelMatchThreshold int
+	// LinearMatching restores the pre-index full-scan matching paths
+	// (every registered invariant tried per probe, cache scans walking a
+	// whole store snapshot). It exists as the differential oracle for the
+	// indexed path and for debugging; every linear scan bumps the
+	// manager's LinearScans counter, which tests assert stays zero on the
+	// serve path when the index is active.
+	LinearMatching bool
 }
+
+// DefaultParallelMatchThreshold is the equality-candidate bucket size at
+// which matching fans out when Config.ParallelMatchThreshold is zero.
+const DefaultParallelMatchThreshold = 64
 
 // DefaultConfig returns the configuration used by the experiments.
 func DefaultConfig() Config {
@@ -175,8 +193,13 @@ type Manager struct {
 	statsMu sync.Mutex
 	stats   Stats
 
-	invMu      sync.RWMutex
-	invariants []*lang.Invariant
+	// idx is the shared invariant + cached-call discrimination index:
+	// equality/partial probes, flight attachment and cache scans consult
+	// it instead of walking the invariant list or a store snapshot.
+	idx *invindex.Index
+	// linearScans counts full linear scans taken by the debug-only
+	// LinearMatching paths. Zero whenever the index serves the query path.
+	linearScans atomic.Int64
 
 	// hookMu guards the optional hooks, set once at wiring time.
 	hookMu sync.RWMutex
@@ -211,6 +234,7 @@ func New(caller Caller, cfg Config) *Manager {
 		caller:  caller,
 		cfg:     cfg,
 		store:   newStore(),
+		idx:     invindex.New(),
 		flights: make(map[string]*flight),
 	}
 }
@@ -297,34 +321,38 @@ func (m *Manager) SetMeasurementObserver(fn func(domain.Measurement)) {
 	m.onMeasure = fn
 }
 
-// AddInvariant validates and registers an invariant. Ill-formed invariants
-// (free condition variables) are rejected: applying one could never be
-// proven sound.
+// AddInvariant validates and registers an invariant into the shared
+// discrimination index. Ill-formed invariants (free condition variables)
+// are rejected: applying one could never be proven sound.
 func (m *Manager) AddInvariant(inv *lang.Invariant) error {
 	if err := inv.Validate(); err != nil {
 		return err
 	}
-	m.invMu.Lock()
-	defer m.invMu.Unlock()
-	m.invariants = append(m.invariants, inv)
+	m.idx.AddInvariant(inv)
 	return nil
-}
-
-// invariantList returns the registered invariants for iteration. The
-// slice header is a consistent snapshot (registration appends under the
-// write lock); callers must not mutate it.
-func (m *Manager) invariantList() []*lang.Invariant {
-	m.invMu.RLock()
-	defer m.invMu.RUnlock()
-	return m.invariants
 }
 
 // Invariants returns the registered invariants.
 func (m *Manager) Invariants() []*lang.Invariant {
-	m.invMu.RLock()
-	defer m.invMu.RUnlock()
-	return append([]*lang.Invariant(nil), m.invariants...)
+	return append([]*lang.Invariant(nil), m.idx.All()...)
 }
+
+// Index exposes the invariant discrimination index (introspection and
+// cross-layer wiring: the rewriter's routing enumeration consults it).
+func (m *Manager) Index() *invindex.Index { return m.idx }
+
+// InvariantCoverage reports whether any registered invariant could apply
+// to calls of (dom, fn, arity). It is the rewriter's
+// Config.InvariantCoverage hook.
+func (m *Manager) InvariantCoverage(dom, fn string, arity int) bool {
+	return m.idx.Covered(dom, fn, arity)
+}
+
+// LinearScans returns how many debug-only full linear scans the manager
+// has performed. On the indexed serve path this stays zero; the
+// differential harness runs with Config.LinearMatching to exercise the
+// pre-index oracle.
+func (m *Manager) LinearScans() int64 { return m.linearScans.Load() }
 
 // Stats returns a snapshot of the activity counters.
 func (m *Manager) Stats() Stats {
@@ -344,6 +372,7 @@ func (m *Manager) Bytes() int { return int(m.store.bytes.Load()) }
 func (m *Manager) Clear() {
 	dropped := m.store.snapshot()
 	m.store.clear()
+	m.idx.ResetCalls(nil)
 	for _, e := range dropped {
 		m.invalidate(e.Call.Key())
 	}
@@ -368,6 +397,7 @@ func (m *Manager) storeEntry(c domain.Call, answers []term.Value, complete bool,
 	}
 	e := &Entry{Call: c, Answers: answers, Complete: complete, Cost: cost, Bytes: bytes}
 	e.lastUsed.Store(m.counter.Add(1))
+	m.idx.AddCall(c)
 	if old := m.store.put(c.Key(), e); old != nil {
 		// A refresh replaced previously served answers: memo relations
 		// built from the old entry are stale. A fresh store fires nothing —
@@ -408,6 +438,7 @@ func (m *Manager) evict() {
 			return
 		}
 		if m.store.removeIf(victim.Call.Key(), victim) {
+			m.idx.RemoveCall(victim.Call)
 			m.invalidate(victim.Call.Key())
 			m.bumpStats(func(st *Stats) { st.Evictions++ })
 			m.obs().Counter("hermes_cim_evictions_total").Inc()

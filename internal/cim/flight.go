@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"hermes/internal/domain"
+	"hermes/internal/invindex"
 	"hermes/internal/lang"
 	"hermes/internal/term"
 	"hermes/internal/vclock"
@@ -308,15 +309,28 @@ func (m *Manager) equivalentFlightLocked(ctx *domain.Ctx, call domain.Call) *fli
 }
 
 // provesEqual reports whether some equality invariant proves
-// answers(a) = answers(b).
+// answers(a) = answers(b). Candidates come from the discrimination
+// index (the linear walk over all registered invariants remains only as
+// the LinearMatching debug oracle); the caller holds m.flightMu, so
+// matching stays sequential regardless of bucket size.
 func (m *Manager) provesEqual(ctx *domain.Ctx, a, b domain.Call) bool {
-	for _, inv := range m.invariantList() {
-		if inv.Rel != lang.RelEqual {
-			continue
+	cands := m.idx.Equalities(invindex.KeyOfCall(a))
+	if m.cfg.LinearMatching {
+		m.linearScans.Add(1)
+		cands = nil
+		for _, inv := range m.idx.All() {
+			if inv.Rel != lang.RelEqual {
+				continue
+			}
+			if !relevant(&inv.Left, a) && !relevant(&inv.Right, a) {
+				continue
+			}
+			cands = append(cands, inv)
 		}
-		if !relevant(&inv.Left, a) && !relevant(&inv.Right, a) {
-			continue
-		}
+	} else {
+		m.indexProbe(ctx, len(cands))
+	}
+	for _, inv := range cands {
 		ctx.Clock.Sleep(m.cfg.InvariantMatch)
 		sides := [2][2]*lang.CallTemplate{
 			{&inv.Left, &inv.Right},

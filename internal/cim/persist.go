@@ -101,9 +101,14 @@ func (m *Manager) Load(r io.Reader) error {
 		entries[e.Call.Key()] = e
 	}
 	// The load replaces whatever was cached: memo relations built from the
-	// previous contents are stale.
+	// previous contents are stale, and the call index is rebuilt to match.
 	prior := m.store.snapshot()
 	m.store.replace(entries)
+	calls := make([]domain.Call, 0, len(entries))
+	for _, e := range entries {
+		calls = append(calls, e.Call)
+	}
+	m.idx.ResetCalls(calls)
 	for _, e := range prior {
 		m.invalidate(e.Call.Key())
 	}

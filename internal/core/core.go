@@ -277,6 +277,13 @@ func NewSystem(opts Options) *System {
 		s.rewriteCfg.CIMDomains = map[string]bool{}
 		s.cimAll = s.CIM != nil && opts.Rewrite == nil
 	}
+	if opts.Rewrite == nil && s.CIM != nil {
+		// Default rewriter config: let routing enumeration (if ever
+		// enabled) consult the invariant index so only calls an invariant
+		// covers branch between direct and CIM routes. Callers supplying
+		// their own Rewrite config keep full control of the plan space.
+		s.rewriteCfg.InvariantCoverage = s.CIM.InvariantCoverage
+	}
 
 	escfg := estimate.DefaultConfig()
 	if opts.Estimate != nil {

@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+// TestInvindexDifferential runs a scaled-down version of the acceptance
+// harness: indexed invariant matching must return exactly the answers
+// the linear scan returns with a large synthetic inventory loaded, the
+// indexed serve path must never fall back to a full scan, and the
+// oracle must actually have scanned.
+func TestInvindexDifferential(t *testing.T) {
+	rep, err := InvindexDifferential(60, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mismatches != 0 {
+		t.Fatalf("indexed vs linear matching diverged on %d queries: %v", rep.Mismatches, rep.MismatchDetails)
+	}
+	if rep.IndexedLinearScans != 0 {
+		t.Fatalf("indexed serve path performed %d linear scans, want 0", rep.IndexedLinearScans)
+	}
+	if rep.LinearLinearScans == 0 {
+		t.Fatal("LinearMatching oracle performed no linear scans; the counter is not wired")
+	}
+}
+
+// TestInvindexScalingManagers exercises the stand-alone scaling
+// managers at a small inventory: both the linear and indexed manager
+// must serve the equality probe from cache.
+func TestInvindexScalingManagers(t *testing.T) {
+	for _, linear := range []bool{false, true} {
+		m, err := invindexManager(200, linear)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Index().Len(); got != 206 {
+			t.Fatalf("linear=%v: registered %d invariants, want 206", linear, got)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package invindex
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"hermes/internal/domain"
+	"hermes/internal/lang"
+	"hermes/internal/term"
+)
+
+// parseArgSpec turns a comma-separated argument spec into template terms
+// (mirror of the memo fuzz test's classifier): a token in single quotes
+// is a bound string, a token of digits a bound integer, and anything
+// else a variable — with dots after the first character read as an
+// attribute path (X.name).
+func parseArgSpec(spec string) []term.Term {
+	if spec == "" {
+		return nil
+	}
+	toks := strings.Split(spec, ",")
+	args := make([]term.Term, 0, len(toks))
+	for _, tok := range toks {
+		if len(tok) >= 2 && tok[0] == '\'' && tok[len(tok)-1] == '\'' {
+			args = append(args, term.C(term.Str(tok[1:len(tok)-1])))
+			continue
+		}
+		if n, err := strconv.ParseInt(tok, 10, 64); err == nil {
+			args = append(args, term.C(term.Int(n)))
+			continue
+		}
+		parts := strings.Split(tok, ".")
+		args = append(args, term.V(parts[0], parts[1:]...))
+	}
+	return args
+}
+
+// renameTerms applies an injective renaming to the variables.
+func renameTerms(args []term.Term) []term.Term {
+	seen := map[string]string{}
+	out := make([]term.Term, len(args))
+	for i, a := range args {
+		out[i] = a
+		if a.IsConst() {
+			continue
+		}
+		fresh, ok := seen[a.Var]
+		if !ok {
+			fresh = "renamed_" + strconv.Itoa(len(seen)) + "_" + a.Var
+			seen[a.Var] = fresh
+		}
+		out[i].Var = fresh
+	}
+	return out
+}
+
+// groundCall builds a ground call of the template's relevance class.
+func groundCall(dom, fn string, args []term.Term) domain.Call {
+	vals := make([]term.Value, len(args))
+	for i, a := range args {
+		if a.IsConst() {
+			vals[i] = a.Const
+		} else {
+			vals[i] = term.Str("g:" + a.Var)
+		}
+	}
+	return domain.Call{Domain: dom, Function: fn, Args: vals}
+}
+
+// FuzzIndexKey checks, over arbitrary domain/function names and argument
+// specs, (1) the ShapeKey canonicalization invariants — determinism,
+// α-equivalence under injective renaming, separation when the equality
+// structure or a bound value changes — and (2) the differential oracle
+// against the pre-index linear scan: a bucket lookup returns exactly the
+// invariants whose cheap dispatch check (Relevant) the linear scan would
+// have passed, so indexing can never miss a candidate the scan would
+// have unified.
+func FuzzIndexKey(f *testing.F) {
+	f.Add("avis", "frames_to_objects", "V,F,L")
+	f.Add("avis", "objects", "'rope'")
+	f.Add("avis", "frames_to_objects", "'rope',0,159")
+	f.Add("d", "f", "X,X,Y")
+	f.Add("ingres", "equal", "'cast','role',P.name")
+	f.Add("d", "f", "")
+	f.Add("syn3", "lookup41", "X")
+	f.Fuzz(func(t *testing.T, dom, fn, spec string) {
+		args := parseArgSpec(spec)
+		tp := lang.CallTemplate{Domain: dom, Function: fn, Args: args}
+		key := ShapeKey(&tp)
+
+		// Determinism.
+		if again := ShapeKey(&tp); again != key {
+			t.Fatalf("ShapeKey not deterministic: %q vs %q", key, again)
+		}
+		// α-equivalence: injective renaming preserves the key.
+		renamed := lang.CallTemplate{Domain: dom, Function: fn, Args: renameTerms(args)}
+		if rk := ShapeKey(&renamed); rk != key {
+			t.Errorf("injective renaming changed the shape key:\n  %q\n  %q", key, rk)
+		}
+		// Merging two distinct variables changes the equality structure.
+		varIdx := map[string][]int{}
+		var order []string
+		for i, a := range args {
+			if a.IsConst() {
+				continue
+			}
+			if _, ok := varIdx[a.Var]; !ok {
+				order = append(order, a.Var)
+			}
+			varIdx[a.Var] = append(varIdx[a.Var], i)
+		}
+		if len(order) >= 2 {
+			merged := make([]term.Term, len(args))
+			copy(merged, args)
+			for _, i := range varIdx[order[1]] {
+				merged[i].Var = order[0]
+				merged[i].Path = args[varIdx[order[0]][0]].Path
+			}
+			mt := lang.CallTemplate{Domain: dom, Function: fn, Args: merged}
+			if ShapeKey(&mt) == key {
+				t.Errorf("merging vars %q and %q did not change the shape key %q", order[0], order[1], key)
+			}
+		}
+		// Mutating any bound value changes the key.
+		for i, a := range args {
+			if !a.IsConst() {
+				continue
+			}
+			mutated := make([]term.Term, len(args))
+			copy(mutated, args)
+			mutated[i] = term.C(term.Str("mutated:" + a.Const.Key()))
+			mt := lang.CallTemplate{Domain: dom, Function: fn, Args: mutated}
+			if ShapeKey(&mt) == key {
+				t.Errorf("mutating bound arg %d did not change the shape key %q", i, key)
+			}
+		}
+
+		// Differential oracle vs the linear scan. Register the fuzz
+		// template in several invariants plus noise of shifted arity and
+		// name, then check every bucket lookup returns exactly the
+		// relevant invariants, in registration order.
+		ix := New()
+		alt := lang.CallTemplate{Domain: dom, Function: fn + "_alt", Args: args}
+		wider := lang.CallTemplate{Domain: dom, Function: fn, Args: append(append([]term.Term(nil), args...), term.V("Extra"))}
+		invs := []*lang.Invariant{
+			{Rel: lang.RelEqual, Left: tp, Right: alt},
+			{Rel: lang.RelEqual, Left: tp, Right: renamed},
+			{Rel: lang.RelEqual, Left: wider, Right: alt},
+			{Rel: lang.RelSuperset, Left: tp, Right: wider},
+			{Rel: lang.RelSuperset, Left: wider, Right: tp},
+			{Rel: lang.RelEqual, Left: alt, Right: alt},
+		}
+		for _, inv := range invs {
+			ix.AddInvariant(inv)
+		}
+		c := groundCall(dom, fn, args)
+		var wantEq, wantSup []*lang.Invariant
+		for _, inv := range invs {
+			switch inv.Rel {
+			case lang.RelEqual:
+				if Relevant(&inv.Left, c) || Relevant(&inv.Right, c) {
+					wantEq = append(wantEq, inv)
+				}
+			case lang.RelSuperset:
+				if Relevant(&inv.Left, c) {
+					wantSup = append(wantSup, inv)
+				}
+			}
+		}
+		gotEq := ix.Equalities(KeyOfCall(c))
+		gotSup := ix.Supersets(KeyOfCall(c))
+		same := func(got, want []*lang.Invariant) bool {
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if !same(gotEq, wantEq) {
+			t.Fatalf("equality bucket diverged from the linear scan for %s:\n  got  %d invariants\n  want %d", c, len(gotEq), len(wantEq))
+		}
+		if !same(gotSup, wantSup) {
+			t.Fatalf("superset bucket diverged from the linear scan for %s:\n  got  %d invariants\n  want %d", c, len(gotSup), len(wantSup))
+		}
+	})
+}

@@ -61,7 +61,13 @@ func (rw *Rewriter) routings(body []lang.Literal) [][]Route {
 			if rw.cfg.CIMDomains[in.Call.Domain] {
 				base[i] = RouteCIM
 			}
-			inIdx = append(inIdx, i)
+			// Only calls some invariant covers are worth branching: for
+			// the rest the CIM can at best serve an exact repeat, so the
+			// base route stands and the plan space stays small.
+			if rw.cfg.InvariantCoverage == nil ||
+				rw.cfg.InvariantCoverage(in.Call.Domain, in.Call.Function, len(in.Call.Args)) {
+				inIdx = append(inIdx, i)
+			}
 		}
 	}
 	if !rw.cfg.EnumerateRouting || len(inIdx) == 0 {

@@ -192,6 +192,12 @@ type Config struct {
 	// direct and CIM routing, letting the cost estimator choose (the
 	// paper's per-call decision mode). Doubles the plan space per call.
 	EnumerateRouting bool
+	// InvariantCoverage, when set with EnumerateRouting, prunes the
+	// routing enumeration to calls some registered invariant could
+	// actually serve: a call no invariant covers keeps its base route
+	// instead of doubling the plan space for a CIM branch that can at
+	// best hit an exact repeat. Wired to the invariant index's Covered.
+	InvariantCoverage func(dom, fn string, arity int) bool
 	// PushSelections rewrites source scans followed by equality filters
 	// into source-side selects where the source supports it.
 	PushSelections bool

@@ -281,6 +281,45 @@ func TestEnumerateRoutingBranches(t *testing.T) {
 	}
 }
 
+func TestInvariantCoveragePrunesRouting(t *testing.T) {
+	prog := mustParse(t, `
+		v(X) :- in(X, avis:objects('rope')), in(X, avis:actors('rope')).
+	`)
+	covered := func(dom, fn string, arity int) bool {
+		return dom == "avis" && fn == "objects" && arity == 1
+	}
+	rw := New(prog, Config{EnumerateRouting: true, InvariantCoverage: covered}, nil)
+	plans, err := rw.Plans(mustQuery(t, "?- v(X)."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var objectsCIM bool
+	for _, p := range plans {
+		for _, pr := range p.Rules[PredKey{Pred: "v", Adorn: "f"}] {
+			for bi, lit := range pr.Rule.Body {
+				in, ok := lit.(*lang.InCall)
+				if !ok {
+					continue
+				}
+				route := pr.Routes[bi]
+				switch in.Call.Function {
+				case "objects":
+					if route == RouteCIM {
+						objectsCIM = true
+					}
+				case "actors":
+					if route == RouteCIM {
+						t.Fatalf("uncovered call avis:actors branched to CIM:\n%s", p)
+					}
+				}
+			}
+		}
+	}
+	if !objectsCIM {
+		t.Error("covered call avis:objects never branched to CIM routing")
+	}
+}
+
 func TestMaxPlansCap(t *testing.T) {
 	prog := mustParse(t, m1Source)
 	rw := New(prog, Config{MaxPlans: 3}, nil)
