@@ -41,6 +41,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -80,6 +81,15 @@ func main() {
 	coldInflate := flag.Float64("cold-start-inflation", 1.5, "cost inflation factor for functions with no calibration samples at all (<=1 disables)")
 	replanFactor := flag.Float64("replan-factor", 0, "mid-query watchdog: re-plan a union lane when its elapsed cost exceeds this factor times its estimate (<=1 disables)")
 	invThreshold := flag.Int("invindex-parallel-threshold", cim.DefaultParallelMatchThreshold, "invariant-index bucket size at which equality matching fans out across scheduler lanes (negative disables fan-out)")
+	var mountSpecs []mountSpec
+	flag.Func("mount", "mount a domain served by another hermesd, as name=host:port (repeatable); makes this node a mediator over that mediator", func(v string) error {
+		spec, err := parseMount(v)
+		if err != nil {
+			return err
+		}
+		mountSpecs = append(mountSpecs, spec)
+		return nil
+	})
 	flag.Parse()
 
 	shed, err := admission.ParsePolicy(*shedPolicy)
@@ -93,6 +103,17 @@ func main() {
 		reg.Register(d)
 		log.Printf("hermesd: serving domain %q (%d functions)", d.Name(), len(d.Functions()))
 	}
+	pol := resilience.DefaultPolicy()
+	for _, m := range buildMounts(mountSpecs) {
+		// The re-served TCP path gets its own retry/breaker wrapper; the
+		// embedded mediator wraps the raw client itself in sys.Register,
+		// threading breaker, retries, and observability through the mount
+		// exactly as for a local source.
+		reg.Register(resilience.Wrap(m, pol))
+		doms = append(doms, m)
+		log.Printf("hermesd: mounted remote mediator domain %q from %s", m.Name(), m.Addr())
+	}
+	var obsSys *core.System
 	if *httpAddr != "" {
 		oo := obsOptions{
 			Parallelism:  *parallelism,
@@ -116,6 +137,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		obsSys = sys
 		if *flightSnapshot != "" {
 			snapshotOnQuit(sys.Obs, *flightSnapshot)
 		}
@@ -125,8 +147,39 @@ func main() {
 		}()
 	}
 	srv := remote.NewServer(reg)
+	if obsSys != nil {
+		srv.SetObserver(obsSys.Obs)
+	}
 	log.Printf("hermesd: listening on %s", *addr)
 	log.Fatal(srv.ListenAndServe(*addr))
+}
+
+// mountSpec names one remote mediator domain to mount: the -mount flag's
+// parsed name=host:port form.
+type mountSpec struct {
+	name string
+	addr string
+}
+
+// parseMount parses one -mount value.
+func parseMount(v string) (mountSpec, error) {
+	name, addr, ok := strings.Cut(v, "=")
+	if !ok || name == "" || addr == "" {
+		return mountSpec{}, fmt.Errorf("-mount wants name=host:port, got %q", v)
+	}
+	return mountSpec{name: name, addr: addr}, nil
+}
+
+// buildMounts creates a remote client per mounted domain. Nothing is
+// dialed here: a mount whose upstream hermesd is down serves
+// ErrUnavailable (retryable, breaker-guarded) until it comes back, the
+// same degraded mode as any unreachable source.
+func buildMounts(specs []mountSpec) []*remote.Client {
+	out := make([]*remote.Client, 0, len(specs))
+	for _, s := range specs {
+		out = append(out, remote.NewClient(s.addr, s.name))
+	}
+	return out
 }
 
 // writeFlightSnapshot dumps the flight-recorder ring to path as JSONL,
@@ -350,6 +403,16 @@ func preRegisterMetrics(o *obs.Observer, doms []domain.Domain) {
 	o.Counter("hermes_invindex_candidates_total")
 	o.Counter("hermes_invindex_scans_avoided_total")
 	o.Counter("hermes_invindex_parallel_matches_total")
+	for _, proto := range []string{"v1", "v2"} {
+		o.Counter("hermes_remote_calls_total", "proto", proto)
+	}
+	o.Counter("hermes_remote_sessions_total", "proto", "v2")
+	o.Counter("hermes_remote_send_errors_total")
+	o.Counter("hermes_remote_cancels_total")
+	o.Counter("hermes_remote_heartbeats_total")
+	for _, side := range []string{"client", "server"} {
+		o.Counter("hermes_remote_resumes_total", "side", side)
+	}
 	for _, d := range doms {
 		o.Metrics.Histogram("hermes_dcsm_qerror_tf", "domain", d.Name())
 		o.Metrics.Histogram("hermes_dcsm_qerror_ta", "domain", d.Name())
@@ -384,6 +447,13 @@ func preRegisterMetrics(o *obs.Observer, doms []domain.Domain) {
 	o.Metrics.SetHelp("hermes_invindex_candidates_total", "invariants returned by discrimination-index probes (bucket sizes summed)")
 	o.Metrics.SetHelp("hermes_invindex_scans_avoided_total", "registered invariants index probes skipped versus a full linear scan")
 	o.Metrics.SetHelp("hermes_invindex_parallel_matches_total", "equality probes whose candidate bucket fanned out across scheduler lanes")
+	o.Metrics.SetHelp("hermes_remote_calls_total", "domain calls served over the wire protocol, by protocol version")
+	o.Metrics.SetHelp("hermes_remote_sessions_total", "v2 streaming sessions negotiated")
+	o.Metrics.SetHelp("hermes_remote_send_errors_total", "frame writes that failed (dead peers, serialization errors)")
+	o.Metrics.SetHelp("hermes_remote_cancels_total", "per-call cancel frames honoured by the server")
+	o.Metrics.SetHelp("hermes_remote_heartbeats_total", "heartbeat frames echoed to keep idle sessions verifiably alive")
+	o.Metrics.SetHelp("hermes_remote_resumes_total", "mid-stream resumes of broken remote answer streams, by side")
+	o.Metrics.SetHelp("hermes_remote_dials_total", "TCP dials to remote domain servers, by outcome")
 	o.Metrics.SetHelp("hermes_breaker_state", "per-domain circuit breaker state: 0 closed, 1 open, 2 half-open")
 }
 

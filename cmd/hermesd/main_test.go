@@ -2,11 +2,16 @@ package main
 
 import (
 	"net"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
 	"testing"
 	"time"
 
 	"hermes/internal/domain"
 	"hermes/internal/remote"
+	"hermes/internal/resilience"
 	"hermes/internal/term"
 	"hermes/internal/vclock"
 )
@@ -61,5 +66,161 @@ func TestServeEndToEnd(t *testing.T) {
 	vals, err := domain.Collect(s)
 	if err != nil || len(vals) != 9 {
 		t.Errorf("actors over TCP = %v, %v", vals, err)
+	}
+}
+
+func TestParseMount(t *testing.T) {
+	spec, err := parseMount("avis=10.0.0.7:7117")
+	if err != nil || spec.name != "avis" || spec.addr != "10.0.0.7:7117" {
+		t.Errorf("parseMount = %+v, %v", spec, err)
+	}
+	for _, bad := range []string{"", "avis", "=addr", "avis="} {
+		if _, err := parseMount(bad); err == nil {
+			t.Errorf("parseMount(%q) should fail", bad)
+		}
+	}
+}
+
+// startHermesd serves a registry the way main() does and returns its
+// address.
+func startHermesd(t *testing.T, reg *domain.Registry) string {
+	t.Helper()
+	srv := remote.NewServer(reg)
+	srv.Logf = func(string, ...any) {}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	return l.Addr().String()
+}
+
+// collectMultiset gathers a stream into a sorted multiset of rendered
+// values, so comparisons are order-insensitive but duplicate-sensitive.
+func collectMultiset(t *testing.T, s domain.Stream, err error) []string {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := domain.Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, v.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestTwoHopMountCallDifferential: hermesd B mounts hermesd A's domains
+// (mediators-of-mediators, wired exactly as main() does with -mount) and a
+// client calling through B must see the same answer multiset as calling
+// the domain locally.
+func TestTwoHopMountCallDifferential(t *testing.T) {
+	local := BuildDomains()
+	regA := domain.NewRegistry()
+	for _, d := range local {
+		regA.Register(d)
+	}
+	addrA := startHermesd(t, regA)
+
+	regB := domain.NewRegistry()
+	pol := resilience.DefaultPolicy()
+	for _, m := range buildMounts([]mountSpec{{name: "avis", addr: addrA}, {name: "ingres", addr: addrA}}) {
+		regB.Register(resilience.Wrap(m, pol))
+	}
+	addrB := startHermesd(t, regB)
+
+	calls := []struct {
+		dom, fn string
+		args    []term.Value
+	}{
+		{"avis", "actors", []term.Value{term.Str("rope")}},
+		{"avis", "objects_in_range", []term.Value{term.Str("rope"), term.Int(1), term.Int(200)}},
+		{"ingres", "all", []term.Value{term.Str("cast")}},
+		{"ingres", "all", []term.Value{term.Str("inventory")}},
+	}
+	localReg := domain.NewRegistry()
+	for _, d := range local {
+		localReg.Register(d)
+	}
+	for _, c := range calls {
+		viaMount := remote.NewClient(addrB, c.dom)
+		s, err := viaMount.Call(domain.NewCtx(vclock.NewVirtual(0)), c.fn, c.args)
+		got := collectMultiset(t, s, err)
+		s, err = localReg.Call(domain.NewCtx(vclock.NewVirtual(0)), domain.Call{Domain: c.dom, Function: c.fn, Args: c.args})
+		want := collectMultiset(t, s, err)
+		if len(got) == 0 {
+			t.Errorf("%s:%s over two hops returned nothing", c.dom, c.fn)
+		}
+		if strings.Join(got, "\n") != strings.Join(want, "\n") {
+			t.Errorf("%s:%s two-hop multiset diverges from local:\n two-hop: %v\n local:   %v", c.dom, c.fn, got, want)
+		}
+	}
+}
+
+// queryAnswers runs q through a newObsHandler instance and returns the
+// sorted answer multiset.
+func queryAnswers(t *testing.T, h http.Handler, q string) []string {
+	t.Helper()
+	req := httptest.NewRequest("GET", "/query?q="+strings.ReplaceAll(q, " ", "%20"), nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query %q: HTTP %d: %s", q, rec.Code, rec.Body.String())
+	}
+	var answers []string
+	for _, line := range strings.Split(rec.Body.String(), "\n") {
+		if strings.Contains(line, " answers, first in ") {
+			break
+		}
+		if line != "" {
+			answers = append(answers, line)
+		}
+	}
+	sort.Strings(answers)
+	return answers
+}
+
+// TestTwoHopMountQueryDifferential runs full mediator queries on a node
+// whose only sources are mounts of another hermesd, and compares the
+// answer multisets against the same queries over the local domains. This
+// is the paper's federation story end to end: rules, invariants, caching,
+// and resilience all operating across two real network hops.
+func TestTwoHopMountQueryDifferential(t *testing.T) {
+	local := BuildDomains()
+	regA := domain.NewRegistry()
+	for _, d := range local {
+		regA.Register(d)
+	}
+	addrA := startHermesd(t, regA)
+
+	var mountDoms []domain.Domain
+	for _, m := range buildMounts([]mountSpec{{name: "avis", addr: addrA}}) {
+		mountDoms = append(mountDoms, m)
+	}
+	twoHop, _, err := newObsHandler(mountDoms, obsOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _, err := newObsHandler(local, obsOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{
+		"?- actors(A).",
+		"?- objects_between(10, 120, O).",
+	} {
+		got := queryAnswers(t, twoHop, q)
+		want := queryAnswers(t, direct, q)
+		if len(got) == 0 {
+			t.Errorf("query %q over mounts returned nothing", q)
+		}
+		if strings.Join(got, "\n") != strings.Join(want, "\n") {
+			t.Errorf("query %q diverges over mounts:\n two-hop: %v\n local:   %v", q, got, want)
+		}
 	}
 }

@@ -1,7 +1,9 @@
 package remote
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -13,30 +15,76 @@ import (
 	"hermes/internal/term"
 )
 
-// Client exposes one domain hosted by a remote server as a local
-// domain.Domain. Each call dials its own connection; closing the answer
-// stream closes the connection, which the server notices and aborts the
-// call (pruning across the network).
-type Client struct {
-	addr   string
-	name   string
-	dialTO time.Duration
+// errSpeakV1 is the internal signal that the server answered the v2 hello
+// with an unknown-op error: it is a v1 server, so calls fall back to one
+// connection per call.
+var errSpeakV1 = errors.New("remote: server speaks protocol v1")
 
-	mu    sync.Mutex
-	specs []domain.FuncSpec
-	ob    *obs.Observer
+// Client exposes one domain hosted by a remote server as a local
+// domain.Domain. Against a v2 server it multiplexes every call over one
+// persistent heartbeat-kept connection and can resume a broken answer
+// stream on a fresh connection; against a v1 server (detected by version
+// negotiation on first contact) each call dials its own connection.
+// Closing an answer stream cancels the server-side call either way
+// (pruning across the network).
+type Client struct {
+	addr       string
+	name       string
+	dialTO     time.Duration
+	frameTO    time.Duration
+	hbEvery    time.Duration
+	maxResumes int
+
+	mu      sync.Mutex
+	specs   []domain.FuncSpec
+	ob      *obs.Observer
+	sess    *session
+	forceV1 bool
+	nextID  uint64
 }
 
 // NewClient creates a client for the domain `name` served at addr.
 func NewClient(addr, name string) *Client {
-	return &Client{addr: addr, name: name, dialTO: 5 * time.Second}
+	return &Client{
+		addr:       addr,
+		name:       name,
+		dialTO:     5 * time.Second,
+		frameTO:    30 * time.Second,
+		hbEvery:    10 * time.Second,
+		maxResumes: 2,
+	}
 }
 
 // SetDialTimeout overrides the default 5 s dial timeout.
 func (c *Client) SetDialTimeout(d time.Duration) { c.dialTO = d }
 
+// SetFrameTimeout overrides the default 30 s per-frame read deadline: how
+// long a stream read may go without any frame arriving before the server
+// counts as wedged and the call surfaces domain.ErrUnavailable. On a v2
+// session heartbeat echoes refresh the deadline, so it must exceed the
+// heartbeat interval. 0 disables the deadline.
+func (c *Client) SetFrameTimeout(d time.Duration) { c.frameTO = d }
+
+// SetHeartbeatInterval overrides the default 10 s v2 heartbeat period.
+// 0 disables heartbeats (and the server's idle deadline for this client).
+func (c *Client) SetHeartbeatInterval(d time.Duration) { c.hbEvery = d }
+
+// SetMaxResumes overrides how many times a broken v2 answer stream is
+// resumed on a fresh connection (default 2) before the call surfaces
+// domain.ErrUnavailable to the resilience layer.
+func (c *Client) SetMaxResumes(n int) { c.maxResumes = n }
+
+// ForceV1 pins the client to the legacy one-connection-per-call protocol,
+// skipping version negotiation. Used by tests and differential harnesses.
+func (c *Client) ForceV1() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.forceV1 = true
+}
+
 // SetObserver installs the observability sink: per-domain dial counters
-// (hermes_remote_dials_total) and the remote=<addr> span tag on calls.
+// (hermes_remote_dials_total), resume counters, and the remote=<addr> span
+// tag on calls.
 func (c *Client) SetObserver(o *obs.Observer) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -49,8 +97,23 @@ func (c *Client) obsv() *obs.Observer {
 	return c.ob
 }
 
+// Close tears down the persistent v2 session, if any. The client remains
+// usable: the next call re-establishes a session.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	s := c.sess
+	c.mu.Unlock()
+	if s != nil {
+		s.fail(fmt.Errorf("%w: client closed", domain.ErrUnavailable))
+	}
+	return nil
+}
+
 // Name implements domain.Domain.
 func (c *Client) Name() string { return c.name }
+
+// Addr returns the server address this client dials.
+func (c *Client) Addr() string { return c.addr }
 
 // Functions implements domain.Domain. The interface cannot report errors;
 // callers that must distinguish "no functions" from "server unreachable"
@@ -66,15 +129,69 @@ func (c *Client) Functions() []domain.FuncSpec {
 // domain; nothing is cached on failure, so a later probe retries.
 func (c *Client) FunctionsErr() ([]domain.FuncSpec, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.specs != nil {
-		return c.specs, nil
+		specs := c.specs
+		c.mu.Unlock()
+		return specs, nil
 	}
+	c.mu.Unlock()
+	specs, err := c.fetchFunctions()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.specs = specs
+	c.mu.Unlock()
+	return specs, nil
+}
+
+func (c *Client) fetchFunctions() ([]domain.FuncSpec, error) {
+	sess, err := c.getSession()
+	if err == nil {
+		return c.functionsV2(sess)
+	}
+	if !errors.Is(err, errSpeakV1) {
+		return nil, err
+	}
+	return c.functionsV1()
+}
+
+func (c *Client) functionsV2(sess *session) ([]domain.FuncSpec, error) {
+	id := c.newID()
+	entry := sess.registerCall(id)
+	defer sess.forget(id)
+	if !sess.send("functions", Frame{Op: OpFunctions, ID: id}) {
+		return nil, sess.failure()
+	}
+	var timeout <-chan time.Time
+	if c.frameTO > 0 {
+		t := time.NewTimer(c.frameTO)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case f := <-entry.ch:
+		if f.Err != "" {
+			return nil, fmt.Errorf("remote: %s", f.Err)
+		}
+		return toFuncSpecs(f.Functions[c.name]), nil
+	case <-sess.done:
+		return nil, sess.failure()
+	case <-timeout:
+		sess.fail(fmt.Errorf("%w: functions listing from %s timed out", domain.ErrUnavailable, c.addr))
+		return nil, sess.failure()
+	}
+}
+
+func (c *Client) functionsV1() ([]domain.FuncSpec, error) {
 	conn, err := net.DialTimeout("tcp", c.addr, c.dialTO)
 	if err != nil {
 		return nil, fmt.Errorf("%w: dial %s: %v", domain.ErrUnavailable, c.addr, err)
 	}
 	defer conn.Close()
+	if c.frameTO > 0 {
+		conn.SetDeadline(time.Now().Add(c.frameTO))
+	}
 	if err := json.NewEncoder(conn).Encode(request{Op: "functions"}); err != nil {
 		return nil, fmt.Errorf("%w: send functions request to %s: %v", domain.ErrUnavailable, c.addr, err)
 	}
@@ -82,16 +199,20 @@ func (c *Client) FunctionsErr() ([]domain.FuncSpec, error) {
 	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
 		return nil, fmt.Errorf("%w: read functions listing from %s: %v", domain.ErrUnavailable, c.addr, err)
 	}
-	specs := make([]domain.FuncSpec, 0, len(resp.Functions[c.name]))
-	for _, spec := range resp.Functions[c.name] {
-		specs = append(specs, domain.FuncSpec{Name: spec.Name, Arity: spec.Arity, Doc: spec.Doc})
-	}
-	c.specs = specs
-	return c.specs, nil
+	return toFuncSpecs(resp.Functions[c.name]), nil
 }
 
-// Call implements domain.Domain. The dial honours the ctx's cancellation
-// context, so an aborted query does not leave a dial in flight.
+func toFuncSpecs(specs []FnSpec) []domain.FuncSpec {
+	out := make([]domain.FuncSpec, 0, len(specs))
+	for _, spec := range specs {
+		out = append(out, domain.FuncSpec{Name: spec.Name, Arity: spec.Arity, Doc: spec.Doc})
+	}
+	return out
+}
+
+// Call implements domain.Domain, preferring a multiplexed v2 call and
+// falling back to the legacy per-call connection when negotiation reported
+// a v1 server.
 func (c *Client) Call(ctx *domain.Ctx, fn string, args []term.Value) (domain.Stream, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -101,8 +222,416 @@ func (c *Client) Call(ctx *domain.Ctx, fn string, args []term.Value) (domain.Str
 		return nil, err
 	}
 	ctx.Span.SetTag("remote", c.addr)
+	st, err := c.v2Call(ctx, fn, wargs)
+	if err == nil {
+		return st, nil
+	}
+	if !errors.Is(err, errSpeakV1) {
+		return nil, err
+	}
+	return c.v1Call(ctx, fn, wargs)
+}
+
+func (c *Client) v2Call(ctx *domain.Ctx, fn string, wargs []wireValue) (domain.Stream, error) {
+	sess, err := c.getSession()
+	if err != nil {
+		return nil, err
+	}
+	id := c.newID()
+	entry := sess.registerCall(id)
+	if !sess.send("call", Frame{Op: OpCall, ID: id, Domain: c.name, Function: fn, Args: wargs}) {
+		sess.forget(id)
+		return nil, sess.failure()
+	}
+	var cctx context.Context
+	if ctx != nil {
+		cctx = ctx.Context
+	}
+	return &muxStream{c: c, sess: sess, id: id, entry: entry, cctx: cctx, fn: fn, args: wargs}, nil
+}
+
+// newID allocates a call ID. IDs are client-scoped (not session-scoped) so
+// a resumed call on a fresh session can never collide with a stale one.
+func (c *Client) newID() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	return c.nextID
+}
+
+// getSession returns the live v2 session, dialing and negotiating one if
+// needed. errSpeakV1 reports a v1 server (remembered for the client's
+// lifetime); other errors are retryable transport failures.
+func (c *Client) getSession() (*session, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.forceV1 {
+		return nil, errSpeakV1
+	}
+	if c.sess != nil && c.sess.alive() {
+		return c.sess, nil
+	}
+	c.sess = nil
+	conn, err := net.DialTimeout("tcp", c.addr, c.dialTO)
+	if err != nil {
+		c.ob.Counter("hermes_remote_dials_total", "domain", c.name, "outcome", "error").Inc()
+		return nil, fmt.Errorf("%w: dial %s: %v", domain.ErrUnavailable, c.addr, err)
+	}
+	c.ob.Counter("hermes_remote_dials_total", "domain", c.name, "outcome", "ok").Inc()
+	// Bound the whole hello exchange: a server that accepts but never
+	// answers must not wedge call setup.
+	helloTO := c.frameTO
+	if helloTO <= 0 {
+		helloTO = c.dialTO
+	}
+	conn.SetDeadline(time.Now().Add(helloTO))
+	enc := json.NewEncoder(conn)
+	dec := json.NewDecoder(conn)
+	hello := Frame{Op: OpHello, Versions: []int{ProtocolVersion}}
+	if c.hbEvery > 0 {
+		hello.HeartbeatMS = int(c.hbEvery / time.Millisecond)
+	}
+	if err := enc.Encode(hello); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("%w: send hello to %s: %v", domain.ErrUnavailable, c.addr, err)
+	}
+	var reply Frame
+	if err := dec.Decode(&reply); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("%w: read hello reply from %s: %v", domain.ErrUnavailable, c.addr, err)
+	}
+	conn.SetDeadline(time.Time{})
+	switch {
+	case reply.Op == OpHello && reply.Err != "":
+		// The server understood the hello and rejected every version we
+		// offered: a hard protocol mismatch, not a retryable outage.
+		conn.Close()
+		return nil, fmt.Errorf("remote: %s: %s", c.addr, reply.Err)
+	case reply.Op == OpHello && reply.Version != ProtocolVersion:
+		// The server picked a version we never offered: a protocol bug or
+		// an incompatible future server. Hard error, not a v1 fallback.
+		conn.Close()
+		return nil, fmt.Errorf("remote: %s chose unsupported protocol version %d", c.addr, reply.Version)
+	case reply.Op == OpHello:
+		s := &session{
+			c:     c,
+			conn:  conn,
+			enc:   enc,
+			dec:   dec,
+			done:  make(chan struct{}),
+			calls: map[uint64]*callEntry{},
+		}
+		c.sess = s
+		go s.readLoop()
+		if c.hbEvery > 0 {
+			go s.heartbeatLoop(c.hbEvery)
+		}
+		return s, nil
+	default:
+		// A v1 server answers the hello with an unknown-op error frame
+		// (no "op" field): remember to speak v1 from now on.
+		conn.Close()
+		c.forceV1 = true
+		return nil, errSpeakV1
+	}
+}
+
+// dropSession clears the cached session if it is still s (a newer session
+// must not be evicted by a stale failure).
+func (c *Client) dropSession(s *session) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sess == s {
+		c.sess = nil
+	}
+}
+
+// session is one live v2 connection: a reader goroutine routes frames to
+// per-call channels, a heartbeat goroutine keeps the connection verifiably
+// alive, and any failure cancels everything at once.
+type session struct {
+	c    *Client
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+
+	wmu sync.Mutex
+
+	done     chan struct{}
+	failOnce sync.Once
+	errMu    sync.Mutex
+	err      error
+
+	mu    sync.Mutex
+	calls map[uint64]*callEntry
+}
+
+// callEntry is the routing slot of one in-flight call.
+type callEntry struct {
+	ch   chan Frame    // frames for this call, routed by the reader
+	gone chan struct{} // closed when the call deregisters
+}
+
+func (s *session) alive() bool {
+	select {
+	case <-s.done:
+		return false
+	default:
+		return true
+	}
+}
+
+// fail terminates the session exactly once: records the error, wakes every
+// waiter, closes the connection, and uncaches the session.
+func (s *session) fail(err error) {
+	s.failOnce.Do(func() {
+		s.errMu.Lock()
+		s.err = err
+		s.errMu.Unlock()
+		close(s.done)
+		s.conn.Close()
+		s.c.dropSession(s)
+	})
+}
+
+func (s *session) failure() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	if s.err == nil {
+		return fmt.Errorf("%w: session to %s failed", domain.ErrUnavailable, s.c.addr)
+	}
+	return s.err
+}
+
+// send writes one frame. Concurrent calls serialize on the write mutex; a
+// write failure kills the whole session (the connection is broken).
+func (s *session) send(what string, f Frame) bool {
+	s.wmu.Lock()
+	err := s.enc.Encode(f)
+	s.wmu.Unlock()
+	if err != nil {
+		s.fail(fmt.Errorf("%w: send %s to %s: %v", domain.ErrUnavailable, what, s.c.addr, err))
+		return false
+	}
+	return true
+}
+
+func (s *session) registerCall(id uint64) *callEntry {
+	e := &callEntry{ch: make(chan Frame, 32), gone: make(chan struct{})}
+	s.mu.Lock()
+	s.calls[id] = e
+	s.mu.Unlock()
+	return e
+}
+
+func (s *session) forget(id uint64) {
+	s.mu.Lock()
+	e := s.calls[id]
+	delete(s.calls, id)
+	s.mu.Unlock()
+	if e != nil {
+		close(e.gone)
+	}
+}
+
+// readLoop is the session's reader goroutine: it routes every incoming
+// frame to its call's channel. The per-read deadline is the wedged-server
+// detector — heartbeat echoes arrive at least every hbEvery, so a
+// connection silent for frameTO is dead, and every in-flight call learns
+// it immediately via s.done rather than blocking forever.
+func (s *session) readLoop() {
+	for {
+		if s.c.frameTO > 0 {
+			s.conn.SetReadDeadline(time.Now().Add(s.c.frameTO))
+		}
+		var f Frame
+		if err := s.dec.Decode(&f); err != nil {
+			s.fail(fmt.Errorf("%w: session read from %s: %v", domain.ErrUnavailable, s.c.addr, err))
+			return
+		}
+		if f.Op == OpHeartbeat && f.ID == 0 {
+			continue // echo of our keepalive; the read refreshed the deadline
+		}
+		s.mu.Lock()
+		e := s.calls[f.ID]
+		s.mu.Unlock()
+		if e == nil {
+			continue // call finished while the frame was in transit
+		}
+		select {
+		case e.ch <- f:
+		case <-e.gone:
+		case <-s.done:
+			return
+		}
+	}
+}
+
+func (s *session) heartbeatLoop(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if !s.send("heartbeat", Frame{Op: OpHeartbeat}) {
+				return
+			}
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// muxStream is one v2 call's answer stream. On session failure it resumes
+// the call on a fresh session with an answers-delivered offset (the same
+// deterministic-stream property PR 1's resilience resume relies on); when
+// resumes are exhausted the error surfaces as domain.ErrUnavailable so the
+// resilience layer's retries and breakers engage.
+type muxStream struct {
+	c     *Client
+	sess  *session
+	id    uint64
+	entry *callEntry
+	cctx  context.Context
+	fn    string
+	args  []wireValue
+
+	pending   []term.Value
+	delivered int
+	resumes   int
+	srvDone   bool
+	finished  bool
+}
+
+func (s *muxStream) Next() (term.Value, bool, error) {
+	for {
+		if len(s.pending) > 0 {
+			v := s.pending[0]
+			s.pending = s.pending[1:]
+			s.delivered++
+			return v, true, nil
+		}
+		if s.finished {
+			return nil, false, nil
+		}
+		if s.srvDone {
+			s.finish(false)
+			return nil, false, nil
+		}
+		var ctxDone <-chan struct{}
+		if s.cctx != nil {
+			ctxDone = s.cctx.Done()
+		}
+		select {
+		case f := <-s.entry.ch:
+			if err := s.handle(f); err != nil {
+				return nil, false, err
+			}
+		case <-s.sess.done:
+			// Frames routed before the failure may still sit buffered;
+			// deliver them before deciding the stream is broken.
+			select {
+			case f := <-s.entry.ch:
+				if err := s.handle(f); err != nil {
+					return nil, false, err
+				}
+				continue
+			default:
+			}
+			if err := s.resume(); err != nil {
+				s.finish(false)
+				return nil, false, err
+			}
+		case <-ctxDone:
+			s.finish(true)
+			return nil, false, s.cctx.Err()
+		}
+	}
+}
+
+// handle folds one routed frame into the stream state.
+func (s *muxStream) handle(f Frame) error {
+	switch f.Op {
+	case OpAnswers:
+		vals, err := decodeValues(f.Values)
+		if err != nil {
+			s.finish(true)
+			return err
+		}
+		s.pending = vals
+		if f.Done {
+			s.srvDone = true
+		}
+		return nil
+	case OpError:
+		s.finish(false) // the server already ended this call
+		if f.Unavailable {
+			return fmt.Errorf("%w: %s", domain.ErrUnavailable, f.Err)
+		}
+		return fmt.Errorf("remote: %s", f.Err)
+	default:
+		s.finish(true)
+		return fmt.Errorf("remote: unexpected frame op %q on call %d", f.Op, f.ID)
+	}
+}
+
+// resume re-issues the call on a fresh session, telling the server to skip
+// the prefix already delivered to the consumer plus what is still pending
+// locally.
+func (s *muxStream) resume() error {
+	last := s.sess.failure()
+	for s.resumes < s.c.maxResumes {
+		s.resumes++
+		s.c.obsv().Counter("hermes_remote_resumes_total", "side", "client").Inc()
+		sess, err := s.c.getSession()
+		if err != nil {
+			if errors.Is(err, errSpeakV1) {
+				return fmt.Errorf("%w: server at %s downgraded to v1 mid-call", domain.ErrUnavailable, s.c.addr)
+			}
+			last = err
+			continue
+		}
+		id := s.c.newID()
+		entry := sess.registerCall(id)
+		offset := s.delivered + len(s.pending)
+		if !sess.send("resume", Frame{Op: OpResume, ID: id, Domain: s.c.name, Function: s.fn, Args: s.args, Offset: offset}) {
+			sess.forget(id)
+			last = sess.failure()
+			continue
+		}
+		s.sess, s.id, s.entry = sess, id, entry
+		return nil
+	}
+	if errors.Is(last, domain.ErrUnavailable) {
+		return last
+	}
+	return fmt.Errorf("%w: %v", domain.ErrUnavailable, last)
+}
+
+// finish deregisters the call; sendCancel additionally tells the server to
+// stop a call that is still producing (pruning across the network).
+func (s *muxStream) finish(sendCancel bool) {
+	if s.finished {
+		return
+	}
+	s.finished = true
+	s.sess.forget(s.id)
+	if sendCancel && !s.srvDone && s.sess.alive() {
+		s.sess.send("cancel", Frame{Op: OpCancel, ID: s.id})
+	}
+}
+
+func (s *muxStream) Close() error {
+	s.finish(true)
+	s.pending = nil
+	return nil
+}
+
+// v1Call is the legacy path: one connection per call.
+func (c *Client) v1Call(ctx *domain.Ctx, fn string, wargs []wireValue) (domain.Stream, error) {
 	dialer := net.Dialer{Timeout: c.dialTO}
 	var conn net.Conn
+	var err error
 	if ctx.Context != nil {
 		conn, err = dialer.DialContext(ctx.Context, "tcp", c.addr)
 	} else {
@@ -117,18 +646,33 @@ func (c *Client) Call(ctx *domain.Ctx, fn string, args []term.Value) (domain.Str
 		Op: "call", Domain: c.name, Function: fn, Args: wargs,
 	}); err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("remote: send request: %w", err)
+		return nil, fmt.Errorf("%w: send request to %s: %v", domain.ErrUnavailable, c.addr, err)
 	}
-	return &remoteStream{conn: conn, dec: json.NewDecoder(conn)}, nil
+	s := &remoteStream{
+		conn:    conn,
+		dec:     json.NewDecoder(conn),
+		addr:    c.addr,
+		frameTO: c.frameTO,
+		cctx:    ctx.Context,
+		stopped: make(chan struct{}),
+	}
+	if s.cctx != nil {
+		go s.watchCtx()
+	}
+	return s, nil
 }
 
-// DiscoverDomains asks a server which domains it hosts.
+// DiscoverDomains asks a server which domains it hosts. It speaks v1 (the
+// one-shot functions listing), which every server version serves.
 func DiscoverDomains(addr string, timeout time.Duration) ([]string, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("%w: dial %s: %v", domain.ErrUnavailable, addr, err)
 	}
 	defer conn.Close()
+	if timeout > 0 {
+		conn.SetDeadline(time.Now().Add(timeout))
+	}
 	if err := json.NewEncoder(conn).Encode(request{Op: "functions"}); err != nil {
 		return nil, err
 	}
@@ -144,12 +688,34 @@ func DiscoverDomains(addr string, timeout time.Duration) ([]string, error) {
 	return out, nil
 }
 
-// remoteStream pulls answer chunks off the connection.
+// remoteStream pulls answer chunks off a v1 per-call connection. A
+// per-frame read deadline keeps a wedged server from blocking Next
+// forever, and a watchdog goroutine aborts the read the moment the call's
+// context is cancelled; transport failures surface domain.ErrUnavailable
+// so the resilience layer retries or breaks.
 type remoteStream struct {
 	conn    net.Conn
 	dec     *json.Decoder
+	addr    string
+	frameTO time.Duration
+	cctx    context.Context
+
+	stopped   chan struct{}
+	closeOnce sync.Once
+
 	pending []term.Value
 	done    bool
+}
+
+// watchCtx unblocks an in-flight read when the call context ends. The
+// past-deadline trick (rather than Close) keeps the connection valid for
+// the error path to report on.
+func (s *remoteStream) watchCtx() {
+	select {
+	case <-s.cctx.Done():
+		s.conn.SetReadDeadline(time.Now())
+	case <-s.stopped:
+	}
 }
 
 func (s *remoteStream) Next() (term.Value, bool, error) {
@@ -162,10 +728,20 @@ func (s *remoteStream) Next() (term.Value, bool, error) {
 		if s.done {
 			return nil, false, nil
 		}
+		if s.cctx != nil && s.cctx.Err() != nil {
+			s.done = true
+			return nil, false, s.cctx.Err()
+		}
+		if s.frameTO > 0 {
+			s.conn.SetReadDeadline(time.Now().Add(s.frameTO))
+		}
 		var resp response
 		if err := s.dec.Decode(&resp); err != nil {
 			s.done = true
-			return nil, false, fmt.Errorf("remote: read answers: %w", err)
+			if s.cctx != nil && s.cctx.Err() != nil {
+				return nil, false, s.cctx.Err()
+			}
+			return nil, false, fmt.Errorf("%w: read answers from %s: %v", domain.ErrUnavailable, s.addr, err)
 		}
 		if resp.Err != "" {
 			s.done = true
@@ -189,5 +765,6 @@ func (s *remoteStream) Next() (term.Value, bool, error) {
 func (s *remoteStream) Close() error {
 	s.done = true
 	s.pending = nil
+	s.closeOnce.Do(func() { close(s.stopped) })
 	return s.conn.Close()
 }

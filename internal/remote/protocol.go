@@ -1,19 +1,54 @@
 // Package remote implements genuine distribution for the mediator: a TCP
 // server (cmd/hermesd) that hosts source domains, and a client that makes a
-// remote domain look like any local domain.Domain. The wire protocol is
-// newline-delimited JSON with one connection per call (answers stream back
-// in chunks); closing the client stream aborts the server-side call, which
-// is how the engine's pruning and interactive stops propagate across the
-// network.
+// remote domain look like any local domain.Domain.
+//
+// Two wire protocols share every listener, selected by version negotiation
+// on the first line a client sends:
+//
+//   - v1 (legacy) is one-shot newline-delimited JSON: one TCP connection
+//     per call, a single request object, then response frames streaming
+//     back. Closing the client connection aborts the server-side call.
+//   - v2 (streaming) multiplexes many calls over one persistent
+//     connection. Every message is a single JSON object on its own line
+//     (a Frame) carrying an op and a per-call ID: `hello` negotiates the
+//     version, `call` starts a call, `answers` frames stream back with
+//     first-answer-before-last-answer semantics, `cancel` aborts one call
+//     without dropping the connection, `resume` re-issues a call with an
+//     answers-delivered offset after a transport failure, and `heartbeat`
+//     keeps idle connections verifiably alive in both directions.
+//
+// A v2 client opens with `{"op":"hello","versions":[2],...}`. A v2 server
+// answers `{"op":"hello","version":2}` and enters the multiplexed session
+// loop; a v1 server instead answers with an unknown-op error, which the
+// client takes as "speak v1" and falls back to one connection per call. A
+// first line whose op is `call` or `functions` is a v1 client and is served
+// by the legacy path, so old clients keep working against new servers.
 //
 // The simulated-network experiments do not use this package — they wrap
 // local domains with internal/netsim so that WAN latencies are virtual and
 // deterministic. This package exists to run the system for real across
-// machines, under wall-clock time.
+// machines, under wall-clock time. The socket-level fault/interop harness
+// lives in internal/remote/interop.
 package remote
 
 import (
 	"hermes/internal/term"
+)
+
+// ProtocolVersion is the streaming protocol version this package speaks.
+const ProtocolVersion = 2
+
+// v2 frame ops. OpHello doubles as the version-negotiation request and
+// reply; OpAnswers carries answer chunks; OpError aborts one call.
+const (
+	OpHello     = "hello"
+	OpCall      = "call"
+	OpAnswers   = "answers"
+	OpError     = "error"
+	OpCancel    = "cancel"
+	OpResume    = "resume"
+	OpHeartbeat = "heartbeat"
+	OpFunctions = "functions"
 )
 
 // wireValue is the JSON encoding of a term.Value, shared with the
@@ -25,7 +60,63 @@ func decodeValue(w wireValue) (term.Value, error)       { return term.DecodeJSON
 func encodeValues(vs []term.Value) ([]wireValue, error) { return term.EncodeJSONs(vs) }
 func decodeValues(ws []wireValue) ([]term.Value, error) { return term.DecodeJSONs(ws) }
 
-// request opens every connection: one call, or a functions listing.
+// Frame is one v2 wire message: a single JSON object on its own line. The
+// op selects which fields are meaningful; unknown fields are ignored on
+// decode, so the vocabulary can grow compatibly. It is exported for the
+// interop harness (internal/remote/interop), whose driver/responder
+// simulators speak raw frames over real sockets.
+type Frame struct {
+	// Op is the frame type (OpHello, OpCall, ...).
+	Op string `json:"op"`
+	// ID is the client-assigned call identifier multiplexing frames of
+	// concurrent calls over one connection. 0 on connection-scoped frames
+	// (hello, heartbeat).
+	ID uint64 `json:"id,omitempty"`
+
+	// Versions (client hello) lists the protocol versions the client
+	// speaks; Version (server hello) is the one the server picked.
+	Versions []int `json:"versions,omitempty"`
+	Version  int   `json:"version,omitempty"`
+	// HeartbeatMS (client hello) announces the client's heartbeat period,
+	// letting the server arm an idle deadline that distinguishes a
+	// silently dead peer from a quiet one. 0 means no heartbeats.
+	HeartbeatMS int `json:"heartbeat_ms,omitempty"`
+
+	// Call fields (OpCall, OpResume). Offset on a resume is how many
+	// answers the client already delivered: the server re-executes the
+	// call and skips that prefix (answer streams are deterministic per
+	// source, the same property PR 1's mid-stream resume relies on).
+	Domain   string      `json:"domain,omitempty"`
+	Function string      `json:"function,omitempty"`
+	Args     []wireValue `json:"args,omitempty"`
+	Offset   int         `json:"offset,omitempty"`
+
+	// Answer fields (OpAnswers). Done marks the last frame of a call; a
+	// Done frame may itself carry trailing values.
+	Values []wireValue `json:"values,omitempty"`
+	Done   bool        `json:"done,omitempty"`
+
+	// Error fields (OpError, and hello rejections). Unavailable marks
+	// retryable transport/source outages (domain.ErrUnavailable).
+	Err         string `json:"err,omitempty"`
+	Unavailable bool   `json:"unavailable,omitempty"`
+
+	// Functions is the listing reply (OpFunctions).
+	Functions map[string][]FnSpec `json:"functions,omitempty"`
+}
+
+// versionSupported reports whether the server can speak any of the
+// versions a client hello offered.
+func versionSupported(versions []int) bool {
+	for _, v := range versions {
+		if v == ProtocolVersion {
+			return true
+		}
+	}
+	return false
+}
+
+// request opens every v1 connection: one call, or a functions listing.
 type request struct {
 	Op       string      `json:"op"` // "call" or "functions"
 	Domain   string      `json:"domain,omitempty"`
@@ -33,7 +124,7 @@ type request struct {
 	Args     []wireValue `json:"args,omitempty"`
 }
 
-// response frames stream back from the server. For a call, zero or more
+// response frames stream back from the v1 server. For a call, zero or more
 // frames carry Values with Done=false, then a final frame has Done=true
 // (possibly with trailing values). Err aborts the stream.
 type response struct {
@@ -41,10 +132,12 @@ type response struct {
 	Done        bool                `json:"done,omitempty"`
 	Err         string              `json:"err,omitempty"`
 	Unavailable bool                `json:"unavailable,omitempty"`
-	Functions   map[string][]fnSpec `json:"functions,omitempty"`
+	Functions   map[string][]FnSpec `json:"functions,omitempty"`
 }
 
-type fnSpec struct {
+// FnSpec describes one function in a wire function listing (shared by the
+// v1 response and the v2 OpFunctions frame).
+type FnSpec struct {
 	Name  string `json:"name"`
 	Arity int    `json:"arity"`
 	Doc   string `json:"doc,omitempty"`

@@ -69,6 +69,13 @@ func TestDecodeErrors(t *testing.T) {
 
 // startServer spins a server over the given domains on an ephemeral port.
 func startServer(t *testing.T, doms ...domain.Domain) (*Server, string) {
+	return startServerCfg(t, nil, doms...)
+}
+
+// startServerCfg is startServer with a configuration hook that runs before
+// the server starts serving (mutating Server fields afterwards races with
+// the handler goroutines).
+func startServerCfg(t *testing.T, cfg func(*Server), doms ...domain.Domain) (*Server, string) {
 	t.Helper()
 	reg := domain.NewRegistry()
 	for _, d := range doms {
@@ -76,6 +83,9 @@ func startServer(t *testing.T, doms ...domain.Domain) (*Server, string) {
 	}
 	srv := NewServer(reg)
 	srv.Logf = func(string, ...any) {}
+	if cfg != nil {
+		cfg(srv)
+	}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -133,8 +143,7 @@ func TestEndToEndCall(t *testing.T) {
 }
 
 func TestChunkedStreaming(t *testing.T) {
-	srv, addr := startServer(t, echoDomain())
-	srv.ChunkSize = 3 // force multiple frames for 10 answers
+	_, addr := startServerCfg(t, func(s *Server) { s.ChunkSize = 3 }, echoDomain()) // force multiple frames for 10 answers
 	c := NewClient(addr, "echo")
 	s, err := c.Call(domain.NewCtx(vclock.NewVirtual(0)), "gen", []term.Value{term.Int(10)})
 	if err != nil {
@@ -260,8 +269,7 @@ func TestUnknownRemoteDomainErrors(t *testing.T) {
 }
 
 func TestEarlyCloseAbortsServer(t *testing.T) {
-	srv, addr := startServer(t, echoDomain())
-	srv.ChunkSize = 1
+	_, addr := startServerCfg(t, func(s *Server) { s.ChunkSize = 1 }, echoDomain())
 	c := NewClient(addr, "echo")
 	s, err := c.Call(domain.NewCtx(vclock.NewVirtual(0)), "gen", []term.Value{term.Int(10000)})
 	if err != nil {

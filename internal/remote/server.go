@@ -1,22 +1,35 @@
 package remote
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"hermes/internal/domain"
+	"hermes/internal/obs"
 	"hermes/internal/vclock"
 )
 
 // Server hosts source domains over TCP: the hermesd side of the protocol.
+// It speaks both wire versions — the first line of a connection selects the
+// v2 multiplexed session loop (op "hello") or the legacy one-shot v1 path
+// (op "call"/"functions").
 type Server struct {
 	reg *domain.Registry
-	// ChunkSize is how many answers travel per response frame.
+	// ChunkSize is how many answers travel per response frame. The first
+	// answer of a v2 call is always flushed immediately, regardless of
+	// chunking, so time-to-first-answer does not wait for a full chunk.
 	ChunkSize int
+	// HeaderTimeout bounds how long a fresh connection may take to send
+	// its first line (the v2 hello or the v1 request). Without it a
+	// connection that sends nothing pins a handler goroutine and a conns
+	// entry forever (slowloris). 0 disables the deadline.
+	HeaderTimeout time.Duration
 	// Logf receives connection-level diagnostics (default: log.Printf; set
 	// to a no-op in tests).
 	Logf func(format string, args ...any)
@@ -25,11 +38,46 @@ type Server struct {
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
+	ob       *obs.Observer
 }
+
+// DefaultHeaderTimeout is how long a new connection gets to send its first
+// line before the server drops it.
+const DefaultHeaderTimeout = 10 * time.Second
 
 // NewServer creates a server over a registry of domains.
 func NewServer(reg *domain.Registry) *Server {
-	return &Server{reg: reg, ChunkSize: 64, Logf: log.Printf, conns: map[net.Conn]struct{}{}}
+	return &Server{
+		reg:           reg,
+		ChunkSize:     64,
+		HeaderTimeout: DefaultHeaderTimeout,
+		Logf:          log.Printf,
+		conns:         map[net.Conn]struct{}{},
+	}
+}
+
+// SetObserver installs the observability sink: per-frame send-error
+// accounting (hermes_remote_send_errors_total), served-call counters by
+// protocol version, and cancel/resume/heartbeat counters.
+func (s *Server) SetObserver(o *obs.Observer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ob = o
+}
+
+func (s *Server) obsv() *obs.Observer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ob
+}
+
+// noteSendError routes a failed frame write through the connection log and
+// the hermes_remote_send_errors_total metric. Encode errors used to be
+// silently discarded, which hid both dead clients and real serialization
+// bugs from every dashboard.
+func (s *Server) noteSendError(what string, to net.Addr, err error) {
+	s.Logf("remote: send %s to %s: %v", what, to, err)
+	s.obsv().Counter("hermes_remote_send_errors_total", "frame", what).Inc()
 }
 
 // Serve accepts connections on l until Close. It always returns a non-nil
@@ -79,6 +127,14 @@ func (s *Server) Close() error {
 	return err
 }
 
+// OpenConns reports how many connections the server currently tracks.
+// The interop harness asserts it returns to zero after fault scenarios.
+func (s *Server) OpenConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
 func (s *Server) dropConn(c net.Conn) {
 	s.mu.Lock()
 	delete(s.conns, c)
@@ -86,68 +142,139 @@ func (s *Server) dropConn(c net.Conn) {
 	c.Close()
 }
 
-// handle serves one connection: exactly one request.
+// handle serves one connection: the first line selects the protocol. A v2
+// hello enters the multiplexed session loop; a v1 call or functions request
+// is served one-shot by the legacy path.
 func (s *Server) handle(conn net.Conn) {
 	defer s.dropConn(conn)
+	if s.HeaderTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.HeaderTimeout))
+	}
 	dec := json.NewDecoder(conn)
 	enc := json.NewEncoder(conn)
-	var req request
-	if err := dec.Decode(&req); err != nil {
+	var first Frame
+	if err := dec.Decode(&first); err != nil {
 		s.Logf("remote: bad request from %s: %v", conn.RemoteAddr(), err)
 		return
 	}
-	switch req.Op {
+	conn.SetReadDeadline(time.Time{})
+	switch first.Op {
+	case OpHello:
+		s.serveSession(conn, dec, enc, first)
 	case "functions":
-		s.serveFunctions(enc)
+		sn := &v1Sender{s: s, conn: conn, enc: enc}
+		s.serveFunctions(sn)
 	case "call":
-		s.serveCall(enc, req)
+		s.serveV1Call(conn, enc, request{
+			Op: first.Op, Domain: first.Domain, Function: first.Function, Args: first.Args,
+		})
 	default:
-		enc.Encode(response{Err: fmt.Sprintf("unknown op %q", req.Op), Done: true})
+		sn := &v1Sender{s: s, conn: conn, enc: enc}
+		sn.send("error", response{Err: fmt.Sprintf("unknown op %q", first.Op), Done: true})
 	}
 }
 
-func (s *Server) serveFunctions(enc *json.Encoder) {
-	out := map[string][]fnSpec{}
+// v1Sender writes legacy response frames with send-error accounting.
+type v1Sender struct {
+	s    *Server
+	conn net.Conn
+	enc  *json.Encoder
+}
+
+func (sn *v1Sender) send(what string, resp response) bool {
+	if err := sn.enc.Encode(resp); err != nil {
+		sn.s.noteSendError(what, sn.conn.RemoteAddr(), err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) serveFunctions(sn *v1Sender) {
+	sn.send("functions", response{Functions: s.functionListing(), Done: true})
+}
+
+func (s *Server) functionListing() map[string][]FnSpec {
+	out := map[string][]FnSpec{}
 	for _, name := range s.reg.Names() {
 		d, ok := s.reg.Get(name)
 		if !ok {
 			continue
 		}
-		var specs []fnSpec
-		for _, f := range d.Functions() {
-			specs = append(specs, fnSpec{Name: f.Name, Arity: f.Arity, Doc: f.Doc})
+		// Prefer the fallible listing: a mounted remote domain
+		// (mediator-of-mediators) reports reachability errors there. An
+		// unreachable mount is omitted rather than listed as empty.
+		fns := d.Functions()
+		if fl, isLister := d.(domain.FunctionLister); isLister {
+			var err error
+			if fns, err = fl.FunctionsErr(); err != nil {
+				s.Logf("remote: listing functions of %q: %v", name, err)
+				continue
+			}
+		}
+		var specs []FnSpec
+		for _, f := range fns {
+			specs = append(specs, FnSpec{Name: f.Name, Arity: f.Arity, Doc: f.Doc})
 		}
 		out[name] = specs
 	}
-	enc.Encode(response{Functions: out, Done: true})
+	return out
 }
 
-func (s *Server) serveCall(enc *json.Encoder, req request) {
+// serveV1Call runs one legacy call. A peer-monitor goroutine watches the
+// connection for the client going away: the v1 client sends nothing after
+// its request, so any read result means the peer closed (or broke), and
+// the call context is cancelled. serveCall checks that context between
+// answers, so a trickling source stops promptly instead of executing until
+// the next full-chunk flush happens to fail.
+func (s *Server) serveV1Call(conn net.Conn, enc *json.Encoder, req request) {
+	cctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		buf := make([]byte, 1)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				cancel()
+				return
+			}
+		}
+	}()
+	s.obsv().Counter("hermes_remote_calls_total", "proto", "v1").Inc()
+	sn := &v1Sender{s: s, conn: conn, enc: enc}
+	s.serveCall(sn, req, cctx)
+}
+
+func (s *Server) serveCall(sn *v1Sender, req request, cctx context.Context) {
 	args, err := decodeValues(req.Args)
 	if err != nil {
-		enc.Encode(response{Err: err.Error(), Done: true})
+		sn.send("error", response{Err: err.Error(), Done: true})
 		return
 	}
 	// Server-side execution runs under wall-clock time: simulated compute
 	// costs become real delays, which is what a genuinely remote source
 	// looks like to the mediator.
 	ctx := domain.NewCtx(vclock.NewWall())
+	ctx.Context = cctx
 	stream, err := s.reg.Call(ctx, domain.Call{Domain: req.Domain, Function: req.Function, Args: args})
 	if err != nil {
-		enc.Encode(response{Err: err.Error(), Unavailable: errors.Is(err, domain.ErrUnavailable), Done: true})
+		sn.send("error", response{Err: err.Error(), Unavailable: errors.Is(err, domain.ErrUnavailable), Done: true})
 		return
 	}
 	defer stream.Close()
 	chunk := make([]wireValue, 0, s.ChunkSize)
 	flush := func(done bool) bool {
-		err := enc.Encode(response{Values: chunk, Done: done})
+		ok := sn.send("answers", response{Values: chunk, Done: done})
 		chunk = chunk[:0]
-		return err == nil
+		return ok
 	}
 	for {
+		if cctx.Err() != nil {
+			// Client went away: abort the domain stream (closed by the
+			// deferred Close) without draining the source.
+			return
+		}
 		v, ok, err := stream.Next()
 		if err != nil {
-			enc.Encode(response{Err: err.Error(), Unavailable: errors.Is(err, domain.ErrUnavailable), Done: true})
+			sn.send("error", response{Err: err.Error(), Unavailable: errors.Is(err, domain.ErrUnavailable), Done: true})
 			return
 		}
 		if !ok {
@@ -156,13 +283,218 @@ func (s *Server) serveCall(enc *json.Encoder, req request) {
 		}
 		wv, err := encodeValue(v)
 		if err != nil {
-			enc.Encode(response{Err: err.Error(), Done: true})
+			sn.send("error", response{Err: err.Error(), Done: true})
 			return
 		}
 		chunk = append(chunk, wv)
 		if len(chunk) >= s.ChunkSize {
 			if !flush(false) {
 				// Client went away (stream closed / pruning): stop the call.
+				return
+			}
+		}
+	}
+}
+
+// serverSession is one v2 multiplexed connection: a reader goroutine (the
+// handler itself) dispatches incoming frames, per-call goroutines stream
+// answers back through a write-mutexed encoder, and dropping the
+// connection — for any reason — cancels every in-flight call.
+type serverSession struct {
+	srv  *Server
+	conn net.Conn
+	enc  *json.Encoder
+	wmu  sync.Mutex
+
+	mu    sync.Mutex
+	calls map[uint64]context.CancelFunc
+}
+
+// send writes one frame, routing failures through the send-error
+// accounting. Concurrent per-call streams serialize on the write mutex.
+func (ss *serverSession) send(what string, f Frame) bool {
+	ss.wmu.Lock()
+	err := ss.enc.Encode(f)
+	ss.wmu.Unlock()
+	if err != nil {
+		ss.srv.noteSendError(what, ss.conn.RemoteAddr(), err)
+		return false
+	}
+	return true
+}
+
+// register creates the cancellation context of call id. ok=false reports a
+// duplicate in-flight id (a protocol violation by the client).
+func (ss *serverSession) register(id uint64) (context.Context, bool) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if _, dup := ss.calls[id]; dup {
+		return nil, false
+	}
+	cctx, cancel := context.WithCancel(context.Background())
+	ss.calls[id] = cancel
+	return cctx, true
+}
+
+// finish forgets call id, releasing its context.
+func (ss *serverSession) finish(id uint64) {
+	ss.mu.Lock()
+	cancel := ss.calls[id]
+	delete(ss.calls, id)
+	ss.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// cancel aborts call id if it is in flight (unknown ids are ignored: the
+// call may have finished while the cancel frame was in transit).
+func (ss *serverSession) cancel(id uint64) {
+	ss.mu.Lock()
+	cancel := ss.calls[id]
+	ss.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// cancelAll aborts every in-flight call: the connection died.
+func (ss *serverSession) cancelAll() {
+	ss.mu.Lock()
+	cancels := make([]context.CancelFunc, 0, len(ss.calls))
+	for _, c := range ss.calls {
+		cancels = append(cancels, c)
+	}
+	ss.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+}
+
+// serveSession negotiates the version and runs the v2 session loop. The
+// loop goroutine doubles as the per-connection reader the protocol
+// requires: a dead or misbehaving client surfaces here as a read error
+// immediately — not at the next flush boundary — and cancels every
+// in-flight call.
+func (s *Server) serveSession(conn net.Conn, dec *json.Decoder, enc *json.Encoder, hello Frame) {
+	ss := &serverSession{srv: s, conn: conn, enc: enc, calls: map[uint64]context.CancelFunc{}}
+	if !versionSupported(hello.Versions) {
+		ss.send("hello", Frame{
+			Op:  OpHello,
+			Err: fmt.Sprintf("unsupported protocol versions %v (server speaks %d)", hello.Versions, ProtocolVersion),
+		})
+		return
+	}
+	if !ss.send("hello", Frame{Op: OpHello, Version: ProtocolVersion}) {
+		return
+	}
+	s.obsv().Counter("hermes_remote_sessions_total", "proto", "v2").Inc()
+	// The client announced its heartbeat period: a connection silent for
+	// several periods is dead, not idle. Clients that do not heartbeat get
+	// no idle deadline (their reads may legitimately pause forever).
+	var idle time.Duration
+	if hello.HeartbeatMS > 0 {
+		idle = 4 * time.Duration(hello.HeartbeatMS) * time.Millisecond
+		if idle < time.Second {
+			idle = time.Second
+		}
+	}
+	defer ss.cancelAll()
+	for {
+		if idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(idle))
+		}
+		var f Frame
+		if err := dec.Decode(&f); err != nil {
+			// EOF is the client hanging up; anything else (reset, idle
+			// deadline, malformed frame) also ends the session — JSON
+			// framing cannot resynchronize after garbage.
+			if !errors.Is(err, net.ErrClosed) && err.Error() != "EOF" {
+				s.Logf("remote: session %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		switch f.Op {
+		case OpCall, OpResume:
+			cctx, ok := ss.register(f.ID)
+			if !ok {
+				ss.send("error", Frame{Op: OpError, ID: f.ID, Err: fmt.Sprintf("call id %d already in flight", f.ID)})
+				continue
+			}
+			if f.Op == OpResume {
+				s.obsv().Counter("hermes_remote_resumes_total", "side", "server").Inc()
+			}
+			s.obsv().Counter("hermes_remote_calls_total", "proto", "v2").Inc()
+			go s.serveCallV2(ss, f, cctx)
+		case OpCancel:
+			s.obsv().Counter("hermes_remote_cancels_total").Inc()
+			ss.cancel(f.ID)
+		case OpHeartbeat:
+			s.obsv().Counter("hermes_remote_heartbeats_total").Inc()
+			ss.send("heartbeat", Frame{Op: OpHeartbeat, ID: f.ID})
+		case OpFunctions:
+			go ss.send("functions", Frame{Op: OpFunctions, ID: f.ID, Functions: s.functionListing(), Done: true})
+		default:
+			ss.send("error", Frame{Op: OpError, ID: f.ID, Err: fmt.Sprintf("unknown op %q", f.Op)})
+		}
+	}
+}
+
+// serveCallV2 runs one multiplexed call. The first answer is flushed in
+// its own frame immediately (first-answer-before-last-answer); later
+// answers travel in ChunkSize frames. A resume skips the Offset answers
+// the client already delivered. Cancellation — an explicit cancel frame or
+// the whole connection dropping — is checked between answers, aborting the
+// domain stream promptly even for trickling sources.
+func (s *Server) serveCallV2(ss *serverSession, f Frame, cctx context.Context) {
+	defer ss.finish(f.ID)
+	args, err := decodeValues(f.Args)
+	if err != nil {
+		ss.send("error", Frame{Op: OpError, ID: f.ID, Err: err.Error()})
+		return
+	}
+	ctx := domain.NewCtx(vclock.NewWall())
+	ctx.Context = cctx
+	stream, err := s.reg.Call(ctx, domain.Call{Domain: f.Domain, Function: f.Function, Args: args})
+	if err != nil {
+		ss.send("error", Frame{Op: OpError, ID: f.ID, Err: err.Error(), Unavailable: errors.Is(err, domain.ErrUnavailable)})
+		return
+	}
+	defer stream.Close()
+	skip := f.Offset
+	sentFirst := false
+	chunk := make([]wireValue, 0, s.ChunkSize)
+	flush := func(done bool) bool {
+		ok := ss.send("answers", Frame{Op: OpAnswers, ID: f.ID, Values: chunk, Done: done})
+		chunk = chunk[:0]
+		return ok
+	}
+	for {
+		if cctx.Err() != nil {
+			return // cancelled: abort the domain stream, send nothing
+		}
+		v, ok, err := stream.Next()
+		if err != nil {
+			ss.send("error", Frame{Op: OpError, ID: f.ID, Err: err.Error(), Unavailable: errors.Is(err, domain.ErrUnavailable)})
+			return
+		}
+		if !ok {
+			flush(true)
+			return
+		}
+		if skip > 0 {
+			skip--
+			continue
+		}
+		wv, err := encodeValue(v)
+		if err != nil {
+			ss.send("error", Frame{Op: OpError, ID: f.ID, Err: err.Error()})
+			return
+		}
+		chunk = append(chunk, wv)
+		if !sentFirst || len(chunk) >= s.ChunkSize {
+			sentFirst = true
+			if !flush(false) {
 				return
 			}
 		}

@@ -1,0 +1,527 @@
+package remote
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"hermes/internal/domain"
+	"hermes/internal/domain/domaintest"
+	"hermes/internal/obs"
+	"hermes/internal/term"
+	"hermes/internal/vclock"
+)
+
+// trickleDomain emits answers slowly (wall time on the server), so a
+// client that stops listening mid-stream gives the server a long window
+// in which it must notice and abort.
+func trickleDomain(n int, perAnswer time.Duration) *domaintest.Domain {
+	d := domaintest.New("trickle")
+	d.Define("gen", domaintest.Func{Arity: 0, PerAnswer: perAnswer,
+		Fn: func([]term.Value) ([]term.Value, error) {
+			out := make([]term.Value, n)
+			for i := range out {
+				out[i] = term.Int(int64(i))
+			}
+			return out, nil
+		}})
+	return d
+}
+
+// waitFor polls cond for up to two seconds.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestV2SingleConnectionMultiplexes: many concurrent calls through one
+// client share one TCP connection against a v2 server.
+func TestV2SingleConnectionMultiplexes(t *testing.T) {
+	srv, addr := startServer(t, echoDomain())
+	c := NewClient(addr, "echo")
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(n int64) {
+			defer wg.Done()
+			s, err := c.Call(domain.NewCtx(vclock.NewVirtual(0)), "gen", []term.Value{term.Int(n)})
+			if err != nil {
+				errs <- err
+				return
+			}
+			vals, err := domain.Collect(s)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if int64(len(vals)) != n {
+				errs <- errors.New("wrong answer count")
+			}
+		}(int64(2 + g%5))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := srv.OpenConns(); got != 1 {
+		t.Errorf("OpenConns = %d, want 1 (multiplexed session)", got)
+	}
+}
+
+// TestV2FirstAnswerBeforeLastAnswer: with a large chunk size a v2 stream
+// still delivers the first answer immediately, while the source is still
+// trickling out the rest.
+func TestV2FirstAnswerBeforeLastAnswer(t *testing.T) {
+	d := trickleDomain(64, 30*time.Millisecond)
+	// One chunk would cover the whole answer set.
+	_, addr := startServerCfg(t, func(s *Server) { s.ChunkSize = 64 }, d)
+	c := NewClient(addr, "trickle")
+	s, err := c.Call(domain.NewCtx(vclock.NewVirtual(0)), "gen", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	start := time.Now()
+	if _, ok, err := s.Next(); !ok || err != nil {
+		t.Fatalf("first answer: %v %v", ok, err)
+	}
+	// The full set takes ~1.9s to produce; the first answer must not wait
+	// for it.
+	if waited := time.Since(start); waited > time.Second {
+		t.Errorf("first answer took %v, want immediate flush", waited)
+	}
+}
+
+// TestV2CloseCancelsServerCall: closing a v2 answer stream sends a cancel
+// frame, and the server aborts the domain stream promptly — even though
+// the source trickles and no flush would fail for many answers.
+func TestV2CloseCancelsServerCall(t *testing.T) {
+	meter := domaintest.Metered(trickleDomain(10000, 10*time.Millisecond))
+	_, addr := startServer(t, meter)
+	c := NewClient(addr, "trickle")
+	s, err := c.Call(domain.NewCtx(vclock.NewVirtual(0)), "gen", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Next(); !ok || err != nil {
+		t.Fatalf("first answer: %v %v", ok, err)
+	}
+	s.Close()
+	waitFor(t, "server call abort after cancel frame", func() bool {
+		return meter.Current() == 0
+	})
+}
+
+// Regression (prompt client-drop detection): the v1 server used to notice
+// a dead client only at a full-chunk flush (ChunkSize=64) or Done, so a
+// trickling source kept executing — and its goroutine kept running — long
+// after the client disconnected. The per-connection monitor must cancel
+// the call as soon as the peer closes.
+func TestV1ClientDropAbortsTricklingCall(t *testing.T) {
+	meter := domaintest.Metered(trickleDomain(10000, 10*time.Millisecond))
+	_, addr := startServer(t, meter)
+	before := runtime.NumGoroutine()
+	c := NewClient(addr, "trickle")
+	c.ForceV1()
+	s, err := c.Call(domain.NewCtx(vclock.NewVirtual(0)), "gen", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Next(); !ok || err != nil {
+		t.Fatalf("first answer: %v %v", ok, err)
+	}
+	s.Close() // drops the per-call connection
+	// Under the old flush-boundary detection this took ChunkSize answers
+	// x 10ms = 640ms+; the monitor makes it immediate.
+	waitFor(t, "server call abort after peer close", func() bool {
+		return meter.Current() == 0
+	})
+	waitFor(t, "server goroutines drain", func() bool {
+		return runtime.NumGoroutine() <= before+1
+	})
+}
+
+// Regression (slowloris): a connection that sends nothing used to pin a
+// handler goroutine and a conns entry forever. The header deadline drops
+// it.
+func TestSlowlorisHeaderDeadline(t *testing.T) {
+	srv, addr := startServerCfg(t, func(s *Server) { s.HeaderTimeout = 50 * time.Millisecond }, echoDomain())
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	waitFor(t, "server to drop the silent connection", func() bool {
+		return srv.OpenConns() == 0
+	})
+	// The server closed its side: our read sees EOF/reset rather than
+	// blocking.
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Error("read on dropped connection should fail")
+	}
+}
+
+// wedgedListener accepts connections and reads forever without replying —
+// the shape of a wedged or half-dead server.
+func wedgedListener(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	t.Cleanup(func() { close(done); l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				buf := make([]byte, 1024)
+				for {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					conn.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+					conn.Read(buf)
+				}
+			}()
+		}
+	}()
+	return l.Addr().String()
+}
+
+// Regression (wedged server, v1): remoteStream.Next used to block forever
+// when the server stopped responding. The per-frame read deadline surfaces
+// a typed, retryable ErrUnavailable.
+func TestV1WedgedServerSurfacesUnavailable(t *testing.T) {
+	addr := wedgedListener(t)
+	c := NewClient(addr, "echo")
+	c.ForceV1()
+	c.SetFrameTimeout(100 * time.Millisecond)
+	s, err := c.Call(domain.NewCtx(vclock.NewVirtual(0)), "gen", []term.Value{term.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	start := time.Now()
+	_, _, err = s.Next()
+	if !errors.Is(err, domain.ErrUnavailable) {
+		t.Errorf("Next = %v, want ErrUnavailable", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("read deadline did not bound the wedged read")
+	}
+}
+
+// A wedged server must also bound v2 call setup: the hello exchange reads
+// under a deadline and surfaces ErrUnavailable.
+func TestV2WedgedServerHelloTimesOut(t *testing.T) {
+	addr := wedgedListener(t)
+	c := NewClient(addr, "echo")
+	c.SetFrameTimeout(100 * time.Millisecond)
+	_, err := c.Call(domain.NewCtx(vclock.NewVirtual(0)), "gen", []term.Value{term.Int(1)})
+	if !errors.Is(err, domain.ErrUnavailable) {
+		t.Errorf("Call = %v, want ErrUnavailable", err)
+	}
+}
+
+// Regression (ctx ignored mid-stream, v1): cancelling the call context
+// used to leave Next blocked until the server said something. The watchdog
+// unblocks the read immediately and Next reports the ctx error.
+func TestV1CtxCancelUnblocksNext(t *testing.T) {
+	addr := wedgedListener(t)
+	c := NewClient(addr, "echo")
+	c.ForceV1()
+	c.SetFrameTimeout(10 * time.Second) // deadline alone must not be the rescuer
+	cctx, cancel := context.WithCancel(context.Background())
+	ctx := domain.NewCtx(vclock.NewVirtual(0))
+	ctx.Context = cctx
+	s, err := c.Call(ctx, "gen", []term.Value{term.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, _, err = s.Next()
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("Next = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("ctx cancellation did not unblock the in-flight read")
+	}
+}
+
+// Cancelling the call context mid-stream on a v2 session unblocks Next and
+// tells the server to stop, without killing the shared session.
+func TestV2CtxCancelMidStream(t *testing.T) {
+	meter := domaintest.Metered(trickleDomain(10000, 10*time.Millisecond))
+	srv, addr := startServer(t, meter)
+	c := NewClient(addr, "trickle")
+	cctx, cancel := context.WithCancel(context.Background())
+	ctx := domain.NewCtx(vclock.NewVirtual(0))
+	ctx.Context = cctx
+	s, err := c.Call(ctx, "gen", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Next(); !ok || err != nil {
+		t.Fatalf("first answer: %v %v", ok, err)
+	}
+	cancel()
+	if _, _, err := s.Next(); !errors.Is(err, context.Canceled) {
+		t.Errorf("Next = %v, want context.Canceled", err)
+	}
+	waitFor(t, "server call abort", func() bool { return meter.Current() == 0 })
+	// The session survived: a fresh call on the same client still works.
+	s2, err := c.Call(domain.NewCtx(vclock.NewVirtual(0)), "gen", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s2.Next(); !ok || err != nil {
+		t.Fatalf("post-cancel call: %v %v", ok, err)
+	}
+	s2.Close()
+	if got := srv.OpenConns(); got != 1 {
+		t.Errorf("OpenConns = %d, want the one persistent session", got)
+	}
+}
+
+// TestV2ResumeAfterSessionDrop: killing the session connection mid-stream
+// resumes the call on a fresh connection with an answers-delivered offset;
+// the consumer sees every answer exactly once, in order.
+func TestV2ResumeAfterSessionDrop(t *testing.T) {
+	_, addr := startServerCfg(t, func(s *Server) { s.ChunkSize = 1 }, echoDomain())
+	c := NewClient(addr, "echo")
+	s, err := c.Call(domain.NewCtx(vclock.NewVirtual(0)), "gen", []term.Value{term.Int(50)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var got []int64
+	for i := 0; i < 10; i++ {
+		v, ok, err := s.Next()
+		if !ok || err != nil {
+			t.Fatalf("answer %d: %v %v", i, ok, err)
+		}
+		rec := v.(term.Record)
+		n, _ := rec.Get("i")
+		got = append(got, int64(n.(term.Int)))
+	}
+	// Kill the transport under the stream.
+	c.mu.Lock()
+	sess := c.sess
+	c.mu.Unlock()
+	sess.conn.Close()
+	for {
+		v, ok, err := s.Next()
+		if err != nil {
+			t.Fatalf("after drop: %v", err)
+		}
+		if !ok {
+			break
+		}
+		rec := v.(term.Record)
+		n, _ := rec.Get("i")
+		got = append(got, int64(n.(term.Int)))
+	}
+	if len(got) != 50 {
+		t.Fatalf("answers = %d, want 50 (no loss, no duplicates)", len(got))
+	}
+	for i, n := range got {
+		if n != int64(i) {
+			t.Fatalf("answer %d = %d, want %d (resume offset wrong)", i, n, i)
+		}
+	}
+}
+
+// TestV2ResumeExhaustionSurfacesUnavailable: when the server stays down,
+// bounded resumes give up with the retryable error the resilience layer
+// expects.
+func TestV2ResumeExhaustionSurfacesUnavailable(t *testing.T) {
+	srv, addr := startServerCfg(t, func(s *Server) { s.ChunkSize = 1 }, echoDomain())
+	c := NewClient(addr, "echo")
+	c.SetDialTimeout(200 * time.Millisecond)
+	s, err := c.Call(domain.NewCtx(vclock.NewVirtual(0)), "gen", []term.Value{term.Int(100000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, ok, err := s.Next(); !ok || err != nil {
+		t.Fatalf("first answer: %v %v", ok, err)
+	}
+	srv.Close() // server gone for good
+	for {
+		_, ok, err := s.Next()
+		if err != nil {
+			if !errors.Is(err, domain.ErrUnavailable) {
+				t.Errorf("err = %v, want ErrUnavailable", err)
+			}
+			return
+		}
+		if !ok {
+			t.Fatal("stream ended cleanly despite dead server")
+		}
+	}
+}
+
+// TestV1FallbackNegotiation: against a server that only speaks v1 (it
+// answers the hello with an unknown-op error), the client transparently
+// falls back to one connection per call.
+func TestV1FallbackNegotiation(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				dec := json.NewDecoder(conn)
+				enc := json.NewEncoder(conn)
+				var req request
+				if dec.Decode(&req) != nil {
+					return
+				}
+				switch req.Op {
+				case "call":
+					enc.Encode(response{Values: []wireValue{{T: "i", S: "7"}}, Done: true})
+				default:
+					enc.Encode(response{Err: "unknown op \"" + req.Op + "\"", Done: true})
+				}
+			}()
+		}
+	}()
+	c := NewClient(l.Addr().String(), "echo")
+	s, err := c.Call(domain.NewCtx(vclock.NewVirtual(0)), "gen", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := domain.Collect(s)
+	if err != nil || len(vals) != 1 || !term.Equal(vals[0], term.Int(7)) {
+		t.Fatalf("fallback call = %v, %v", vals, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.forceV1 {
+		t.Error("client should remember the server speaks v1")
+	}
+}
+
+// TestV2HeartbeatKeepsQuietSessionAlive: a call whose source is slower
+// than the frame timeout survives because heartbeat echoes keep refreshing
+// the session's read deadline.
+func TestV2HeartbeatKeepsQuietSessionAlive(t *testing.T) {
+	d := domaintest.New("slow")
+	d.Define("one", domaintest.Func{Arity: 0, PerCall: 400 * time.Millisecond,
+		Fn: func([]term.Value) ([]term.Value, error) {
+			return []term.Value{term.Int(1)}, nil
+		}})
+	srv, addr := startServer(t, d)
+	ob := obs.NewObserver()
+	srv.SetObserver(ob)
+	c := NewClient(addr, "slow")
+	c.SetFrameTimeout(150 * time.Millisecond)
+	c.SetHeartbeatInterval(30 * time.Millisecond)
+	s, err := c.Call(domain.NewCtx(vclock.NewVirtual(0)), "one", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := domain.Collect(s)
+	if err != nil || len(vals) != 1 {
+		t.Fatalf("slow call = %v, %v (session must outlive quiet spells)", vals, err)
+	}
+	if ob.Counter("hermes_remote_heartbeats_total").Value() == 0 {
+		t.Error("server echoed no heartbeats")
+	}
+}
+
+// failingWriter always fails, standing in for a peer whose receive side is
+// gone.
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errors.New("broken pipe") }
+
+// Regression (silent Encode errors): failed frame writes used to vanish.
+// They must hit the log and the hermes_remote_send_errors_total counter.
+func TestSendErrorsLoggedAndCounted(t *testing.T) {
+	reg := domain.NewRegistry()
+	reg.Register(echoDomain())
+	srv := NewServer(reg)
+	var logged int
+	srv.Logf = func(string, ...any) { logged++ }
+	ob := obs.NewObserver()
+	srv.SetObserver(ob)
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	sn := &v1Sender{s: srv, conn: server, enc: json.NewEncoder(failingWriter{})}
+	if sn.send("answers", response{Done: true}) {
+		t.Fatal("send on a broken writer should report failure")
+	}
+	if logged != 1 {
+		t.Errorf("Logf calls = %d, want 1", logged)
+	}
+	if got := ob.Counter("hermes_remote_send_errors_total", "frame", "answers").Value(); got != 1 {
+		t.Errorf("send_errors_total = %d, want 1", got)
+	}
+	// The v2 session path shares the accounting.
+	ss := &serverSession{srv: srv, conn: server, enc: json.NewEncoder(failingWriter{}), calls: map[uint64]context.CancelFunc{}}
+	if ss.send("error", Frame{Op: OpError, ID: 1, Err: "x"}) {
+		t.Fatal("session send on a broken writer should report failure")
+	}
+	if got := ob.Counter("hermes_remote_send_errors_total", "frame", "error").Value(); got != 1 {
+		t.Errorf("v2 send_errors_total = %d, want 1", got)
+	}
+}
+
+// TestV2StaleVersionRejected: a client offering only versions the server
+// does not speak gets a hard rejection on the hello, not a retryable
+// error.
+func TestV2StaleVersionRejected(t *testing.T) {
+	_, addr := startServer(t, echoDomain())
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := json.NewEncoder(conn).Encode(Frame{Op: OpHello, Versions: []int{99}}); err != nil {
+		t.Fatal(err)
+	}
+	var reply Frame
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if err := json.NewDecoder(conn).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Op != OpHello || reply.Err == "" || reply.Version != 0 {
+		t.Errorf("stale-version reply = %+v, want hello rejection", reply)
+	}
+}

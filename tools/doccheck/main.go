@@ -32,7 +32,7 @@ var (
 	// linkRe matches markdown link targets.
 	linkRe = regexp.MustCompile(`\]\(([^)]+)\)`)
 	// flagDefRe extracts flag names from cmd/*/*.go sources.
-	flagDefRe = regexp.MustCompile(`flag\.(?:String|Bool|Int|Int64|Uint|Float64|Duration)\("([a-z][a-z0-9-]*)"`)
+	flagDefRe = regexp.MustCompile(`flag\.(?:String|Bool|Int|Int64|Uint|Float64|Duration|Func|Var|TextVar)\("([a-z][a-z0-9-]*)"`)
 	// flagUseRe extracts -flag mentions from a code span.
 	flagUseRe = regexp.MustCompile(`(?:^|\s)-([a-z][a-z0-9-]*)`)
 	// binaryRe decides whether a code span is a command line of one of
