@@ -61,6 +61,7 @@ import (
 	"hermes/internal/remote"
 	"hermes/internal/resilience"
 	"hermes/internal/term"
+	"hermes/internal/vclock"
 )
 
 func main() {
@@ -81,6 +82,10 @@ func main() {
 	coldInflate := flag.Float64("cold-start-inflation", 1.5, "cost inflation factor for functions with no calibration samples at all (<=1 disables)")
 	replanFactor := flag.Float64("replan-factor", 0, "mid-query watchdog: re-plan a union lane when its elapsed cost exceeds this factor times its estimate (<=1 disables)")
 	invThreshold := flag.Int("invindex-parallel-threshold", cim.DefaultParallelMatchThreshold, "invariant-index bucket size at which equality matching fans out across scheduler lanes (negative disables fan-out)")
+	nodeName := flag.String("node-name", "", "name tagging this node's spans in federated traces and /debug/cluster (default: the hostname)")
+	traceMaxDepth := flag.Int("trace-max-depth", remote.DefaultTraceMaxDepth, "federated-tracing hop-depth limit: calls arriving deeper than this are served without a trace subtree (cycle guard; 0 disables tracing)")
+	traceMaxBytes := flag.Int("trace-max-subtree-bytes", remote.DefaultTraceMaxSubtreeBytes, "byte budget for the span subtree shipped per served call; deeper levels are pruned to fit and the root is tagged truncated=1 (0 = unlimited)")
+	peerTimeout := flag.Duration("cluster-peer-timeout", 2*time.Second, "per-peer timeout for /debug/cluster rollup fan-out; slower peers are marked degraded")
 	var mountSpecs []mountSpec
 	flag.Func("mount", "mount a domain served by another hermesd, as name=host:port (repeatable); makes this node a mediator over that mediator", func(v string) error {
 		spec, err := parseMount(v)
@@ -97,6 +102,15 @@ func main() {
 		log.Fatal(err)
 	}
 
+	node := *nodeName
+	if node == "" {
+		if h, err := os.Hostname(); err == nil && h != "" {
+			node = h
+		} else {
+			node = "hermesd"
+		}
+	}
+
 	doms := BuildDomains()
 	reg := domain.NewRegistry()
 	for _, d := range doms {
@@ -104,7 +118,8 @@ func main() {
 		log.Printf("hermesd: serving domain %q (%d functions)", d.Name(), len(d.Functions()))
 	}
 	pol := resilience.DefaultPolicy()
-	for _, m := range buildMounts(mountSpecs) {
+	mounts := buildMounts(mountSpecs)
+	for _, m := range mounts {
 		// The re-served TCP path gets its own retry/breaker wrapper; the
 		// embedded mediator wraps the raw client itself in sys.Register,
 		// threading breaker, retries, and observability through the mount
@@ -125,6 +140,13 @@ func main() {
 			ColdInflate:  *coldInflate,
 			ReplanFactor: *replanFactor,
 			InvThreshold: *invThreshold,
+			NodeName:     node,
+			Mounts:       mounts,
+			PeerTimeout:  *peerTimeout,
+			// Real mounts run under real time; the embedded mediator must
+			// time spans on the wall clock or stitched cross-hop traces
+			// would compare virtual readings against wall durations.
+			Clock: vclock.NewWall(),
 		}
 		if *memoOn {
 			mcfg := memoDefaults
@@ -147,8 +169,15 @@ func main() {
 		}()
 	}
 	srv := remote.NewServer(reg)
+	srv.NodeName = node
+	srv.TraceMaxDepth = *traceMaxDepth
+	srv.TraceMaxSubtreeBytes = *traceMaxBytes
 	if obsSys != nil {
 		srv.SetObserver(obsSys.Obs)
+		sys := obsSys
+		srv.SetDebugInfo(func() ([]byte, error) {
+			return selfInfoJSON(node, sys.Obs, sys)
+		})
 	}
 	log.Printf("hermesd: listening on %s", *addr)
 	log.Fatal(srv.ListenAndServe(*addr))
@@ -237,6 +266,13 @@ type obsOptions struct {
 	ColdInflate  float64          // -cold-start-inflation
 	ReplanFactor float64          // -replan-factor
 	InvThreshold int              // -invindex-parallel-threshold
+	NodeName     string           // -node-name (resolved)
+	Mounts       []*remote.Client // -mount clients, for /debug/cluster fan-out
+	PeerTimeout  time.Duration    // -cluster-peer-timeout
+	// Clock is the embedded mediator's execution clock. nil keeps the
+	// deterministic virtual clock (tests); main passes a wall clock so
+	// span times are comparable with remote subtree times.
+	Clock vclock.Clock
 }
 
 // newObsHandler builds the observability endpoint: an embedded mediator
@@ -258,6 +294,7 @@ func newObsHandler(doms []domain.Domain, opts obsOptions) (http.Handler, *core.S
 	ccfg.ParallelMatchThreshold = opts.InvThreshold
 	sys := core.NewSystem(core.Options{
 		Obs:                o,
+		Clock:              opts.Clock,
 		Resilience:         &pol,
 		CIM:                &ccfg,
 		Parallelism:        opts.Parallelism,
@@ -294,6 +331,7 @@ func newObsHandler(doms []domain.Domain, opts obsOptions) (http.Handler, *core.S
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		writeCalibration(w, o, sys)
 	})
+	mux.HandleFunc("/debug/cluster", clusterHandler(opts.NodeName, o, sys, opts.Mounts, opts.PeerTimeout))
 	if opts.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -322,6 +360,11 @@ func newObsHandler(doms []domain.Domain, opts obsOptions) (http.Handler, *core.S
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
+		}
+		if opts.NodeName != "" {
+			// The origin hop of a federated trace carries its own node= tag,
+			// matching the per-hop tags on stitched remote subtrees.
+			cur.Span().SetTag("node", opts.NodeName)
 		}
 		answers, metrics, err := engine.CollectAll(cur)
 		if err != nil {
@@ -368,20 +411,46 @@ func writeCalibration(w io.Writer, o *obs.Observer, sys *core.System) {
 	}
 }
 
-// preRegisterMetrics touches the federation-level metric families so a
-// scrape before any traffic already reports them (at zero) with help
-// texts. The per-domain breaker-state gauges exist from registration.
-// Histogram families must be instantiated before SetHelp names them:
-// SetHelp on an unknown family would create it with the default counter
-// kind, and a later Histogram() call on it panics.
+// preRegisterMetrics touches every hermes_* metric family so a scrape
+// before any traffic already reports them (at zero) with help texts, and
+// so tools/doccheck's metrics-sync gate has one canonical inventory to
+// hold docs/OBSERVABILITY.md against. Kinds must match the registering
+// packages exactly — the registry panics on a kind mismatch — and
+// gauge/histogram families must be instantiated before SetHelp names
+// them: SetHelp on an unknown family would create it with the default
+// counter kind, and a later Gauge()/Histogram() call on it panics.
+// Families keyed by free-form labels (invariant text) get SetHelp only.
 func preRegisterMetrics(o *obs.Observer, doms []domain.Domain) {
+	// Admission pool.
+	o.Counter("hermes_admission_granted_total")
+	o.Counter("hermes_admission_queued_total")
+	o.Counter("hermes_admission_shed_total")
+	o.Gauge("hermes_admission_inflight_lanes")
+	o.Gauge("hermes_admission_peak_lanes")
+	o.Metrics.Histogram("hermes_admission_wait_ms")
+	// Resilience wrapper, per domain.
+	for _, d := range doms {
+		o.Gauge("hermes_breaker_state", "domain", d.Name())
+		o.Counter("hermes_breaker_rejections_total", "domain", d.Name())
+		o.Counter("hermes_call_retries_total", "domain", d.Name())
+		o.Counter("hermes_call_timeouts_total", "domain", d.Name())
+		o.Counter("hermes_stream_resumes_total", "domain", d.Name())
+		for _, to := range []string{"closed", "open", "half-open"} {
+			o.Counter("hermes_breaker_transitions_total", "domain", d.Name(), "to", to)
+		}
+	}
+	// CIM cache and invariants.
 	for _, outcome := range []string{"exact", "equality", "partial", "miss", "degraded"} {
 		o.Counter("hermes_cim_lookups_total", "outcome", outcome)
 	}
 	o.Counter("hermes_cim_degraded_total")
+	o.Counter("hermes_cim_evictions_total")
 	o.Counter("hermes_cim_singleflight_shares_total")
 	o.Counter("hermes_cim_saved_ms_total")
 	o.Gauge("hermes_cim_inflight_calls")
+	o.Gauge("hermes_cim_entries")
+	o.Gauge("hermes_cim_bytes")
+	// Memo cache.
 	o.Counter("hermes_memo_hits_total")
 	o.Counter("hermes_memo_misses_total")
 	o.Counter("hermes_memo_stores_total")
@@ -394,15 +463,32 @@ func preRegisterMetrics(o *obs.Observer, doms []domain.Domain) {
 	o.Counter("hermes_memo_flight_fallbacks_total")
 	o.Gauge("hermes_memo_entries")
 	o.Gauge("hermes_memo_bytes")
+	// Engine and planner.
+	for _, route := range []string{"direct", "cim"} {
+		o.Counter("hermes_engine_calls_total", "route", route)
+	}
+	for _, reason := range []string{"error", "breaker-open"} {
+		o.Counter("hermes_engine_call_errors_total", "reason", reason)
+	}
 	o.Counter("hermes_engine_parallel_unions_total")
 	o.Counter("hermes_engine_parallel_stages_total")
 	o.Gauge("hermes_engine_inflight_branches")
 	o.Counter("hermes_queries_total")
+	o.Counter("hermes_query_answers_total")
+	o.Metrics.Histogram("hermes_query_tfirst_ms")
+	o.Metrics.Histogram("hermes_query_tall_ms")
 	o.Counter("hermes_plan_replans_total")
 	o.Counter("hermes_plan_inflation_applied_total")
+	// Invariant discrimination index.
 	o.Counter("hermes_invindex_candidates_total")
 	o.Counter("hermes_invindex_scans_avoided_total")
 	o.Counter("hermes_invindex_parallel_matches_total")
+	// DCSM statistics and calibration.
+	o.Counter("hermes_dcsm_observations_total")
+	for _, source := range []string{"native", "summary", "raw", "none"} {
+		o.Counter("hermes_dcsm_estimates_total", "source", source)
+	}
+	// Remote wire protocol.
 	for _, proto := range []string{"v1", "v2"} {
 		o.Counter("hermes_remote_calls_total", "proto", proto)
 	}
@@ -413,11 +499,48 @@ func preRegisterMetrics(o *obs.Observer, doms []domain.Domain) {
 	for _, side := range []string{"client", "server"} {
 		o.Counter("hermes_remote_resumes_total", "side", side)
 	}
+	// Federated tracing.
+	o.Counter("hermes_trace_propagated_total")
+	o.Counter("hermes_trace_stitched_total")
+	o.Counter("hermes_trace_dropped_depth_total")
+	o.Counter("hermes_trace_truncated_total")
+	o.Counter("hermes_trace_foreign_subtree_bytes_total")
+	for _, reason := range []string{"decode", "oversize"} {
+		o.Counter("hermes_trace_malformed_total", "reason", reason)
+	}
 	for _, d := range doms {
 		o.Metrics.Histogram("hermes_dcsm_qerror_tf", "domain", d.Name())
 		o.Metrics.Histogram("hermes_dcsm_qerror_ta", "domain", d.Name())
 		o.Metrics.Histogram("hermes_dcsm_qerror_card", "domain", d.Name())
 	}
+	o.Metrics.SetHelp("hermes_admission_granted_total", "query sessions granted admission lanes")
+	o.Metrics.SetHelp("hermes_admission_queued_total", "query sessions that waited for a free admission lane")
+	o.Metrics.SetHelp("hermes_admission_shed_total", "query sessions shed at a saturated admission pool")
+	o.Metrics.SetHelp("hermes_admission_inflight_lanes", "admission lanes currently held by running sessions")
+	o.Metrics.SetHelp("hermes_admission_peak_lanes", "high-water mark of concurrently held admission lanes")
+	o.Metrics.SetHelp("hermes_admission_wait_ms", "milliseconds sessions spent queued for admission")
+	o.Metrics.SetHelp("hermes_breaker_rejections_total", "calls rejected by an open per-domain circuit breaker")
+	o.Metrics.SetHelp("hermes_breaker_transitions_total", "circuit breaker state transitions, by domain and target state")
+	o.Metrics.SetHelp("hermes_call_retries_total", "domain call retries by the resilience wrapper")
+	o.Metrics.SetHelp("hermes_call_timeouts_total", "domain calls abandoned at the per-call timeout")
+	o.Metrics.SetHelp("hermes_stream_resumes_total", "answer streams resumed mid-stream after a transport failure")
+	o.Metrics.SetHelp("hermes_cim_evictions_total", "cache entries evicted by the CIM replacement policy")
+	o.Metrics.SetHelp("hermes_cim_entries", "answer sets currently cached by the CIM")
+	o.Metrics.SetHelp("hermes_cim_bytes", "bytes of cached answer sets held by the CIM")
+	o.Metrics.SetHelp("hermes_cim_invariant_hits_total", "cache servings proved by an invariant, by invariant text")
+	o.Metrics.SetHelp("hermes_engine_calls_total", "domain calls issued by the engine, by route (direct or via the CIM)")
+	o.Metrics.SetHelp("hermes_engine_call_errors_total", "domain calls that failed, by reason")
+	o.Metrics.SetHelp("hermes_query_answers_total", "answers produced across all queries")
+	o.Metrics.SetHelp("hermes_query_tfirst_ms", "milliseconds to each query's first answer")
+	o.Metrics.SetHelp("hermes_query_tall_ms", "milliseconds to each query's last answer")
+	o.Metrics.SetHelp("hermes_dcsm_observations_total", "completed call measurements folded into DCSM statistics")
+	o.Metrics.SetHelp("hermes_dcsm_estimates_total", "cost estimates served, by source (native, summary, raw, none)")
+	o.Metrics.SetHelp("hermes_trace_propagated_total", "remote calls sent with federated trace context")
+	o.Metrics.SetHelp("hermes_trace_stitched_total", "peer span subtrees stitched under local call spans")
+	o.Metrics.SetHelp("hermes_trace_dropped_depth_total", "serve subtrees withheld because the call exceeded the hop-depth limit")
+	o.Metrics.SetHelp("hermes_trace_truncated_total", "serve subtrees pruned to the -trace-max-subtree-bytes budget before shipping")
+	o.Metrics.SetHelp("hermes_trace_foreign_subtree_bytes_total", "bytes of peer span subtrees received in trace frames")
+	o.Metrics.SetHelp("hermes_trace_malformed_total", "peer span subtrees dropped instead of stitched, by reason")
 	o.Metrics.SetHelp("hermes_dcsm_qerror_tf", "q-error of DCSM first-answer time estimates vs measured calls")
 	o.Metrics.SetHelp("hermes_dcsm_qerror_ta", "q-error of DCSM total-time estimates vs measured calls")
 	o.Metrics.SetHelp("hermes_dcsm_qerror_card", "q-error of DCSM cardinality estimates vs measured calls")

@@ -1,15 +1,21 @@
 package main
 
 import (
+	"encoding/json"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/httptest"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"hermes/internal/core"
 	"hermes/internal/domain"
+	"hermes/internal/engine"
+	"hermes/internal/obs"
 	"hermes/internal/remote"
 	"hermes/internal/resilience"
 	"hermes/internal/term"
@@ -84,9 +90,18 @@ func TestParseMount(t *testing.T) {
 // startHermesd serves a registry the way main() does and returns its
 // address.
 func startHermesd(t *testing.T, reg *domain.Registry) string {
+	return startHermesdCfg(t, reg, nil)
+}
+
+// startHermesdCfg is startHermesd with a configuration hook applied to
+// the server before it listens (node name, trace budgets, debug info).
+func startHermesdCfg(t *testing.T, reg *domain.Registry, cfg func(*remote.Server)) string {
 	t.Helper()
 	srv := remote.NewServer(reg)
 	srv.Logf = func(string, ...any) {}
+	if cfg != nil {
+		cfg(srv)
+	}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -222,5 +237,296 @@ func TestTwoHopMountQueryDifferential(t *testing.T) {
 		if strings.Join(got, "\n") != strings.Join(want, "\n") {
 			t.Errorf("query %q diverges over mounts:\n two-hop: %v\n local:   %v", q, got, want)
 		}
+	}
+}
+
+// findTag walks a span snapshot for the first node tagged k=v.
+func findTag(d obs.SpanData, k, v string) *obs.SpanData {
+	if d.Tags[k] == v {
+		return &d
+	}
+	for i := range d.Children {
+		if hit := findTag(d.Children[i], k, v); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// foreignTotal sums the durations of the topmost spans tagged with the
+// given node name — the roots of stitched remote subtrees — without
+// descending into them (a hop's own children are part of its total).
+func foreignTotal(d obs.SpanData, node string) time.Duration {
+	if d.Tags["node"] == node {
+		return d.Duration()
+	}
+	var sum time.Duration
+	for _, c := range d.Children {
+		sum += foreignTotal(c, node)
+	}
+	return sum
+}
+
+// recentQuery pulls a finished query's span tree out of a system's tracer
+// ring by root name.
+func recentQuery(t *testing.T, sys *core.System, name string) obs.SpanData {
+	t.Helper()
+	for _, d := range sys.Obs.Tracer.Recent() {
+		if d.Name == name {
+			return d
+		}
+	}
+	t.Fatalf("query %q not found in the tracer ring", name)
+	return obs.SpanData{}
+}
+
+// TestTwoHopFederatedTraceDifferential is the federated-tracing
+// acceptance story over the real mount wiring: node A's embedded mediator
+// runs queries whose only source is a mount of node B, and the answers
+// must match a local run while the query's span tree stitches B's serve
+// subtrees under A's call spans — one tree, per-hop node= tags, remote
+// compute bounded by the caller's total. A v1 peer stays an opaque leaf:
+// same answers, no foreign children, no errors.
+func TestTwoHopFederatedTraceDifferential(t *testing.T) {
+	regB := domain.NewRegistry()
+	for _, d := range BuildDomains() {
+		regB.Register(d)
+	}
+	addrB := startHermesdCfg(t, regB, func(s *remote.Server) { s.NodeName = "node-b" })
+
+	mkMediator := func(forceV1 bool) (http.Handler, *core.System) {
+		t.Helper()
+		var doms []domain.Domain
+		for _, m := range buildMounts([]mountSpec{{name: "avis", addr: addrB}}) {
+			if forceV1 {
+				m.ForceV1()
+			}
+			doms = append(doms, m)
+		}
+		h, sys, err := newObsHandler(doms, obsOptions{
+			Parallelism: 1, NodeName: "node-a", Clock: vclock.NewWall(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h, sys
+	}
+	twoHop, sys := mkMediator(false)
+	v1Hop, v1Sys := mkMediator(true)
+	direct, _, err := newObsHandler(BuildDomains(), obsOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{"?- actors(A).", "?- objects_between(10, 120, O)."}
+	for _, q := range queries {
+		want := queryAnswers(t, direct, q)
+		for name, h := range map[string]http.Handler{"v2": twoHop, "v1": v1Hop} {
+			got := queryAnswers(t, h, q)
+			if len(got) == 0 {
+				t.Errorf("query %q over the %s mount returned nothing", q, name)
+			}
+			if strings.Join(got, "\n") != strings.Join(want, "\n") {
+				t.Errorf("query %q diverges over the %s mount:\n got:  %v\n want: %v", q, name, got, want)
+			}
+		}
+	}
+
+	// The v2 hop's trace: one stitched tree rooted at node-a, B's serve
+	// subtree tagged node-b beneath a v2 call span with the wire split.
+	root := recentQuery(t, sys, queries[0])
+	if root.Tags["node"] != "node-a" {
+		t.Errorf("origin hop node tag = %q, want node-a", root.Tags["node"])
+	}
+	serve := findTag(root, "node", "node-b")
+	if serve == nil {
+		t.Fatalf("no node-b serve subtree stitched into the trace:\n%s", obs.Explain(root))
+	}
+	call := findTag(root, "remote.proto", "v2")
+	if call == nil || call.Tags["remote.wire_ms"] == "" {
+		t.Errorf("v2 call span missing or without remote.wire_ms:\n%s", obs.Explain(root))
+	}
+	sum := foreignTotal(root, "node-b")
+	if sum <= 0 {
+		t.Error("stitched remote subtree reports no duration")
+	}
+	if root.Duration() < sum {
+		t.Errorf("root total %v < stitched remote total %v: foreign subtrees not bounded by the caller",
+			root.Duration(), sum)
+	}
+	if m := sys.Obs.Metrics.Snapshot(); m["hermes_trace_stitched_total"] < 1 {
+		t.Errorf("hermes_trace_stitched_total = %v, want >= 1", m["hermes_trace_stitched_total"])
+	}
+
+	// The v1 hop's trace: the call span is a local-only leaf.
+	v1Root := recentQuery(t, v1Sys, queries[0])
+	v1Call := findTag(v1Root, "remote.proto", "v1")
+	if v1Call == nil {
+		t.Fatalf("no v1 call span in the trace:\n%s", obs.Explain(v1Root))
+	}
+	if len(v1Call.Children) != 0 {
+		t.Errorf("v1 peer grew %d foreign children, want an opaque leaf", len(v1Call.Children))
+	}
+	if v1Call.Tags["error"] != "" {
+		t.Errorf("v1 hop errored: %s", v1Call.Tags["error"])
+	}
+	if got := v1Sys.Obs.Metrics.Snapshot()["hermes_trace_stitched_total"]; got != 0 {
+		t.Errorf("v1 system stitched %v subtrees, want 0", got)
+	}
+}
+
+// latencyShiftDomain serves a fixed 5-answer relation whose first call is
+// slow and every later call fast: the caller's first cost observation is
+// badly stale for the rest of the run, so its calibration q-error starts
+// high and must shrink as fresh measurements and remote actuals fold in.
+type latencyShiftDomain struct {
+	mu    sync.Mutex
+	calls int
+}
+
+func (d *latencyShiftDomain) Name() string { return "cal" }
+func (d *latencyShiftDomain) Functions() []domain.FuncSpec {
+	return []domain.FuncSpec{{Name: "gen", Arity: 2}}
+}
+func (d *latencyShiftDomain) Call(ctx *domain.Ctx, fn string, args []term.Value) (domain.Stream, error) {
+	d.mu.Lock()
+	d.calls++
+	first := d.calls == 1
+	d.mu.Unlock()
+	if first {
+		time.Sleep(200 * time.Millisecond)
+	} else {
+		time.Sleep(10 * time.Millisecond)
+	}
+	out := make([]term.Value, 5)
+	for i := range out {
+		out[i] = term.Int(int64(i))
+	}
+	return domain.NewSliceStream(out), nil
+}
+
+// TestRemoteActualsFeedCalibration: a mediator whose source is a mounted
+// peer grades its cost estimates against the peer's reported [Tf,Ta,Card]
+// actuals — the trace frames' payload reaching obs.Calibration through
+// the system's actuals hook. After warm rounds against a source whose
+// first observation was badly stale, the median q-error must shrink.
+func TestRemoteActualsFeedCalibration(t *testing.T) {
+	regB := domain.NewRegistry()
+	regB.Register(&latencyShiftDomain{})
+	addrB := startHermesdCfg(t, regB, func(s *remote.Server) { s.NodeName = "node-b" })
+
+	o := obs.NewObserver()
+	sys := core.NewSystem(core.Options{Obs: o, Clock: vclock.NewWall(), Parallelism: 1})
+	sys.Register(remote.NewClient(addrB, "cal"))
+	if err := sys.LoadProgram("vals(N, Nonce, X) :- in(X, cal:gen(N, Nonce))."); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(round int) {
+		t.Helper()
+		// A fresh nonce per round keeps the CIM from serving the repeat
+		// out of cache: every round really crosses the wire.
+		cur, err := sys.QueryTraced(fmt.Sprintf("?- vals(5, %d, X).", round), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		answers, _, err := engine.CollectAll(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(answers) != 5 {
+			t.Fatalf("round %d: %d answers, want 5", round, len(answers))
+		}
+	}
+
+	run(1)
+	run(2)
+	early, earlyN := o.Calibration.Grade("cal", "gen")
+	if earlyN == 0 {
+		t.Fatal("no calibration samples after a warm round: remote actuals never reached the caller's calibration")
+	}
+	if early <= 1.5 {
+		t.Fatalf("early median q-error %.2f, want clearly mis-calibrated (> 1.5) after the latency shift", early)
+	}
+	for round := 3; round <= 6; round++ {
+		run(round)
+	}
+	final, finalN := o.Calibration.Grade("cal", "gen")
+	if finalN < 3 {
+		t.Fatalf("calibration samples = %d after 6 rounds, want >= 3", finalN)
+	}
+	if final >= early {
+		t.Errorf("median q-error did not shrink over warm rounds: early %.2f, final %.2f", early, final)
+	}
+}
+
+// TestDebugClusterRollup: /debug/cluster merges the local node with every
+// healthy mount and marks dead peers degraded — HTTP 200 regardless, the
+// rollup reports whatever the cluster could deliver.
+func TestDebugClusterRollup(t *testing.T) {
+	// Healthy peer: a hermesd with a debug-info producer, reporting 3
+	// queries of its own.
+	oB := obs.NewObserver()
+	for i := 0; i < 3; i++ {
+		oB.Counter("hermes_queries_total").Inc()
+	}
+	regB := domain.NewRegistry()
+	regB.Register(&latencyShiftDomain{})
+	addrB := startHermesdCfg(t, regB, func(s *remote.Server) {
+		s.NodeName = "node-b"
+		s.SetObserver(oB)
+		s.SetDebugInfo(func() ([]byte, error) { return selfInfoJSON("node-b", oB, nil) })
+	})
+
+	// Dead peer: an address that was listening once and is gone.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrDead := l.Addr().String()
+	l.Close()
+
+	mounts := buildMounts([]mountSpec{{name: "cal", addr: addrB}, {name: "dead", addr: addrDead}})
+	h, _, err := newObsHandler(BuildDomains(), obsOptions{
+		Parallelism: 1, NodeName: "node-a",
+		Mounts: mounts, PeerTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queryAnswers(t, h, "?- actors(A).") // one local query on the books
+
+	req := httptest.NewRequest("GET", "/debug/cluster", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/cluster with a dead peer: HTTP %d, want 200", rec.Code)
+	}
+	var view clusterView
+	if err := json.Unmarshal(rec.Body.Bytes(), &view); err != nil {
+		t.Fatalf("cluster view does not decode: %v\n%s", err, rec.Body.String())
+	}
+	if view.Node != "node-a" {
+		t.Errorf("view node = %q, want node-a", view.Node)
+	}
+	if len(view.Peers) != 2 {
+		t.Fatalf("peers = %d, want 2", len(view.Peers))
+	}
+	byMount := map[string]peerReport{}
+	for _, p := range view.Peers {
+		byMount[p.Mount] = p
+	}
+	if p := byMount["cal"]; p.Degraded || len(p.Info) == 0 {
+		t.Errorf("healthy peer misreported: %+v", p)
+	}
+	if p := byMount["dead"]; !p.Degraded || p.Err == "" {
+		t.Errorf("dead peer not marked degraded with an error: %+v", p)
+	}
+	if view.Merged.Nodes != 2 || view.Merged.DegradedPeers != 1 {
+		t.Errorf("merged nodes=%d degraded=%d, want 2 healthy nodes and 1 degraded peer",
+			view.Merged.Nodes, view.Merged.DegradedPeers)
+	}
+	if view.Merged.Queries != 4 {
+		t.Errorf("merged queries_total = %v, want 4 (1 local + 3 from node-b)", view.Merged.Queries)
 	}
 }

@@ -366,6 +366,12 @@ func (s *System) Register(d domain.Domain) {
 	// that participates.
 	type unwrapper interface{ Inner() domain.Domain }
 	type observable interface{ SetObserver(*obs.Observer) }
+	// actualsSink matches the remote client (without importing
+	// internal/remote): a mounted peer that reports each served call's
+	// [Tf,Ta,Card] actual back across the wire in its trace subtree.
+	type actualsSink interface {
+		SetActualsHook(func(domain.Call, obs.Cost))
+	}
 	foundEst := false
 	for probe := d; probe != nil; {
 		if est, ok := probe.(domain.Estimator); ok && !foundEst {
@@ -374,6 +380,9 @@ func (s *System) Register(d domain.Domain) {
 		}
 		if o, ok := probe.(observable); ok && s.Obs != nil {
 			o.SetObserver(s.Obs)
+		}
+		if a, ok := probe.(actualsSink); ok && s.Obs != nil {
+			a.SetActualsHook(s.calibrateRemote)
 		}
 		u, ok := probe.(unwrapper)
 		if !ok {
@@ -632,6 +641,21 @@ func (s *System) calibrate(m domain.Measurement) {
 	s.Obs.ObserveCalibration(m.Call.Domain, m.Call.Function,
 		obs.Cost{TFirst: cv.TFirst, TAll: cv.TAll, Card: cv.Card},
 		obs.Cost{TFirst: m.Cost.TFirst, TAll: m.Cost.TAll, Card: m.Cost.Card})
+}
+
+// calibrateRemote feeds a mounted peer's reported actual cost for one
+// served call into the caller's calibration, graded against what this
+// node's DCSM would have priced the call at. The engine's own measurement
+// of the same call includes wire time; the peer's actual is the served
+// subtree's compute alone, so together they bound the true cross-hop cost.
+// Cold patterns (no estimate yet) are skipped — there is nothing to grade.
+func (s *System) calibrateRemote(c domain.Call, actual obs.Cost) {
+	cv, err := s.DCSM.Cost(domain.PatternOf(c))
+	if err != nil {
+		return
+	}
+	s.Obs.ObserveCalibration(c.Domain, c.Function,
+		obs.Cost{TFirst: cv.TFirst, TAll: cv.TAll, Card: cv.Card}, actual)
 }
 
 // planFunctions collects the distinct (domain, function) pairs of every

@@ -249,6 +249,15 @@ type Ctx struct {
 	// order, which bounds re-planning per query no matter how many lanes
 	// blow their estimates.
 	Replans *ReplanBudget
+	// TraceID, when nonempty, identifies the federated trace this
+	// execution belongs to. The remote client propagates it on call frames
+	// (minting one at the origin hop); the remote server adopts the
+	// caller's ID so every node's serve spans stitch into one tree.
+	TraceID string
+	// TraceDepth counts mount hops from the trace origin. Each remote call
+	// sends TraceDepth+1; a server refuses to emit trace subtrees past its
+	// depth limit, which bounds mount cycles.
+	TraceDepth int
 }
 
 // ReplanBudget bounds how many mid-query re-plans a query may perform.
@@ -290,14 +299,16 @@ func NewCtx(c vclock.Clock) *Ctx {
 // activity. Cancellation and the deadline propagate to the fork.
 func (c *Ctx) Fork() *Ctx {
 	return &Ctx{
-		Clock:    c.Clock.Fork(),
-		Context:  c.Context,
-		Deadline: c.Deadline,
-		Span:     c.Span,
-		Sched:    c.Sched,
-		CallNote: c.CallNote,
-		MemoPath: c.MemoPath,
-		Replans:  c.Replans,
+		Clock:      c.Clock.Fork(),
+		Context:    c.Context,
+		Deadline:   c.Deadline,
+		Span:       c.Span,
+		Sched:      c.Sched,
+		CallNote:   c.CallNote,
+		MemoPath:   c.MemoPath,
+		Replans:    c.Replans,
+		TraceID:    c.TraceID,
+		TraceDepth: c.TraceDepth,
 	}
 }
 

@@ -364,6 +364,46 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
+// Snapshot returns every metric's current reading keyed by name plus
+// rendered labels: counters and gauges by value, histograms as name_count
+// and name_sum entries. The /debug/cluster rollup ships these maps between
+// nodes instead of re-parsing Prometheus text. Nil-receiver safe.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	type inst struct {
+		key string
+		m   any
+	}
+	insts := make([]inst, 0, len(r.families))
+	for n, f := range r.families {
+		for ls, m := range f.byLabel {
+			insts = append(insts, inst{n + ls, m})
+		}
+	}
+	r.mu.Unlock()
+
+	out := make(map[string]float64, len(insts))
+	for _, in := range insts {
+		switch m := in.m.(type) {
+		case *Counter:
+			out[in.key] = float64(m.Value())
+		case *Gauge:
+			out[in.key] = m.Value()
+		case *Histogram:
+			name, labels := in.key, ""
+			if i := strings.IndexByte(in.key, '{'); i >= 0 {
+				name, labels = in.key[:i], in.key[i:]
+			}
+			out[name+"_count"+labels] = float64(m.Count())
+			out[name+"_sum"+labels] = m.Sum()
+		}
+	}
+	return out
+}
+
 // mergeLabel splices an extra label pair into an already-rendered label
 // string.
 func mergeLabel(ls, k, v string) string {

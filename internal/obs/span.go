@@ -31,7 +31,16 @@ type Span struct {
 	est      *Cost
 	actual   *Cost
 	children []*Span
+	foreign  []SpanData  // stitched remote subtrees, rendered after children
 	onEnd    func(*Span) // set on roots by the Tracer
+}
+
+// NewSpan opens a standalone root span outside any tracer: ending it
+// publishes nothing. The remote server uses it for per-call serve spans
+// that travel back to the caller in a trace frame rather than entering the
+// server's own /debug/queries ring.
+func NewSpan(name string, at time.Duration) *Span {
+	return &Span{name: name, start: at}
 }
 
 // Child opens a sub-span starting at execution-clock reading at. On a nil
@@ -91,6 +100,18 @@ func (s *Span) SetActual(c Cost) {
 	s.mu.Unlock()
 }
 
+// AttachForeign grafts an already-snapshotted subtree — a remote peer's
+// serve span, rebased onto this clock — under s. Snapshot renders foreign
+// subtrees after the locally opened children. Nil-receiver safe.
+func (s *Span) AttachForeign(d SpanData) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.foreign = append(s.foreign, d)
+	s.mu.Unlock()
+}
+
 // End closes the span at execution-clock reading at. Ending a span twice
 // is a no-op; ending a root span publishes its snapshot to the Tracer.
 func (s *Span) End(at time.Duration) {
@@ -141,10 +162,12 @@ func (s *Span) Snapshot() SpanData {
 		}
 	}
 	children := append([]*Span(nil), s.children...)
+	foreign := append([]SpanData(nil), s.foreign...)
 	s.mu.Unlock()
 	for _, c := range children {
 		d.Children = append(d.Children, c.Snapshot())
 	}
+	d.Children = append(d.Children, foreign...)
 	return d
 }
 

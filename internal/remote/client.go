@@ -2,6 +2,8 @@ package remote
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,6 +15,7 @@ import (
 	"hermes/internal/domain"
 	"hermes/internal/obs"
 	"hermes/internal/term"
+	"hermes/internal/vclock"
 )
 
 // errSpeakV1 is the internal signal that the server answered the v2 hello
@@ -35,12 +38,14 @@ type Client struct {
 	hbEvery    time.Duration
 	maxResumes int
 
-	mu      sync.Mutex
-	specs   []domain.FuncSpec
-	ob      *obs.Observer
-	sess    *session
-	forceV1 bool
-	nextID  uint64
+	mu         sync.Mutex
+	specs      []domain.FuncSpec
+	ob         *obs.Observer
+	sess       *session
+	forceV1    bool
+	nextID     uint64
+	actuals    func(domain.Call, obs.Cost)
+	maxForeign int
 }
 
 // NewClient creates a client for the domain `name` served at addr.
@@ -52,6 +57,7 @@ func NewClient(addr, name string) *Client {
 		frameTO:    30 * time.Second,
 		hbEvery:    10 * time.Second,
 		maxResumes: 2,
+		maxForeign: DefaultTraceMaxSubtreeBytes,
 	}
 }
 
@@ -95,6 +101,38 @@ func (c *Client) obsv() *obs.Observer {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ob
+}
+
+// SetActualsHook installs fn, called with the remote-reported [Tf,Ta,Card]
+// actual of every complete stitched call subtree. core.System wires it to
+// the caller-side calibration so adaptive planning prices mounted domains
+// from observed cross-hop cost, not just local wire timings.
+func (c *Client) SetActualsHook(fn func(domain.Call, obs.Cost)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.actuals = fn
+}
+
+func (c *Client) actualsHook() func(domain.Call, obs.Cost) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.actuals
+}
+
+// SetMaxForeignSubtreeBytes overrides how large a peer's trace-frame span
+// subtree may be before it is dropped as oversized (default 1 MiB; <= 0
+// means unlimited). A guard against misbehaving peers, independent of the
+// server-side truncation budget.
+func (c *Client) SetMaxForeignSubtreeBytes(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxForeign = n
+}
+
+func (c *Client) maxForeignBytes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxForeign
 }
 
 // Close tears down the persistent v2 session, if any. The client remains
@@ -222,32 +260,63 @@ func (c *Client) Call(ctx *domain.Ctx, fn string, args []term.Value) (domain.Str
 		return nil, err
 	}
 	ctx.Span.SetTag("remote", c.addr)
-	st, err := c.v2Call(ctx, fn, wargs)
+	st, err := c.v2Call(ctx, fn, args, wargs)
 	if err == nil {
 		return st, nil
 	}
 	if !errors.Is(err, errSpeakV1) {
 		return nil, err
 	}
+	ctx.Span.SetTag("remote.proto", "v1")
 	return c.v1Call(ctx, fn, wargs)
 }
 
-func (c *Client) v2Call(ctx *domain.Ctx, fn string, wargs []wireValue) (domain.Stream, error) {
+func (c *Client) v2Call(ctx *domain.Ctx, fn string, args []term.Value, wargs []wireValue) (domain.Stream, error) {
 	sess, err := c.getSession()
 	if err != nil {
 		return nil, err
 	}
 	id := c.newID()
+	f := Frame{Op: OpCall, ID: id, Domain: c.name, Function: fn, Args: wargs}
+	st := &muxStream{c: c, sess: sess, id: id, fn: fn, args: wargs}
+	if ctx != nil {
+		st.cctx = ctx.Context
+		st.span = ctx.Span
+		if ctx.Clock != nil {
+			st.clock = ctx.Clock
+			st.issuedAt = ctx.Clock.Now()
+		}
+		ctx.Span.SetTag("remote.proto", "v2")
+		// Federated tracing: when the server negotiated CapTrace and this
+		// call is traced locally, propagate the trace context — minting a
+		// trace ID at the origin hop — so the server's serve subtree comes
+		// back in a trace frame and stitches under this call span.
+		if sess.traceOK && ctx.Span != nil {
+			st.traceID = ctx.TraceID
+			if st.traceID == "" {
+				st.traceID = newTraceID()
+			}
+			st.depth = ctx.TraceDepth + 1
+			f.TraceID = st.traceID
+			f.Depth = st.depth
+			st.call = &domain.Call{Domain: c.name, Function: fn, Args: args}
+			c.obsv().Counter("hermes_trace_propagated_total").Inc()
+		}
+	}
 	entry := sess.registerCall(id)
-	if !sess.send("call", Frame{Op: OpCall, ID: id, Domain: c.name, Function: fn, Args: wargs}) {
+	if !sess.send("call", f) {
 		sess.forget(id)
 		return nil, sess.failure()
 	}
-	var cctx context.Context
-	if ctx != nil {
-		cctx = ctx.Context
-	}
-	return &muxStream{c: c, sess: sess, id: id, entry: entry, cctx: cctx, fn: fn, args: wargs}, nil
+	st.entry = entry
+	return st, nil
+}
+
+// newTraceID mints a federated trace identifier at the origin hop.
+func newTraceID() string {
+	var b [8]byte
+	rand.Read(b[:])
+	return hex.EncodeToString(b[:])
 }
 
 // newID allocates a call ID. IDs are client-scoped (not session-scoped) so
@@ -287,7 +356,7 @@ func (c *Client) getSession() (*session, error) {
 	conn.SetDeadline(time.Now().Add(helloTO))
 	enc := json.NewEncoder(conn)
 	dec := json.NewDecoder(conn)
-	hello := Frame{Op: OpHello, Versions: []int{ProtocolVersion}}
+	hello := Frame{Op: OpHello, Versions: []int{ProtocolVersion}, Caps: []string{CapTrace, CapDebug}}
 	if c.hbEvery > 0 {
 		hello.HeartbeatMS = int(c.hbEvery / time.Millisecond)
 	}
@@ -314,12 +383,14 @@ func (c *Client) getSession() (*session, error) {
 		return nil, fmt.Errorf("remote: %s chose unsupported protocol version %d", c.addr, reply.Version)
 	case reply.Op == OpHello:
 		s := &session{
-			c:     c,
-			conn:  conn,
-			enc:   enc,
-			dec:   dec,
-			done:  make(chan struct{}),
-			calls: map[uint64]*callEntry{},
+			c:       c,
+			conn:    conn,
+			enc:     enc,
+			dec:     dec,
+			traceOK: capSupported(reply.Caps, CapTrace),
+			debugOK: capSupported(reply.Caps, CapDebug),
+			done:    make(chan struct{}),
+			calls:   map[uint64]*callEntry{},
 		}
 		c.sess = s
 		go s.readLoop()
@@ -354,6 +425,10 @@ type session struct {
 	conn net.Conn
 	enc  *json.Encoder
 	dec  *json.Decoder
+	// Capabilities the server's hello granted: trace subtree frames and
+	// debug rollup requests. Immutable after negotiation.
+	traceOK bool
+	debugOK bool
 
 	wmu sync.Mutex
 
@@ -496,9 +571,21 @@ type muxStream struct {
 	fn    string
 	args  []wireValue
 
+	// Federated-tracing state: the local call span foreign subtrees stitch
+	// under, the propagated trace context, the decoded call (for the
+	// actuals hook), and the local clock reading when the call was issued
+	// (the rebase point for the peer's subtree).
+	span     *obs.Span
+	clock    vclock.Clock
+	issuedAt time.Duration
+	traceID  string
+	depth    int
+	call     *domain.Call
+
 	pending   []term.Value
 	delivered int
 	resumes   int
+	retries   int
 	srvDone   bool
 	finished  bool
 }
@@ -552,6 +639,9 @@ func (s *muxStream) Next() (term.Value, bool, error) {
 // handle folds one routed frame into the stream state.
 func (s *muxStream) handle(f Frame) error {
 	switch f.Op {
+	case OpTrace:
+		s.acceptTrace(f.Trace)
+		return nil
 	case OpAnswers:
 		vals, err := decodeValues(f.Values)
 		if err != nil {
@@ -575,6 +665,47 @@ func (s *muxStream) handle(f Frame) error {
 	}
 }
 
+// acceptTrace stitches the server's serve subtree under the local call
+// span: validate, rebase onto this call's clock at issue time, split wire
+// time from remote compute, and feed the remote actual to the calibration
+// hook. Every failure mode (oversize, malformed) drops the subtree and
+// counts it — the call itself always succeeds with a local-only trace.
+func (s *muxStream) acceptTrace(raw []byte) {
+	if s.span == nil || s.traceID == "" || len(raw) == 0 {
+		return
+	}
+	ob := s.c.obsv()
+	ob.Counter("hermes_trace_foreign_subtree_bytes_total").Add(int64(len(raw)))
+	if max := s.c.maxForeignBytes(); max > 0 && len(raw) > max {
+		ob.Counter("hermes_trace_malformed_total", "reason", "oversize").Inc()
+		s.span.SetTag("remote.trace", "oversize")
+		return
+	}
+	d, err := obs.DecodeSpanJSON(raw)
+	if err != nil {
+		ob.Counter("hermes_trace_malformed_total", "reason", "decode").Inc()
+		s.span.SetTag("remote.trace", "malformed")
+		return
+	}
+	stitched := d
+	if s.clock != nil {
+		elapsed := s.clock.Now() - s.issuedAt
+		if wire := elapsed - d.Duration(); wire > 0 {
+			s.span.SetTag("remote.wire_ms", fmt.Sprintf("%.1f", float64(wire)/float64(time.Millisecond)))
+		} else {
+			s.span.SetTag("remote.wire_ms", "0.0")
+		}
+		stitched = obs.RebaseSpan(d, s.issuedAt)
+	}
+	s.span.AttachForeign(stitched)
+	ob.Counter("hermes_trace_stitched_total").Inc()
+	if d.Actual != nil && s.call != nil {
+		if hook := s.c.actualsHook(); hook != nil {
+			hook(*s.call, *d.Actual)
+		}
+	}
+}
+
 // resume re-issues the call on a fresh session, telling the server to skip
 // the prefix already delivered to the consumer plus what is still pending
 // locally.
@@ -583,20 +714,30 @@ func (s *muxStream) resume() error {
 	for s.resumes < s.c.maxResumes {
 		s.resumes++
 		s.c.obsv().Counter("hermes_remote_resumes_total", "side", "client").Inc()
+		// A flaky mount must be diagnosable from EXPLAIN alone: record how
+		// many times this stream resumed and how many attempts failed.
+		s.span.SetTag("remote.resumes", fmt.Sprintf("%d", s.resumes))
 		sess, err := s.c.getSession()
 		if err != nil {
 			if errors.Is(err, errSpeakV1) {
 				return fmt.Errorf("%w: server at %s downgraded to v1 mid-call", domain.ErrUnavailable, s.c.addr)
 			}
 			last = err
+			s.noteRetry()
 			continue
 		}
 		id := s.c.newID()
 		entry := sess.registerCall(id)
 		offset := s.delivered + len(s.pending)
-		if !sess.send("resume", Frame{Op: OpResume, ID: id, Domain: s.c.name, Function: s.fn, Args: s.args, Offset: offset}) {
+		f := Frame{Op: OpResume, ID: id, Domain: s.c.name, Function: s.fn, Args: s.args, Offset: offset}
+		if sess.traceOK && s.traceID != "" {
+			f.TraceID = s.traceID
+			f.Depth = s.depth
+		}
+		if !sess.send("resume", f) {
 			sess.forget(id)
 			last = sess.failure()
+			s.noteRetry()
 			continue
 		}
 		s.sess, s.id, s.entry = sess, id, entry
@@ -606,6 +747,12 @@ func (s *muxStream) resume() error {
 		return last
 	}
 	return fmt.Errorf("%w: %v", domain.ErrUnavailable, last)
+}
+
+// noteRetry counts a failed resume attempt (dial or re-send) on the span.
+func (s *muxStream) noteRetry() {
+	s.retries++
+	s.span.SetTag("remote.retries", fmt.Sprintf("%d", s.retries))
 }
 
 // finish deregisters the call; sendCancel additionally tells the server to
@@ -660,6 +807,54 @@ func (c *Client) v1Call(ctx *domain.Ctx, fn string, wargs []wireValue) (domain.S
 		go s.watchCtx()
 	}
 	return s, nil
+}
+
+// DebugSnapshot asks the peer for its debug rollup payload (the
+// /debug/cluster contribution) over the v2 session. v1 peers, v2 peers
+// that did not grant CapDebug, and peers without a configured rollup all
+// return an error; the caller marks them degraded rather than failing the
+// whole cluster view. timeout bounds the round trip (0 falls back to the
+// frame timeout).
+func (c *Client) DebugSnapshot(timeout time.Duration) ([]byte, error) {
+	sess, err := c.getSession()
+	if err != nil {
+		if errors.Is(err, errSpeakV1) {
+			return nil, fmt.Errorf("remote: %s speaks protocol v1 (no debug capability)", c.addr)
+		}
+		return nil, err
+	}
+	if !sess.debugOK {
+		return nil, fmt.Errorf("remote: %s did not grant the debug capability", c.addr)
+	}
+	id := c.newID()
+	entry := sess.registerCall(id)
+	defer sess.forget(id)
+	if !sess.send("debug", Frame{Op: OpDebug, ID: id}) {
+		return nil, sess.failure()
+	}
+	if timeout <= 0 {
+		timeout = c.frameTO
+	}
+	var tc <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		tc = t.C
+	}
+	select {
+	case f := <-entry.ch:
+		if f.Err != "" {
+			return nil, fmt.Errorf("remote: %s", f.Err)
+		}
+		return f.Debug, nil
+	case <-sess.done:
+		return nil, sess.failure()
+	case <-tc:
+		// Unlike a wedged session read, a slow debug reply should not kill
+		// the shared session: calls may be healthy while the rollup fn is
+		// slow. The pending entry is forgotten; a late reply is dropped.
+		return nil, fmt.Errorf("%w: debug rollup from %s timed out", domain.ErrUnavailable, c.addr)
+	}
 }
 
 // DiscoverDomains asks a server which domains it hosts. It speaks v1 (the

@@ -32,6 +32,8 @@
 package remote
 
 import (
+	"encoding/json"
+
 	"hermes/internal/term"
 )
 
@@ -49,7 +51,36 @@ const (
 	OpResume    = "resume"
 	OpHeartbeat = "heartbeat"
 	OpFunctions = "functions"
+	// OpTrace is the server's final per-call trace frame: the serialized
+	// span subtree it built while serving the call, sent just before the
+	// done answers frame when both sides negotiated CapTrace.
+	OpTrace = "trace"
+	// OpDebug requests (client) and carries (server) a node's debug
+	// rollup payload for /debug/cluster.
+	OpDebug = "debug"
 )
+
+// Capabilities negotiated on hello frames: the client lists what it
+// understands, the server replies with what it will use. A peer that
+// advertises nothing is a plain-v2 speaker and is served without the
+// optional frames, so capability growth never breaks interop.
+const (
+	// CapTrace: the peer understands federated trace context on call
+	// frames and OpTrace subtree frames.
+	CapTrace = "trace"
+	// CapDebug: the peer answers OpDebug rollup requests.
+	CapDebug = "debug"
+)
+
+// capSupported reports whether a hello's capability list names cap.
+func capSupported(caps []string, cap string) bool {
+	for _, c := range caps {
+		if c == cap {
+			return true
+		}
+	}
+	return false
+}
 
 // wireValue is the JSON encoding of a term.Value, shared with the
 // persistence formats.
@@ -81,6 +112,9 @@ type Frame struct {
 	// letting the server arm an idle deadline that distinguishes a
 	// silently dead peer from a quiet one. 0 means no heartbeats.
 	HeartbeatMS int `json:"heartbeat_ms,omitempty"`
+	// Caps (both hellos) lists optional protocol capabilities (CapTrace,
+	// CapDebug). Absent means plain v2; unknown names are ignored.
+	Caps []string `json:"caps,omitempty"`
 
 	// Call fields (OpCall, OpResume). Offset on a resume is how many
 	// answers the client already delivered: the server re-executes the
@@ -90,6 +124,12 @@ type Frame struct {
 	Function string      `json:"function,omitempty"`
 	Args     []wireValue `json:"args,omitempty"`
 	Offset   int         `json:"offset,omitempty"`
+	// Trace context (OpCall, OpResume, when CapTrace was negotiated).
+	// TraceID names the federated trace this call belongs to; Depth counts
+	// mount hops from the origin, so a server can refuse to trace past its
+	// depth limit (the cycle guard for mutually mounted nodes).
+	TraceID string `json:"trace_id,omitempty"`
+	Depth   int    `json:"depth,omitempty"`
 
 	// Answer fields (OpAnswers). Done marks the last frame of a call; a
 	// Done frame may itself carry trailing values.
@@ -103,6 +143,13 @@ type Frame struct {
 
 	// Functions is the listing reply (OpFunctions).
 	Functions map[string][]FnSpec `json:"functions,omitempty"`
+
+	// Trace (OpTrace) is the obs.SpanData JSON of the span subtree the
+	// server built serving this call, possibly truncated to the server's
+	// subtree byte budget (root tagged truncated=1). Debug (OpDebug reply)
+	// is the node's debug rollup JSON.
+	Trace json.RawMessage `json:"trace,omitempty"`
+	Debug json.RawMessage `json:"debug,omitempty"`
 }
 
 // versionSupported reports whether the server can speak any of the

@@ -33,27 +33,65 @@ type Server struct {
 	// Logf receives connection-level diagnostics (default: log.Printf; set
 	// to a no-op in tests).
 	Logf func(format string, args ...any)
+	// NodeName tags every serve span this node ships to callers (the
+	// per-hop node= tag in stitched traces).
+	NodeName string
+	// TraceMaxDepth is the hop-depth limit for federated tracing: a call
+	// frame deeper than this is served normally but gets no trace frame
+	// (the cycle guard for mutually mounted nodes). 0 disables tracing.
+	TraceMaxDepth int
+	// TraceMaxSubtreeBytes bounds the encoded span subtree shipped per
+	// call; deeper levels are pruned to fit and the root is tagged
+	// truncated=1. 0 means unlimited.
+	TraceMaxSubtreeBytes int
 
-	mu       sync.Mutex
-	listener net.Listener
-	conns    map[net.Conn]struct{}
-	closed   bool
-	ob       *obs.Observer
+	mu        sync.Mutex
+	listener  net.Listener
+	conns     map[net.Conn]struct{}
+	closed    bool
+	ob        *obs.Observer
+	debugInfo func() ([]byte, error)
 }
 
 // DefaultHeaderTimeout is how long a new connection gets to send its first
 // line before the server drops it.
 const DefaultHeaderTimeout = 10 * time.Second
 
+// Federated-tracing defaults: hop-depth cycle guard and per-call subtree
+// byte budget.
+const (
+	DefaultTraceMaxDepth        = 8
+	DefaultTraceMaxSubtreeBytes = 1 << 20
+)
+
 // NewServer creates a server over a registry of domains.
 func NewServer(reg *domain.Registry) *Server {
 	return &Server{
-		reg:           reg,
-		ChunkSize:     64,
-		HeaderTimeout: DefaultHeaderTimeout,
-		Logf:          log.Printf,
-		conns:         map[net.Conn]struct{}{},
+		reg:                  reg,
+		ChunkSize:            64,
+		HeaderTimeout:        DefaultHeaderTimeout,
+		Logf:                 log.Printf,
+		NodeName:             "hermesd",
+		TraceMaxDepth:        DefaultTraceMaxDepth,
+		TraceMaxSubtreeBytes: DefaultTraceMaxSubtreeBytes,
+		conns:                map[net.Conn]struct{}{},
 	}
+}
+
+// SetDebugInfo installs the producer of this node's debug rollup payload
+// (metrics snapshot, savings ledger, slow queries), served to peers on
+// OpDebug requests for their /debug/cluster views. Without one, debug
+// requests get an error frame.
+func (s *Server) SetDebugInfo(fn func() ([]byte, error)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.debugInfo = fn
+}
+
+func (s *Server) debugFn() func() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.debugInfo
 }
 
 // SetObserver installs the observability sink: per-frame send-error
@@ -305,6 +343,9 @@ type serverSession struct {
 	conn net.Conn
 	enc  *json.Encoder
 	wmu  sync.Mutex
+	// peerTrace records whether the client's hello advertised CapTrace:
+	// only then do calls grow serve spans and final trace frames.
+	peerTrace bool
 
 	mu    sync.Mutex
 	calls map[uint64]context.CancelFunc
@@ -385,7 +426,8 @@ func (s *Server) serveSession(conn net.Conn, dec *json.Decoder, enc *json.Encode
 		})
 		return
 	}
-	if !ss.send("hello", Frame{Op: OpHello, Version: ProtocolVersion}) {
+	ss.peerTrace = capSupported(hello.Caps, CapTrace)
+	if !ss.send("hello", Frame{Op: OpHello, Version: ProtocolVersion, Caps: []string{CapTrace, CapDebug}}) {
 		return
 	}
 	s.obsv().Counter("hermes_remote_sessions_total", "proto", "v2").Inc()
@@ -434,6 +476,8 @@ func (s *Server) serveSession(conn net.Conn, dec *json.Decoder, enc *json.Encode
 			ss.send("heartbeat", Frame{Op: OpHeartbeat, ID: f.ID})
 		case OpFunctions:
 			go ss.send("functions", Frame{Op: OpFunctions, ID: f.ID, Functions: s.functionListing(), Done: true})
+		case OpDebug:
+			go s.serveDebug(ss, f.ID)
 		default:
 			ss.send("error", Frame{Op: OpError, ID: f.ID, Err: fmt.Sprintf("unknown op %q", f.Op)})
 		}
@@ -455,6 +499,24 @@ func (s *Server) serveCallV2(ss *serverSession, f Frame, cctx context.Context) {
 	}
 	ctx := domain.NewCtx(vclock.NewWall())
 	ctx.Context = cctx
+	// Federated tracing: when the peer negotiated CapTrace and sent trace
+	// context, serve under a standalone span (outside this node's own query
+	// ring) that travels back in a trace frame. Past the depth limit the
+	// call is served normally, just without a subtree — the cycle guard for
+	// mutually mounted nodes.
+	var span *obs.Span
+	if ss.peerTrace && f.TraceID != "" && s.TraceMaxDepth > 0 {
+		if f.Depth > s.TraceMaxDepth {
+			s.obsv().Counter("hermes_trace_dropped_depth_total").Inc()
+		} else {
+			span = obs.NewSpan(fmt.Sprintf("serve %s:%s", f.Domain, f.Function), ctx.Clock.Now())
+			span.SetTag("node", s.NodeName)
+			ctx.Span = span
+			ctx.TraceID = f.TraceID
+			ctx.TraceDepth = f.Depth
+		}
+	}
+	serveStart := ctx.Clock.Now()
 	stream, err := s.reg.Call(ctx, domain.Call{Domain: f.Domain, Function: f.Function, Args: args})
 	if err != nil {
 		ss.send("error", Frame{Op: OpError, ID: f.ID, Err: err.Error(), Unavailable: errors.Is(err, domain.ErrUnavailable)})
@@ -463,6 +525,8 @@ func (s *Server) serveCallV2(ss *serverSession, f Frame, cctx context.Context) {
 	defer stream.Close()
 	skip := f.Offset
 	sentFirst := false
+	produced := 0
+	var tFirst time.Duration
 	chunk := make([]wireValue, 0, s.ChunkSize)
 	flush := func(done bool) bool {
 		ok := ss.send("answers", Frame{Op: OpAnswers, ID: f.ID, Values: chunk, Done: done})
@@ -479,9 +543,22 @@ func (s *Server) serveCallV2(ss *serverSession, f Frame, cctx context.Context) {
 			return
 		}
 		if !ok {
+			// Complete stream: close the serve span with its measured
+			// [Tf,Ta,Card] actual and ship the subtree before the done
+			// frame, so the caller stitches before the call resolves.
+			if span != nil {
+				now := ctx.Clock.Now()
+				span.SetActual(obs.Cost{TFirst: tFirst, TAll: now - serveStart, Card: float64(produced)})
+				span.End(now)
+				s.sendTrace(ss, f.ID, span)
+			}
 			flush(true)
 			return
 		}
+		if produced == 0 {
+			tFirst = ctx.Clock.Now() - serveStart
+		}
+		produced++
 		if skip > 0 {
 			skip--
 			continue
@@ -499,4 +576,35 @@ func (s *Server) serveCallV2(ss *serverSession, f Frame, cctx context.Context) {
 			}
 		}
 	}
+}
+
+// sendTrace encodes the serve span subtree within the configured byte
+// budget (pruning depth-first, tagging truncation) and ships it as the
+// call's trace frame.
+func (s *Server) sendTrace(ss *serverSession, id uint64, span *obs.Span) {
+	payload, truncated, ok := obs.TruncateSpanJSON(span.Snapshot(), s.TraceMaxSubtreeBytes)
+	if !ok {
+		return
+	}
+	if truncated {
+		s.obsv().Counter("hermes_trace_truncated_total").Inc()
+	}
+	ss.send("trace", Frame{Op: OpTrace, ID: id, Trace: payload})
+}
+
+// serveDebug answers an OpDebug rollup request from the configured debug
+// producer; nodes without one (or with a failing one) reply with an error
+// frame, which the requesting peer reports as a degraded entry.
+func (s *Server) serveDebug(ss *serverSession, id uint64) {
+	fn := s.debugFn()
+	if fn == nil {
+		ss.send("debug", Frame{Op: OpDebug, ID: id, Err: "debug rollup not configured on this node", Done: true})
+		return
+	}
+	payload, err := fn()
+	if err != nil {
+		ss.send("debug", Frame{Op: OpDebug, ID: id, Err: err.Error(), Done: true})
+		return
+	}
+	ss.send("debug", Frame{Op: OpDebug, ID: id, Debug: payload, Done: true})
 }

@@ -1,0 +1,253 @@
+package remote
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"hermes/internal/domain"
+	"hermes/internal/obs"
+	"hermes/internal/term"
+	"hermes/internal/vclock"
+)
+
+// tracedCtx returns a wall-clock call context carrying a live call span,
+// the shape the engine hands the remote client for a traced query.
+func tracedCtx(name string) (*domain.Ctx, *obs.Span) {
+	root := obs.NewTracer(1).StartQuery("?- q.", 0)
+	call := root.Child(name, 0)
+	ctx := domain.NewCtx(vclock.NewWall())
+	ctx.Span = call
+	return ctx, call
+}
+
+// findSpan walks a snapshot looking for a node whose tags carry k=v.
+func findSpan(d obs.SpanData, k, v string) *obs.SpanData {
+	if d.Tags[k] == v {
+		return &d
+	}
+	for i := range d.Children {
+		if hit := findSpan(d.Children[i], k, v); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// TestFederatedTraceStitching is the single-hop contract: a traced call
+// against a CapTrace server comes back with the server's serve subtree
+// stitched under the local call span — per-hop node tag, remote actual
+// with full cardinality, wire time split out — and the remote actual
+// reaches the caller's actuals hook.
+func TestFederatedTraceStitching(t *testing.T) {
+	_, addr := startServerCfg(t, func(s *Server) { s.NodeName = "node-b" }, echoDomain())
+	ob := obs.NewObserver()
+	c := NewClient(addr, "echo")
+	defer c.Close()
+	c.SetObserver(ob)
+	var hooked []obs.Cost
+	var hookedCalls []domain.Call
+	c.SetActualsHook(func(call domain.Call, actual obs.Cost) {
+		hookedCalls = append(hookedCalls, call)
+		hooked = append(hooked, actual)
+	})
+
+	ctx, call := tracedCtx("call echo:gen(5)")
+	st, err := c.Call(ctx, "gen", []term.Value{term.Int(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := domain.Collect(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 5 {
+		t.Fatalf("answers = %d, want 5", len(vals))
+	}
+	call.End(ctx.Clock.Now())
+
+	snap := call.Snapshot()
+	if snap.Tags["remote.proto"] != "v2" {
+		t.Errorf("remote.proto = %q, want v2", snap.Tags["remote.proto"])
+	}
+	if snap.Tags["remote.wire_ms"] == "" {
+		t.Error("remote.wire_ms tag missing: wire time not split from remote compute")
+	}
+	if len(snap.Children) != 1 {
+		t.Fatalf("call span has %d children, want 1 stitched serve subtree:\n%s",
+			len(snap.Children), obs.Explain(snap))
+	}
+	serve := snap.Children[0]
+	if serve.Name != "serve echo:gen" {
+		t.Errorf("stitched subtree root = %q", serve.Name)
+	}
+	if serve.Tags["node"] != "node-b" {
+		t.Errorf("serve span node tag = %q, want node-b", serve.Tags["node"])
+	}
+	if serve.Actual == nil || serve.Actual.Card != 5 {
+		t.Errorf("serve span actual = %+v, want Card=5", serve.Actual)
+	}
+	if serve.Start < snap.Start || serve.End > snap.End {
+		t.Errorf("foreign subtree not rebased inside the call span: serve [%v,%v], call [%v,%v]",
+			serve.Start, serve.End, snap.Start, snap.End)
+	}
+
+	m := ob.Metrics.Snapshot()
+	if m["hermes_trace_propagated_total"] != 1 || m["hermes_trace_stitched_total"] != 1 {
+		t.Errorf("propagated=%v stitched=%v, want 1/1",
+			m["hermes_trace_propagated_total"], m["hermes_trace_stitched_total"])
+	}
+	if m["hermes_trace_foreign_subtree_bytes_total"] <= 0 {
+		t.Error("foreign subtree bytes not counted")
+	}
+
+	if len(hooked) != 1 {
+		t.Fatalf("actuals hook fired %d times, want 1", len(hooked))
+	}
+	if hookedCalls[0].Domain != "echo" || hookedCalls[0].Function != "gen" {
+		t.Errorf("hook call = %+v", hookedCalls[0])
+	}
+	if hooked[0].Card != 5 {
+		t.Errorf("hook actual Card = %v, want 5 (the remote-reported cardinality)", hooked[0].Card)
+	}
+}
+
+// TestFederatedTraceTwoHop chains A → B → C: B mounts C's domain through
+// a remote client of its own, so the subtree B ships to A must already
+// contain C's serve span nested inside. One trace, three nodes.
+func TestFederatedTraceTwoHop(t *testing.T) {
+	_, addrC := startServerCfg(t, func(s *Server) { s.NodeName = "node-c" }, echoDomain())
+	mountC := NewClient(addrC, "echo")
+	defer mountC.Close()
+	_, addrB := startServerCfg(t, func(s *Server) { s.NodeName = "node-b" }, mountC)
+
+	c := NewClient(addrB, "echo")
+	defer c.Close()
+	c.SetObserver(obs.NewObserver())
+
+	ctx, call := tracedCtx("call echo:gen(3)")
+	st, err := c.Call(ctx, "gen", []term.Value{term.Int(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := domain.Collect(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 3 {
+		t.Fatalf("answers = %d, want 3", len(vals))
+	}
+	call.End(ctx.Clock.Now())
+
+	snap := call.Snapshot()
+	serveB := findSpan(snap, "node", "node-b")
+	if serveB == nil {
+		t.Fatalf("no node-b serve span stitched:\n%s", obs.Explain(snap))
+	}
+	serveC := findSpan(*serveB, "node", "node-c")
+	if serveC == nil {
+		t.Fatalf("node-c's serve span not nested under node-b's:\n%s", obs.Explain(snap))
+	}
+	if serveC.Actual == nil || serveC.Actual.Card != 3 {
+		t.Errorf("innermost hop actual = %+v, want Card=3", serveC.Actual)
+	}
+	// B's serve span carries the B→C hop's client-side tags: the middle
+	// hop is diagnosable from the stitched tree alone.
+	if serveB.Tags["remote.proto"] != "v2" {
+		t.Errorf("node-b serve span remote.proto = %q, want v2", serveB.Tags["remote.proto"])
+	}
+}
+
+// deepServeDomain builds a wide span subtree under the serving context, so
+// a tight server-side byte budget must prune and tag the shipped tree.
+type deepServeDomain struct{}
+
+func (deepServeDomain) Name() string { return "deep" }
+func (deepServeDomain) Functions() []domain.FuncSpec {
+	return []domain.FuncSpec{{Name: "go", Arity: 0}}
+}
+func (deepServeDomain) Call(ctx *domain.Ctx, fn string, args []term.Value) (domain.Stream, error) {
+	for i := 0; i < 64; i++ {
+		ch := ctx.Span.Child(fmt.Sprintf("step %d", i), ctx.Clock.Now())
+		ch.SetTag("detail", strings.Repeat("x", 40))
+		ch.End(ctx.Clock.Now())
+	}
+	return domain.NewSliceStream([]term.Value{term.Int(1)}), nil
+}
+
+// TestFederatedTraceTruncation: a serve subtree over the server's byte
+// budget arrives pruned, tagged truncated=1, and still stitches — the
+// budget bounds trace frames, it never drops tracing entirely.
+func TestFederatedTraceTruncation(t *testing.T) {
+	ob := obs.NewObserver()
+	srv, addr := startServerCfg(t, func(s *Server) {
+		s.NodeName = "node-b"
+		s.TraceMaxSubtreeBytes = 512
+		s.SetObserver(ob)
+	}, deepServeDomain{})
+	_ = srv
+
+	c := NewClient(addr, "deep")
+	defer c.Close()
+	c.SetObserver(obs.NewObserver())
+	ctx, call := tracedCtx("call deep:go()")
+	st, err := c.Call(ctx, "go", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals, err := domain.Collect(st); err != nil || len(vals) != 1 {
+		t.Fatalf("vals=%d err=%v", len(vals), err)
+	}
+	call.End(ctx.Clock.Now())
+
+	snap := call.Snapshot()
+	if len(snap.Children) != 1 {
+		t.Fatalf("no stitched subtree after truncation:\n%s", obs.Explain(snap))
+	}
+	serve := snap.Children[0]
+	if serve.Tags[obs.TruncatedTag] != "1" {
+		t.Errorf("pruned subtree not tagged %s=1: %v", obs.TruncatedTag, serve.Tags)
+	}
+	if len(serve.Children) == 64 {
+		t.Error("subtree arrived unpruned despite the 512-byte budget")
+	}
+	if ob.Metrics.Snapshot()["hermes_trace_truncated_total"] != 1 {
+		t.Error("server did not count the truncation")
+	}
+}
+
+// TestDebugSnapshot covers the rollup op: a configured node answers with
+// its payload, an unconfigured node answers with a typed error (degraded,
+// not fatal), and a v1 peer is refused client-side without a round trip.
+func TestDebugSnapshot(t *testing.T) {
+	payload := []byte(`{"node":"node-b","metrics":{}}`)
+	_, addr := startServerCfg(t, func(s *Server) {
+		s.SetDebugInfo(func() ([]byte, error) { return payload, nil })
+	}, echoDomain())
+	c := NewClient(addr, "echo")
+	defer c.Close()
+	got, err := c.DebugSnapshot(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Errorf("payload = %s", got)
+	}
+
+	_, bare := startServer(t, echoDomain())
+	cb := NewClient(bare, "echo")
+	defer cb.Close()
+	if _, err := cb.DebugSnapshot(2 * time.Second); err == nil ||
+		!strings.Contains(err.Error(), "not configured") {
+		t.Errorf("unconfigured node: err = %v", err)
+	}
+
+	cv1 := NewClient(addr, "echo")
+	defer cv1.Close()
+	cv1.ForceV1()
+	if _, err := cv1.DebugSnapshot(time.Second); err == nil ||
+		!strings.Contains(err.Error(), "protocol v1") {
+		t.Errorf("v1 peer: err = %v", err)
+	}
+}

@@ -42,6 +42,13 @@ var (
 	symbolRe = regexp.MustCompile(`^(.*?)\.[A-Z].*$`)
 	// tableFlagRe matches a README flag-table row's flag cell: | `-memo` | ...
 	tableFlagRe = regexp.MustCompile("^\\|\\s*`-([a-z][a-z0-9-]*)`\\s*\\|")
+	// metricDefRe extracts metric family names from cmd/hermesd's
+	// pre-registration (Counter/Gauge/Histogram instantiations and
+	// SetHelp-only families).
+	metricDefRe = regexp.MustCompile(`(?:Counter|Gauge|Histogram|SetHelp)\("(hermes_[a-z0-9_]+)"`)
+	// tableMetricRe matches an OBSERVABILITY.md metric-table row's name
+	// cell: | `hermes_queries_total` | ...
+	tableMetricRe = regexp.MustCompile("^\\|\\s*`(hermes_[a-z0-9_]+)`")
 )
 
 func main() {
@@ -71,6 +78,12 @@ func main() {
 		}
 	}
 	p, err := checkFlagSync(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	problems = append(problems, p...)
+	p, err = checkMetricsSync(*root)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "doccheck:", err)
 		os.Exit(2)
@@ -159,6 +172,62 @@ func checkFlagSync(root string) ([]string, error) {
 	for _, f := range missing {
 		problems = append(problems, fmt.Sprintf(
 			"README.md: cmd/hermesd flag %q is missing from the flag table", f))
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// checkMetricsSync keeps docs/OBSERVABILITY.md's metric table and
+// cmd/hermesd's metric pre-registration in two-way sync: a hermes_*
+// family the server registers (or names via SetHelp) but the table omits
+// is undocumented, and a table row naming a family the server no longer
+// registers is stale.
+func checkMetricsSync(root string) ([]string, error) {
+	defined := map[string]bool{}
+	srcs, err := filepath.Glob(filepath.Join(root, "cmd/hermesd/*.go"))
+	if err != nil {
+		return nil, err
+	}
+	for _, src := range srcs {
+		if strings.HasSuffix(src, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(src)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range metricDefRe.FindAllStringSubmatch(string(data), -1) {
+			defined[m[1]] = true
+		}
+	}
+
+	data, err := os.ReadFile(filepath.Join(root, "docs/OBSERVABILITY.md"))
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	documented := map[string]bool{}
+	for i, line := range strings.Split(string(data), "\n") {
+		m := tableMetricRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		documented[m[1]] = true
+		if !defined[m[1]] {
+			problems = append(problems, fmt.Sprintf(
+				"docs/OBSERVABILITY.md:%d: metric table row %q names a family cmd/hermesd does not register", i+1, m[1]))
+		}
+	}
+	var missing []string
+	for f := range defined {
+		if !documented[f] {
+			missing = append(missing, f)
+		}
+	}
+	sort.Strings(missing)
+	for _, f := range missing {
+		problems = append(problems, fmt.Sprintf(
+			"docs/OBSERVABILITY.md: cmd/hermesd metric %q is missing from the metric table", f))
 	}
 	sort.Strings(problems)
 	return problems, nil
